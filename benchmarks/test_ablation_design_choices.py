@@ -1,0 +1,160 @@
+"""Ablations for the design choices the paper fixes by construction.
+
+* tile width (the paper picks 64 to match shared memory — Section 5.1);
+* tile traversal order (column- vs row-major — Section 3.1.3);
+* engine placement (per FB partition vs per SM — Section 6.1);
+* merge-path balancing for row-skewed matrices (Section 5.2's outlook).
+"""
+
+import numpy as np
+
+from repro.formats import CSCMatrix, TiledDCSR, to_format
+from repro.gpu import GV100, time_kernel
+from repro.gpu.config import scaled_config
+from repro.hw import chip_overhead
+from repro.kernels import b_stationary_spmm, random_dense_operand
+from repro.kernels.merge import critical_path_items
+from repro.matrices import block_diagonal, powerlaw_rows, uniform_random
+
+from .conftest import print_header
+
+GPU = scaled_config(GV100, 10)
+
+
+def test_ablation_tile_width(benchmark):
+    """64 sits at the sweet spot: wider tiles cut metadata but overflow the
+    64x64 shared-memory B tile budget; narrower tiles inflate metadata."""
+    m = block_diagonal(2048, 2048, 0.02, block_size=64, seed=31)
+    b = random_dense_operand(2048, 1024, seed=1)
+    csc = CSCMatrix.from_coo(m)
+
+    def run(width):
+        tiled = TiledDCSR.from_csc(csc, tile_width=width)
+        result = b_stationary_spmm(tiled, b, GPU)
+        return tiled, time_kernel(result, GPU).total_s
+
+    benchmark(lambda: run(64))
+
+    print_header("Ablation — tile width (B-stationary, block-diagonal)")
+    print(f"{'width':>6} {'A metadata KB':>14} {'sim time us':>12}")
+    times, metas = {}, {}
+    for width in (16, 32, 64, 128):
+        tiled, t = run(width)
+        times[width] = t
+        metas[width] = tiled.metadata_bytes() / 1e3
+        print(f"{width:6d} {metas[width]:14.1f} {t * 1e6:12.1f}")
+    # Metadata decreases monotonically with width.
+    widths = sorted(metas)
+    assert all(metas[a] >= metas[b] for a, b in zip(widths, widths[1:]))
+    # 64 is within 20% of the best simulated time.
+    assert times[64] <= 1.2 * min(times.values())
+
+
+def test_ablation_traversal_order(benchmark):
+    """Section 3.1.3: column-major keeps C hot; row-major helps only A."""
+    m = uniform_random(2048, 2048, 5e-3, seed=32)
+    b = random_dense_operand(2048, 2048, seed=1)  # 32 column groups
+    tiled = to_format(m, "tiled_dcsr")
+
+    def run(order):
+        result = b_stationary_spmm(tiled, b, GPU, traversal=order)
+        return result, time_kernel(result, GPU).total_s
+
+    benchmark(lambda: run("column_major"))
+
+    print_header("Ablation — tile traversal order (B-stationary, uniform)")
+    print(f"{'order':>14} {'A MB':>8} {'C+atomic MB':>12} {'time us':>9}")
+    rows = {}
+    for order in ("column_major", "row_major"):
+        result, t = run(order)
+        tr = result.traffic
+        rows[order] = (tr, t)
+        print(f"{order:>14} {tr.a_bytes / 1e6:8.2f} "
+              f"{(tr.c_bytes + tr.atomic_bytes) / 1e6:12.2f} {t * 1e6:9.1f}")
+
+    col, row = rows["column_major"], rows["row_major"]
+    # The paper's conclusion: column-major usually wins, because C's
+    # footprint dwarfs A's.
+    assert col[1] <= row[1]
+    assert col[0].atomic_bytes <= row[0].atomic_bytes
+    assert row[0].a_bytes <= col[0].a_bytes
+
+
+def test_ablation_engine_placement(benchmark):
+    """Section 6.1: engines in SMs also fix load balancing but cost ~2x."""
+    benchmark(lambda: chip_overhead(GV100, per_sm=True))
+    per_channel = chip_overhead(GV100)
+    per_sm = chip_overhead(GV100, per_sm=True)
+    print_header("Ablation — engine placement")
+    print(f"{'placement':>14} {'engines':>8} {'mm^2':>7} {'die %':>7}")
+    print(f"{'per channel':>14} {per_channel.n_engines:8d} "
+          f"{per_channel.total_mm2:7.2f} {per_channel.fraction:7.2%}")
+    print(f"{'per SM':>14} {per_sm.n_engines:8d} "
+          f"{per_sm.total_mm2:7.2f} {per_sm.fraction:7.2%}")
+    ratio = per_sm.total_mm2 / per_channel.total_mm2
+    print(f"per-SM cost ratio: {ratio:.2f}x (paper: ~2x)")
+    assert 1.5 < ratio < 3.0
+
+
+def test_ablation_row_mapping(benchmark):
+    """Section 3.1.1: row-per-warp vs row-per-thread.  The paper picks
+    row-per-warp because nnz-variation imbalance (row-per-thread's cost)
+    'generally is more common' than the remainder-column imbalance
+    (row-per-warp's cost).  Reproduced across the corpus families."""
+    from repro.gpu import row_per_thread_activity, row_per_warp_activity
+    from repro.matrices import corpus, nnz_per_row
+
+    specs = [s for s in corpus(scale=1.0) if "_sq_" in s.name]
+    k = 48  # not a multiple of 32: both penalties in play
+
+    def idle_pair(spec):
+        lens = nnz_per_row(spec.build())
+        nz = lens[lens > 0]
+        rpw = row_per_warp_activity(nz, 0, k)
+        rpt = row_per_thread_activity(nz, k)
+        return rpw.inactive, rpt.inactive
+
+    benchmark(lambda: idle_pair(specs[0]))
+
+    print_header("Ablation — row-per-warp vs row-per-thread "
+                 f"(inactive executions, K={k})")
+    print(f"{'matrix':>36} {'row/warp':>10} {'row/thread':>11} {'winner':>11}")
+    warp_wins = 0
+    counted = 0
+    for spec in specs:
+        rpw, rpt = idle_pair(spec)
+        if rpw == rpt == 0:
+            continue
+        counted += 1
+        winner = "row/warp" if rpw <= rpt else "row/thread"
+        warp_wins += winner == "row/warp"
+        print(f"{spec.name:>36} {rpw:>10} {rpt:>11} {winner:>11}")
+    print(f"\nrow-per-warp wins {warp_wins}/{counted} "
+          f"(the paper's 'technique of choice')")
+    assert warp_wins > counted / 2
+
+
+def test_ablation_merge_path_balancing(benchmark):
+    """Section 5.2: row-skew hurts row-per-warp; merge-path fixes it."""
+    skewed = powerlaw_rows(4096, 4096, 2e-3, alpha=2.0, seed=33)
+    uniform = uniform_random(4096, 4096, 2e-3, seed=33)
+
+    from repro.matrices import nnz_per_row
+
+    benchmark(
+        lambda: critical_path_items(nnz_per_row(skewed), 128, merge=True)
+    )
+
+    print_header("Ablation — merge-path vs row-granular scheduling "
+                 "(critical-path items, 128 workers)")
+    print(f"{'matrix':>10} {'row-granular':>13} {'merge-path':>11} "
+          f"{'improvement':>12}")
+    for name, m in (("skewed", skewed), ("uniform", uniform)):
+        lens = nnz_per_row(m)
+        rows = critical_path_items(lens, 128, merge=False)
+        merge = critical_path_items(lens, 128, merge=True)
+        print(f"{name:>10} {rows:13d} {merge:11d} {rows / merge:11.2f}x")
+        if name == "skewed":
+            assert rows / merge > 2.0  # heavy rows serialized the warp
+        else:
+            assert rows / merge < 2.0  # little to gain when balanced

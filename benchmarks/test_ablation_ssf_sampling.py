@@ -1,0 +1,74 @@
+"""Ablation — sampled SSF vs full-scan SSF (the paper's future work).
+
+Section 3.1.4: "We believe these parameters can be obtained through
+sampling to minimize profiling time, but we leave it for future work."
+This bench quantifies it: classification agreement between the sampled and
+full-scan SSF over the corpus, swept over the sample fraction, plus the
+profiling-cost reduction that motivates sampling in the first place.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import learn_threshold, sampled_ssf, ssf
+
+from .conftest import print_header
+
+
+def test_ablation_ssf_sampling(corpus_sweep, benchmark):
+    mats = [(rec, rec.ssf) for rec in corpus_sweep]
+    # Reuse the sweep's learned threshold so agreement measures routing.
+    fit = learn_threshold(
+        np.array([r.ssf for r in corpus_sweep]),
+        np.array([r.t_ratio_c_over_b for r in corpus_sweep]),
+    )
+
+    # Materialize the matrices once (specs are cached, cheap).
+    from repro.matrices import corpus
+
+    from .conftest import BENCH_SCALE
+
+    specs = {s.name: s for s in corpus(scale=BENCH_SCALE)}
+    pairs = [
+        (specs[rec.name].build(), rec.ssf)
+        for rec in corpus_sweep
+        if rec.name in specs
+    ]
+
+    benchmark(lambda: sampled_ssf(pairs[0][0], fraction=0.1, seed=0).ssf)
+
+    print_header("Ablation — sampled SSF routing agreement "
+                 f"(threshold {fit.threshold:.3g})")
+    print(f"{'fraction':>9} {'agreement':>10} {'median rel err':>15}")
+    agreements = {}
+    for fraction in (0.02, 0.05, 0.1, 0.25, 0.5, 1.0):
+        agree = 0
+        rel_errs = []
+        for m, full in pairs:
+            est = sampled_ssf(m, fraction=fraction, seed=7).ssf
+            if (est > fit.threshold) == (full > fit.threshold):
+                agree += 1
+            if full > 0:
+                rel_errs.append(abs(est - full) / full)
+        agreements[fraction] = agree / len(pairs)
+        print(f"{fraction:9.2f} {agreements[fraction]:10.1%} "
+              f"{np.median(rel_errs):15.1%}")
+
+    # Full sample routes identically (the estimator is consistent)...
+    assert agreements[1.0] >= 0.97
+    # ...and a 10% sample already routes nearly as well — the paper's
+    # conjecture holds in the model.
+    assert agreements[0.1] >= 0.85
+    # Profiling cost drops with the sample (host-side sanity check).
+    big = max(pairs, key=lambda p: p[0].nnz)[0]
+    t0 = time.perf_counter()
+    for _ in range(3):
+        ssf(big)
+    t_full = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(3):
+        sampled_ssf(big, fraction=0.05, seed=1)
+    t_sample = time.perf_counter() - t0
+    print(f"\nprofiling time, full vs 5% sample: "
+          f"{t_full * 1e3:.1f} ms vs {t_sample * 1e3:.1f} ms")

@@ -1,0 +1,175 @@
+"""Section 4 — Engine conversion throughput and baseline-format costs.
+
+Two supporting results behind the engine design:
+
+* Section 4.1's argument for CSC as the in-memory format: stateless
+  CSR-to-strip extraction costs O(n log nnz) searches per strip, the
+  stateful variant needs O(n) persistent state and degrades on random
+  access, while CSC slicing is O(width) pointer reads;
+* the engine's per-strip work: one comparator step per non-empty row
+  segment, so conversion throughput tracks the DCSR row rate the pipeline
+  was sized for.
+"""
+
+import numpy as np
+
+from repro.engine import convert_matrix_online, convert_strip_fast
+from repro.formats import (
+    CSCMatrix,
+    CSRMatrix,
+    StatefulCSRExtractor,
+    csc_strip_extract,
+    stateless_csr_extract,
+)
+from repro.gpu import GV100
+from repro.matrices import row_segment_nnz, uniform_random
+
+from .conftest import print_header
+
+
+def test_sec41_extraction_costs(benchmark):
+    m = uniform_random(2048, 2048, 5e-3, seed=21)
+    csr = CSRMatrix.from_coo(m)
+    csc = CSCMatrix.from_coo(m)
+    benchmark(lambda: csc_strip_extract(csc, 3, 64))
+
+    _, stateless_cost = stateless_csr_extract(csr, 3, 64)
+    stateful = StatefulCSRExtractor(csr)
+    stateful.extract(0, 64)
+    stateful.extract(1, 64)
+    seq_probes = stateful.cost.search_probes
+    stateful.extract(17, 64)  # random access
+    rand_probes = stateful.cost.search_probes - seq_probes
+    _, csc_cost = csc_strip_extract(csc, 3, 64)
+
+    print_header("Section 4.1 — strip extraction cost by baseline format")
+    print(f"{'strategy':>28} {'search probes':>14} {'ptr reads':>10} "
+          f"{'state words':>12}")
+    print(f"{'stateless CSR':>28} {stateless_cost.search_probes:14d} "
+          f"{stateless_cost.pointer_reads:10d} {0:12d}")
+    print(f"{'stateful CSR (sequential)':>28} {seq_probes:14d} "
+          f"{'-':>10} {stateful.cost.state_words:12d}")
+    print(f"{'stateful CSR (random jump)':>28} {rand_probes:14d} "
+          f"{'-':>10} {stateful.cost.state_words:12d}")
+    print(f"{'CSC slice':>28} {csc_cost.search_probes:14d} "
+          f"{csc_cost.pointer_reads:10d} {0:12d}")
+
+    assert stateless_cost.search_probes >= 2 * csr.n_rows  # O(n log nnz)
+    assert stateful.cost.state_words == csr.n_rows  # O(n) state
+    assert rand_probes > 0  # random access degrades
+    assert csc_cost.total_ops() == 65  # width + 1 pointer reads
+    assert csc_cost.total_ops() < stateless_cost.total_ops() / 10
+
+
+def test_engine_steps_equal_segments(benchmark):
+    """Conversion work = non-empty row segments (the pipeline invariant)."""
+    m = uniform_random(2048, 2048, 2e-3, seed=22)
+    csc = CSCMatrix.from_coo(m)
+    online = benchmark(lambda: convert_matrix_online(csc, config=GV100))
+    segments = row_segment_nnz(m, 64).size
+
+    print_header("Engine throughput — steps vs row segments")
+    print(f"row segments: {segments}; engine steps: {online.stats.steps}")
+    print(f"elements: {online.stats.elements} (= nnz {m.nnz})")
+    print(f"DRAM read: {online.dram_bytes / 1e3:.1f} KB (CSC) ; Xbar "
+          f"stream: {online.xbar_bytes / 1e3:.1f} KB (tiled DCSR)")
+    print(f"conversion time (64 parallel engines): "
+          f"{online.conversion_time_s() * 1e6:.2f} us")
+    assert online.stats.steps == segments
+    assert online.stats.elements == m.nnz
+
+
+def test_engine_request_queue_occupancy(benchmark):
+    """Section 4/5.3: a full GPU's tile-request stream keeps each unit's
+    FIFO near-empty — the engine outpaces the SMs' consumption rate."""
+    from repro.engine import pipeline_report, simulate_fifo, sm_demand_interval_s
+
+    rep = pipeline_report(GV100)
+    m = uniform_random(4096, 4096, 5e-3, seed=24)
+    csc = CSCMatrix.from_coo(m)
+    online = convert_matrix_online(csc, config=GV100)
+
+    # 80 SMs share 64 units; each unit serves ~1.25 SMs' request streams.
+    # Model one unit: tiles of its strips requested back-to-back by the
+    # SMs consuming them.
+    steps_per_strip = online.per_partition_steps
+    busiest = int(np.argmax(steps_per_strip))
+    strip_ids = [
+        s for s in range(online.tiled.n_strips)
+        if s % GV100.mem_channels == busiest
+    ]
+    arrivals, steps = [], []
+    t = 0.0
+    sms_per_unit = max(1, round(GV100.n_sms / GV100.mem_channels))
+    for sid in strip_ids:
+        for _, tile in online.tiled.iter_row_tiles(sid, 64):
+            if tile.nnz == 0:
+                continue
+            arrivals.append(t)
+            steps.append(tile.n_nonzero_rows)
+            t += sm_demand_interval_s(tile.nnz, 64, GV100) / sms_per_unit
+
+    q = benchmark(lambda: simulate_fifo(arrivals, steps, rep))
+    print_header("Engine request queue — busiest unit under full-GPU demand")
+    print(f"requests: {len(arrivals)}; unit utilization {q.utilization:.1%}")
+    print(f"mean wait {q.mean_wait_s * 1e9:.1f} ns; "
+          f"max queue depth {q.max_queue_depth}")
+    assert q.max_queue_depth <= 2  # requests never pile up
+    assert q.utilization < 0.5  # the unit has headroom (clock-gates)
+
+
+def test_engine_access_pattern_advantage(benchmark):
+    """The engine's CSC column walk is sequential at DRAM: near-peak
+    bandwidth; the baseline's per-nonzero gathers are row-buffer hostile.
+    Plus Section 7's crossbar claim: the expanded DCSR stream rides the
+    Xbar without becoming the bottleneck."""
+    import dataclasses
+
+    from repro.gpu import (
+        CrossbarModel,
+        DRAMChannel,
+        DRAMTiming,
+        effective_bandwidth,
+        streaming_advantage,
+    )
+
+    timing = DRAMTiming()
+    benchmark(lambda: streaming_advantage(timing))
+
+    seq = effective_bandwidth(timing, pattern="sequential")
+    rnd = effective_bandwidth(timing, pattern="random")
+
+    print_header("Engine DRAM access pattern + crossbar headroom")
+    print(f"HBM2 pseudo channel peak: {timing.peak_gbps} GB/s")
+    print(f"sequential (engine CSC walk): {seq:.2f} GB/s "
+          f"({seq / timing.peak_gbps:.0%} of peak)")
+    print(f"random (per-nonzero gather):  {rnd:.2f} GB/s "
+          f"({rnd / timing.peak_gbps:.0%} of peak)")
+    print(f"streaming advantage: {seq / rnd:.2f}x")
+    assert seq > 0.9 * timing.peak_gbps
+    assert seq / rnd > 1.05
+
+    # Crossbar: online conversion for a full pass of a corpus-scale matrix.
+    m = uniform_random(4096, 4096, 5e-3, seed=25)
+    online = convert_matrix_online(CSCMatrix.from_coo(m), config=GV100)
+    xbar = CrossbarModel(GV100)
+    xbar.record_dram_forward(online.dram_bytes)
+    xbar.record_engine_stream(online.xbar_bytes)
+    dram_time = online.dram_bytes / (GV100.effective_bandwidth_gbps * 1e9)
+    print(f"engine expansion on Xbar: {online.expansion_factor:.2f}x; "
+          f"bottleneck: {xbar.is_bottleneck(dram_time)}")
+    assert not xbar.is_bottleneck(dram_time)
+
+
+def test_engine_conversion_rate(benchmark):
+    """Model-side throughput: the vectorized engine model converts strips
+    fast enough to sweep thousands of corpus matrices (host-side metric,
+    not a simulated quantity)."""
+    m = uniform_random(4096, 64, 2e-2, seed=23)
+    csc = CSCMatrix.from_coo(m)
+    ptr, rows, vals = csc.strip_slice(0, 64)
+
+    result = benchmark(lambda: convert_strip_fast(ptr, rows, vals, 4096))
+    dcsr, stats = result
+    assert dcsr.nnz == csc.nnz
+    assert stats.steps == dcsr.n_nonzero_rows

@@ -1,0 +1,61 @@
+"""Fig. 5 — Histogram of non-zero-row density of 64-wide vertical strips.
+
+The paper's observation: the vast majority of strips have ~0 % non-zero
+rows (the 0-1 % bucket towers over everything), which is what makes tiled
+CSR pathological and motivates DCSR.  Regenerated over the corpus, with a
+tile-width ablation.
+"""
+
+import numpy as np
+
+from repro.formats import DEFAULT_TILE_WIDTH
+from repro.matrices import (
+    corpus,
+    nonzero_rows_per_strip,
+    strip_density_histogram,
+)
+
+from .conftest import BENCH_SCALE, print_header
+
+
+def test_fig05_strip_density_histogram(benchmark):
+    specs = corpus(scale=BENCH_SCALE)
+    mats = [s.build() for s in specs]
+    benchmark(lambda: strip_density_histogram(mats[0], DEFAULT_TILE_WIDTH))
+
+    bins = np.concatenate(
+        [np.arange(0.0, 0.105, 0.01), [0.25, 0.5, 1.0 + 1e-9]]
+    )
+    counts = np.zeros(len(bins) - 1, dtype=np.int64)
+    for m in mats:
+        c, _ = strip_density_histogram(m, DEFAULT_TILE_WIDTH, bins=bins)
+        counts += c
+
+    labels = [f"{bins[i]:.0%}-{bins[i + 1]:.0%}" for i in range(len(bins) - 1)]
+    total = counts.sum()
+    print_header("Fig. 5 — %% non-zero rows in 64-wide strips of A "
+                 f"({total} strips over {len(mats)} matrices)")
+    for label, c in zip(labels, counts):
+        bar = "#" * int(60 * c / max(counts.max(), 1))
+        print(f"{label:>9} {c:8d} {bar}")
+
+    # Shape: the lowest bucket dominates (paper: ~99% of rows empty; our
+    # corpus balances densities evenly, so the tower is shorter but still
+    # the tallest bucket by a wide margin).
+    assert counts[0] == counts.max()
+    assert counts[0] > 0.25 * total
+
+    # Ablation: narrower strips are emptier, wider strips denser.
+    m = mats[len(mats) // 2]
+    mean_frac = {}
+    for width in (16, 32, 64, 128):
+        frac = nonzero_rows_per_strip(m, width) / m.n_rows
+        mean_frac[width] = float(frac.mean()) if frac.size else 0.0
+    print("\nTile-width ablation (mean non-zero-row fraction per strip):")
+    for width, f in mean_frac.items():
+        print(f"  width {width:4d}: {f:.2%}")
+    widths = sorted(mean_frac)
+    assert all(
+        mean_frac[a] <= mean_frac[b] + 1e-12
+        for a, b in zip(widths, widths[1:])
+    )

@@ -1,0 +1,66 @@
+"""Fig. 9 — Storage overhead of tiled DCSR over untiled CSR.
+
+The paper: tiled DCSR costs on average 1.3-1.4x (max ~2x) the storage of
+the original CSR — the tiling tax the online engine avoids paying in DRAM
+— except for tall-skinny matrices with few non-zero strips, which can dip
+below 1x.  Regenerated over the corpus, plus the tile-width ablation.
+"""
+
+import numpy as np
+
+from repro.formats import CSCMatrix, CSRMatrix, TiledDCSR, to_format
+from repro.matrices import corpus
+
+from .conftest import BENCH_SCALE, print_header
+
+
+def test_fig09_storage_overhead(benchmark):
+    specs = corpus(scale=BENCH_SCALE)
+
+    def ratio(spec, width=64):
+        m = spec.build()
+        csr = to_format(m, "csr")
+        td = TiledDCSR.from_csc(CSCMatrix.from_coo(m), tile_width=width)
+        meta = td.metadata_bytes() / max(csr.metadata_bytes(), 1)
+        total = td.footprint_bytes() / max(csr.footprint_bytes(), 1)
+        return meta, total
+
+    benchmark(lambda: ratio(specs[0]))
+
+    rows = []
+    for spec in specs:
+        if spec.build().nnz == 0:
+            continue
+        meta, total = ratio(spec)
+        rows.append((spec.name, spec.family, meta, total))
+
+    rows.sort(key=lambda r: -r[3])
+    print_header("Fig. 9 — size(tiled DCSR) / size(CSR), per matrix")
+    print(f"{'matrix':>36} {'metadata x':>11} {'meta+data x':>12}")
+    for name, _, meta, total in rows:
+        print(f"{name:>36} {meta:11.2f} {total:12.2f}")
+
+    totals = np.array([r[3] for r in rows])
+    square = np.array([r[3] for r in rows if r[1] != "tall_skinny"])
+    print(f"\nmean total overhead (non-tall): {square.mean():.2f}x "
+          f"(paper: 1.3-1.4x), max {totals.max():.2f}x (paper: ~2x)")
+
+    # Shape: the paper's band.
+    assert 1.05 < square.mean() < 1.8
+    assert totals.max() < 2.6
+    # Tall-skinny matrices are the paper's exception: lowest overheads.
+    tall = [r[3] for r in rows if r[1] == "tall_skinny"]
+    if tall:
+        assert min(tall) < square.mean()
+
+    # Ablation: narrower tiles cost more metadata.
+    spec = specs[0]
+    overheads = {w: ratio(spec, w)[1] for w in (16, 32, 64, 128)}
+    print("\nTile-width ablation (meta+data overhead):")
+    for w, t in overheads.items():
+        print(f"  width {w:4d}: {t:.2f}x")
+    widths = sorted(overheads)
+    assert all(
+        overheads[a] >= overheads[b] - 1e-9
+        for a, b in zip(widths, widths[1:])
+    )

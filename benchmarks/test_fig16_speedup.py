@@ -1,0 +1,106 @@
+"""Fig. 16 — Speedup over cuSPARSE vs. SSF (the headline result).
+
+Paper numbers on GV100 over ~3,500 SuiteSparse matrices:
+
+* SSF-routed hybrid (CSR/DCSR below SSF_th, online tiled DCSR above):
+  **2.26x** geometric-mean speedup, ~95 % of matrices improved;
+* oracle (perfect classification): 2.30x;
+* blind all-tiling (always online tiled DCSR): 1.63x;
+* offline tiled DCSR + offline DCSR with the same SSF: 2.03x
+  (optimistic — conversion cost not charged).
+
+This bench regenerates every series from the corpus sweep and asserts the
+*ordering and regions*: online tiling wins at high SSF, C-stationary at
+low SSF, hybrid ≥ each arm, offline ≤ online (it pays the Fig. 9 storage
+tax in DRAM traffic), oracle ≥ hybrid.  Absolute magnitudes are attenuated
+at the reduced matrix scale (documented in EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from repro.analysis import learn_threshold
+from repro.util import geometric_mean
+
+from .conftest import print_header
+
+
+def test_fig16_speedup_series(corpus_sweep, benchmark):
+    recs = corpus_sweep
+    benchmark(lambda: geometric_mean([r.speedup("c_stationary_best") for r in recs]))
+
+    ssf_values = np.array([r.ssf for r in recs])
+    ratios = np.array([r.t_ratio_c_over_b for r in recs])
+    fit = learn_threshold(ssf_values, ratios)
+
+    hybrid, oracle = [], []
+    for r in recs:
+        arm = (
+            "online_tiled_dcsr"
+            if r.ssf > fit.threshold
+            else "c_stationary_best"
+        )
+        hybrid.append(r.speedup(arm))
+        oracle.append(
+            max(r.speedup("online_tiled_dcsr"), r.speedup("c_stationary_best"))
+        )
+    hybrid = np.array(hybrid)
+    oracle = np.array(oracle)
+    blind = np.array([r.speedup("online_tiled_dcsr") for r in recs])
+    # Same SSF routing, but the high-SSF arm pays the offline tiled-DCSR
+    # DRAM footprint (the paper's 2.03x series, conversion cost uncharged).
+    offline = np.array(
+        [
+            r.speedup("offline_tiled_dcsr")
+            if r.ssf > fit.threshold
+            else r.speedup("c_stationary_best")
+            for r in recs
+        ]
+    )
+    c_best = np.array([r.speedup("c_stationary_best") for r in recs])
+
+    print_header("Fig. 16 — Speedup over the cuSPARSE stand-in vs. SSF")
+    print(f"{'matrix':>36} {'SSF':>10} {'c_best':>7} {'online':>7} "
+          f"{'hybrid':>7}")
+    for r, h in sorted(zip(recs, hybrid), key=lambda t: t[0].ssf):
+        print(f"{r.name:>36} {r.ssf:10.3g} "
+              f"{r.speedup('c_stationary_best'):7.2f} "
+              f"{r.speedup('online_tiled_dcsr'):7.2f} {h:7.2f}")
+
+    rows = [
+        ("hybrid (SSF-routed, online)", geometric_mean(hybrid), 2.26),
+        ("oracle (perfect routing)", geometric_mean(oracle), 2.30),
+        ("blind all-tiling (online)", geometric_mean(blind), 1.63),
+        ("offline tiled + SSF", geometric_mean(offline), 2.03),
+        ("C-stationary best only", geometric_mean(c_best), None),
+    ]
+    print(f"\n{'series':>30} {'measured':>9} {'paper':>7}")
+    for name, got, paper in rows:
+        p = f"{paper:.2f}" if paper else "  -  "
+        print(f"{name:>30} {got:9.2f} {p:>7}")
+    improved = float(np.mean(hybrid >= 0.999))
+    print(f"\nmatrices not slowed by the hybrid: {improved:.0%} (paper ~95%)")
+
+    g = {name: got for name, got, _ in rows}
+
+    # --- shape assertions -------------------------------------------------
+    # 1. The hybrid never loses to either of its arms on aggregate.
+    assert g["hybrid (SSF-routed, online)"] >= g["blind all-tiling (online)"]
+    assert g["hybrid (SSF-routed, online)"] >= g["C-stationary best only"]
+    # 2. Oracle bounds hybrid from above, tightly (paper: 2.26 vs 2.30).
+    assert g["oracle (perfect routing)"] >= g["hybrid (SSF-routed, online)"]
+    assert (
+        g["oracle (perfect routing)"]
+        < g["hybrid (SSF-routed, online)"] * 1.15
+    )
+    # 3. Online beats offline tiling (it skips the Fig. 9 DRAM tax).
+    assert g["hybrid (SSF-routed, online)"] >= g["offline tiled + SSF"] - 1e-9
+    # 4. High-SSF region gains, and gains more than the low-SSF region
+    #    gains from tiling (who-wins structure of the scatter).
+    hi = ssf_values > fit.threshold
+    if hi.any() and (~hi).any():
+        assert geometric_mean(blind[hi]) > 1.0
+        assert geometric_mean(blind[hi]) > geometric_mean(blind[~hi])
+    # 5. The large majority of matrices are not hurt.
+    assert improved >= 0.85
+    # 6. There are real wins in the corpus (not a flat 1.0 across).
+    assert hybrid.max() > 1.5

@@ -1,0 +1,90 @@
+"""Fig. 17 — FB-partition load balancing and strip splitting (Section 6.1).
+
+The paper: storing whole strips in single FB partitions makes SMs camp on
+one channel; splitting strips into tile segments across partitions fixes
+the imbalance, and the per-switch handoff metadata (next_fb_ptr +
+col_idx_frontier) is negligible once a partition holds >= 64 non-zero tile
+rows.  Regenerated as the paper did it: synthetic uniform matrices plus
+corpus samples, sweeping the split granularity x.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.engine import (
+    fb_switch_overhead,
+    placement_loads,
+    service_time_s,
+    sweep_segment_sizes,
+)
+from repro.formats import CSCMatrix, TiledDCSR
+from repro.gpu import GV100
+from repro.matrices import corpus, uniform_random
+
+from .conftest import print_header
+
+#: few-partition configuration makes camping visible at bench scale.
+SMALL_GPU = dataclasses.replace(GV100, mem_channels=8)
+
+
+def _tiled(m):
+    return TiledDCSR.from_csc(CSCMatrix.from_coo(m), tile_width=64)
+
+
+def test_fig17_split_granularity_sweep(benchmark):
+    # Tall uniform matrix: many tiles per strip, few strips -> worst case
+    # for the naive layout (the paper's synthetic setup).
+    m = uniform_random(16384, 640, 5e-3, seed=17)
+    tiled = _tiled(m)
+    benchmark(lambda: placement_loads(tiled, SMALL_GPU, layout="naive"))
+
+    xs = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+    sweep = sweep_segment_sizes(tiled, SMALL_GPU, xs)
+
+    print_header("Fig. 17 — split granularity x vs overhead and balance "
+                 "(synthetic uniform, 10 strips over 8 partitions)")
+    print(f"{'x (nnz tile rows)':>18} {'overhead':>9} {'imbalance':>10} "
+          f"{'service us':>11}")
+    naive = sweep[xs[0]]
+    print(f"{'naive (no split)':>18} {'0.0%':>9} "
+          f"{naive['naive_imbalance']:10.2f} "
+          f"{naive['naive_service_time_s'] * 1e6:11.2f}")
+    for x in xs:
+        row = sweep[x]
+        print(f"{x:18d} {row['overhead_fraction']:9.2%} "
+              f"{row['imbalance']:10.2f} {row['service_time_s'] * 1e6:11.2f}")
+
+    # Shape claims:
+    # 1. Splitting beats the naive layout.
+    assert sweep[4]["service_time_s"] < naive["naive_service_time_s"]
+    assert sweep[4]["imbalance"] < naive["naive_imbalance"]
+    # 2. Overhead decreases monotonically with x and is negligible at 64.
+    ovh = [sweep[x]["overhead_fraction"] for x in xs]
+    assert all(a >= b for a, b in zip(ovh, ovh[1:]))
+    assert sweep[64]["overhead_fraction"] < 0.02  # ~1%: negligible
+    assert sweep[1]["overhead_fraction"] > 5 * sweep[64]["overhead_fraction"]
+
+
+def test_fig17_corpus_samples(benchmark):
+    """The paper also uses randomly selected collection matrices."""
+    rng = np.random.default_rng(17)
+    specs = corpus(scale=1.0, include_tall=True)
+    picks = rng.choice(len(specs), size=6, replace=False)
+    benchmark(lambda: fb_switch_overhead(_tiled(specs[0].build()), 64))
+
+    print_header("Fig. 17 — corpus samples: overhead at x = 64 vs x = 1")
+    print(f"{'matrix':>36} {'x=1':>8} {'x=64':>8}")
+    ok = 0
+    for i in picks:
+        m = specs[int(i)].build()
+        if m.nnz == 0:
+            continue
+        tiled = _tiled(m)
+        o1 = fb_switch_overhead(tiled, 1)
+        o64 = fb_switch_overhead(tiled, 64)
+        print(f"{specs[int(i)].name:>36} {o1:8.2%} {o64:8.2%}")
+        assert o64 <= o1
+        if o64 < 0.02:
+            ok += 1
+    assert ok >= 1  # at x=64 the overhead is negligible across samples

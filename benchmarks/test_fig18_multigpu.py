@@ -1,0 +1,102 @@
+"""Fig. 18 / Section 6.2 — Large-scale SpMM in a multi-GPU system.
+
+Regenerates the out-of-core configuration the paper sketches: A replicated
+in its compact format, B/C split into per-GPU vertical strips, strip
+chunks streamed and overlapped with compute.  Reports the GPU-count
+scaling, the overlap efficiency, and the compact-A (CSC) vs offline
+tiled-DCSR streaming comparison.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.multigpu import (
+    compare_a_formats,
+    partition_coverage,
+    plan_multi_gpu,
+    stream_strip,
+)
+
+from .conftest import print_header
+
+N = 2_000_000
+DENSITY = 5e-5
+A_CSC = 8 * DENSITY * N * N + 4 * (N + 1)
+A_TILED = 1.4 * A_CSC  # Fig. 9's typical tiling overhead
+COMPUTE_RATE = 400e9  # effective simulated kernel byte rate
+
+
+def test_fig18_gpu_scaling(benchmark):
+    benchmark(
+        lambda: plan_multi_gpu(N, N, A_CSC, n_gpus=16, gpu_memory_gb=16.0)
+    )
+    print_header(f"Fig. 18 — multi-GPU scaling, {N:,}^2 problem "
+                 f"(dense B+C = {2 * 4 * N * N / 1024**4:.1f} TB)")
+    print(f"{'GPUs':>5} {'strip TB':>9} {'chunks':>7} {'time/GPU s':>11} "
+          f"{'scaled eff':>11}")
+    base_time = None
+    for n_gpus in (2, 4, 8, 16, 32):
+        plan = plan_multi_gpu(N, N, A_CSC, n_gpus=n_gpus, gpu_memory_gb=16.0)
+        assert partition_coverage(plan)
+        compute_s = 2.5 * plan.b_strip_bytes / COMPUTE_RATE
+        est = stream_strip(
+            plan, compute_time_full_strip_s=compute_s, link_bandwidth_gbps=64
+        )
+        if base_time is None:
+            base_time = est.total_s * n_gpus
+        eff = base_time / (est.total_s * n_gpus)
+        print(f"{n_gpus:5d} {plan.b_strip_bytes / 1024**4:9.2f} "
+              f"{est.n_chunks:7d} {est.total_s:11.1f} {eff:11.2f}")
+        # Scaling shape: per-GPU time drops as strips shrink; efficiency
+        # stays within 2x of linear.
+        assert 0.5 < eff <= 1.2
+
+
+def test_fig18_overlap(benchmark):
+    plan = plan_multi_gpu(N, N, A_CSC, n_gpus=16, gpu_memory_gb=16.0)
+    compute_s = 2.5 * plan.b_strip_bytes / COMPUTE_RATE
+    est = benchmark(
+        lambda: stream_strip(
+            plan, compute_time_full_strip_s=compute_s, link_bandwidth_gbps=64
+        )
+    )
+    print_header("Fig. 18 — compute/transfer overlap at 16 GPUs")
+    print(f"chunks: {est.n_chunks}; chunk {est.chunk_bytes / 1024**3:.2f} GiB")
+    print(f"per-chunk: transfer {est.t_transfer_per_chunk_s * 1e3:.1f} ms, "
+          f"compute {est.t_compute_per_chunk_s * 1e3:.1f} ms")
+    print(f"overlap efficiency: {est.overlap_efficiency:.2f}x over serial")
+    assert est.overlap_efficiency > 1.2
+
+
+def test_fig18_format_comparison(benchmark):
+    """Section 6.2: compact CSC leaves more streaming room than offline
+    tiled DCSR — and keeps denser problems feasible at all."""
+    plan_csc = plan_multi_gpu(N, N, A_CSC, n_gpus=16, gpu_memory_gb=16.0)
+    plan_tiled = plan_multi_gpu(N, N, A_TILED, n_gpus=16, gpu_memory_gb=16.0)
+    compute_s = 2.5 * plan_csc.b_strip_bytes / COMPUTE_RATE
+    cmp = benchmark(
+        lambda: compare_a_formats(
+            plan_csc,
+            plan_tiled,
+            compute_time_full_strip_s=compute_s,
+            link_bandwidth_gbps=64,
+        )
+    )
+    print_header("Fig. 18 — resident-A format vs streaming")
+    print(f"CSC A: {plan_csc.a_bytes / 1024**3:.2f} GiB -> "
+          f"{cmp['csc'].n_chunks} chunks, {cmp['csc'].total_s:.1f} s")
+    print(f"tiled A: {plan_tiled.a_bytes / 1024**3:.2f} GiB -> "
+          f"{cmp['tiled'].n_chunks} chunks, {cmp['tiled'].total_s:.1f} s")
+    print(f"compact-A advantage: {cmp['time_ratio']:.3f}x; chunks "
+          f"{cmp['chunk_ratio']:.2f}x larger")
+    assert cmp["chunk_ratio"] >= 1.0
+    assert cmp["time_ratio"] >= 1.0
+
+    # Denser problem: tiled-DCSR A stops fitting entirely.
+    d2 = 4e-4
+    csc2 = 8 * d2 * N * N + 4 * (N + 1)
+    plan2 = plan_multi_gpu(N, N, csc2, n_gpus=16, gpu_memory_gb=16.0)
+    assert plan2.a_bytes < plan2.gpu_memory_bytes
+    with pytest.raises(ConfigError, match="exceeds"):
+        plan_multi_gpu(N, N, 1.4 * csc2, n_gpus=16, gpu_memory_gb=16.0)
+    print("denser problem (d=4e-4): CSC fits, 1.4x tiled DCSR does not.")

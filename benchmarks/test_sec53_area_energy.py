@@ -1,0 +1,140 @@
+"""Section 5.3 — Area, energy and throughput of the conversion engine.
+
+Regenerates every number the paper reports:
+
+* pipeline cycle 0.339 ns vs channel budgets 0.588 / 0.882 ns;
+* prefetch buffer 256 B/column, 16 KiB/engine, hiding 18.8 ns;
+* 0.077 mm^2/unit; 4.9 mm^2 = 0.6 % of GV100; 1.85 mm^2 = 0.65 % of TU116;
+* 6.29 pJ / 7.09 pJ per worst-case row; 0.68 W / 0.51 W; 0.27 % of TDP,
+  2.96 % of idle;
+* conversion time hides under the SpMM kernel time.
+"""
+
+import pytest
+
+from repro.engine import (
+    conversion_hidden,
+    pipeline_report,
+    simulate_drain,
+    size_prefetch_buffer,
+)
+from repro.formats import CSCMatrix
+from repro.gpu import GV100, TU116, time_kernel
+from repro.hw import chip_overhead, engine_area, engine_power
+from repro.kernels import b_stationary_spmm, random_dense_operand
+from repro.matrices import block_diagonal, clustered
+
+from .conftest import print_header
+
+
+def test_sec53_throughput_and_buffer(benchmark):
+    benchmark(lambda: pipeline_report(GV100))
+    rep = pipeline_report(GV100)
+    spec = size_prefetch_buffer(GV100)
+    drain = simulate_drain(spec, n_cycles=5000)
+
+    print_header("Section 5.3 — Engine throughput and prefetch buffer")
+    print(f"{'quantity':>34} {'paper':>10} {'measured':>10}")
+    print(f"{'worst pipeline stage (ns)':>34} {'0.339':>10} "
+          f"{rep.cycle_time_ns:10.3f}")
+    print(f"{'FP32 cycle budget (ns)':>34} {'0.588':>10} "
+          f"{rep.fp32_budget_ns:10.3f}")
+    print(f"{'FP64 cycle budget (ns)':>34} {'0.882':>10} "
+          f"{rep.fp64_budget_ns:10.3f}")
+    print(f"{'buffer per column (B)':>34} {'256':>10} "
+          f"{spec.bytes_per_column:10d}")
+    print(f"{'buffer per engine (KiB)':>34} {'16':>10} "
+          f"{spec.total_bytes // 1024:10d}")
+    print(f"{'latency hidden (ns)':>34} {'18.8':>10} "
+          f"{spec.entries_per_column * spec.cycle_time_ns:10.1f}")
+    print(f"{'worst-case drain underruns':>34} {'0':>10} "
+          f"{drain['underruns']:10d}")
+
+    assert rep.meets_fp32 and rep.meets_fp64
+    assert spec.bytes_per_column == 256
+    assert spec.total_bytes == 16 * 1024
+    assert drain["underruns"] == 0
+
+
+def test_sec53_area_energy(benchmark):
+    benchmark(lambda: chip_overhead(GV100))
+    unit = engine_area()
+    gv = chip_overhead(GV100)
+    tu = chip_overhead(TU116)
+    p32 = engine_power(GV100, precision="fp32")
+    p64 = engine_power(GV100, precision="fp64")
+
+    print_header("Section 5.3 — Area and energy")
+    print(f"{'quantity':>34} {'paper':>10} {'measured':>10}")
+    print(f"{'area per unit (mm^2)':>34} {'0.077':>10} {unit.total_mm2:10.3f}")
+    print(f"{'GV100 total (mm^2)':>34} {'4.9':>10} {gv.total_mm2:10.2f}")
+    print(f"{'GV100 fraction':>34} {'0.6%':>10} {gv.fraction:10.2%}")
+    print(f"{'TU116 total (mm^2)':>34} {'1.85':>10} {tu.total_mm2:10.2f}")
+    print(f"{'TU116 fraction':>34} {'0.65%':>10} {tu.fraction:10.2%}")
+    print(f"{'FP32 power (W)':>34} {'0.68':>10} {p32.total_w:10.2f}")
+    print(f"{'FP64 power (W)':>34} {'0.51':>10} {p64.total_w:10.2f}")
+    print(f"{'TDP fraction':>34} {'0.27%':>10} {p32.tdp_fraction:10.2%}")
+    print(f"{'idle fraction':>34} {'2.96%':>10} {p32.idle_fraction:10.2%}")
+
+    assert unit.total_mm2 == pytest.approx(0.077, rel=0.02)
+    assert gv.total_mm2 == pytest.approx(4.9, rel=0.03)
+    assert gv.fraction == pytest.approx(0.006, rel=0.05)
+    assert tu.fraction == pytest.approx(0.0065, rel=0.05)
+    assert p32.total_w == pytest.approx(0.68, abs=0.01)
+    assert p64.total_w == pytest.approx(0.51, abs=0.01)
+
+
+def test_sec53_system_energy(benchmark):
+    """'Our average speedup more than amortizes for the added power and
+    energy' — quantified: whole-kernel energy and EDP, baseline vs the
+    online proposal, with the engine's share itemized."""
+    from repro.kernels import run_all_variants
+    from repro.hw import compare_energy
+
+    m = block_diagonal(2048, 2048, 0.02, block_size=64, seed=11)
+    b = random_dense_operand(2048, 1024, seed=1)
+    variants = run_all_variants(m, b, GV100)
+    base = variants["baseline_csr"]
+    cand = variants["online_tiled_dcsr"]
+    cmp = benchmark(
+        lambda: compare_energy(
+            base.result, base.timing, cand.result, cand.timing, GV100
+        )
+    )
+    print_header("Section 5.3 — system energy, baseline vs online proposal")
+    print(f"{'component':>10} {'baseline uJ':>12} {'online uJ':>10}")
+    for comp in ("dram_j", "sm_j", "static_j", "engine_j", "xbar_j"):
+        print(f"{comp[:-2]:>10} {getattr(cmp.baseline, comp) * 1e6:12.2f} "
+              f"{getattr(cmp.candidate, comp) * 1e6:10.2f}")
+    print(f"{'total':>10} {cmp.baseline.total_j * 1e6:12.2f} "
+          f"{cmp.candidate.total_j * 1e6:10.2f}")
+    print(f"energy ratio: {cmp.energy_ratio:.2f}x; "
+          f"EDP ratio: {cmp.edp_ratio:.2f}x; "
+          f"engine share of proposal energy: {cmp.engine_share:.2%}")
+    assert cmp.energy_ratio > 1.0
+    assert cmp.edp_ratio > 1.5
+    assert cmp.engine_share < 0.02
+
+
+def test_sec53_conversion_hidden_under_kernel(benchmark):
+    """'The processing time of the engine is smaller than the kernel
+    processing time of each SM, thus it can mostly be hidden.'"""
+    from repro.engine import convert_matrix_online
+    from repro.formats import to_format
+
+    m = clustered(2048, 2048, 0.02, n_clusters=40, cluster_fill=0.6, seed=9)
+    csc = CSCMatrix.from_coo(m)
+    b = random_dense_operand(2048, 1024, seed=1)
+
+    online = benchmark(lambda: convert_matrix_online(csc, config=GV100))
+    result = b_stationary_spmm(
+        to_format(m, "tiled_dcsr"), b, GV100, a_stream_bytes=online.dram_bytes
+    )
+    kernel_t = time_kernel(result, GV100).total_s
+    conv_t = online.conversion_time_s()
+
+    print_header("Section 5.3 — Conversion time vs kernel time")
+    print(f"engine conversion (parallel engines): {conv_t * 1e6:9.2f} us")
+    print(f"SpMM kernel:                          {kernel_t * 1e6:9.2f} us")
+    print(f"hidden: {conversion_hidden(conv_t, kernel_t)}")
+    assert conversion_hidden(conv_t, kernel_t)

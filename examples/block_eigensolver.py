@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Blocked eigensolver on the simulated SpMM system (HPC workload).
+
+The paper's first motivating application class is "blocked eigen solvers":
+subspace iteration multiplies a sparse operator by a dense block of
+iterate vectors every step — pure SpMM.  This example builds a symmetric
+graph Laplacian-like operator, extracts its leading eigenpairs with
+:func:`repro.apps.block_eigensolver`, cross-checks against numpy, and
+shows how much simulated GPU time the SpMM steps consumed and which
+algorithm the SSF routed them to.
+
+Run:  python examples/block_eigensolver.py [--n 1024] [--k 4]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.apps import block_eigensolver
+from repro.formats import COOMatrix
+from repro.matrices import banded
+
+
+def symmetric_operator(n: int, seed: int) -> COOMatrix:
+    """A symmetric banded operator (FEM-like sparsity)."""
+    m = banded(n, n, 8e-3, bandwidth=max(8, n // 64), seed=seed)
+    rows, cols, vals = m.to_coo_arrays()
+    return COOMatrix(
+        m.shape,
+        np.concatenate([rows, cols]),
+        np.concatenate([cols, rows]),
+        np.concatenate([vals, vals]),
+    ).deduplicate()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1024)
+    parser.add_argument("--k", type=int, default=4, help="eigenpairs")
+    parser.add_argument("--seed", type=int, default=23)
+    args = parser.parse_args()
+
+    op = symmetric_operator(args.n, args.seed)
+    print(f"Operator: {op.n_rows}x{op.n_cols}, nnz={op.nnz} "
+          f"(symmetric banded)")
+
+    res = block_eigensolver(op, args.k, max_iters=150, tol=1e-8,
+                            seed=args.seed)
+    print(f"\nConverged: {res.converged} in {res.iterations} iterations")
+    print(f"Leading |eigenvalues|: "
+          f"{np.round(np.abs(res.eigenvalues[: args.k]), 4).tolist()}")
+    print(f"Leading-pair residual: {res.residual:.2e}")
+
+    # Cross-check against a dense eigensolver.
+    dense_vals = np.linalg.eigvalsh(op.to_dense().astype(np.float64))
+    top = np.sort(np.abs(dense_vals))[::-1][: args.k]
+    print(f"numpy reference:       {np.round(top, 4).tolist()}")
+    err = abs(abs(res.eigenvalues[0]) - top[0]) / top[0]
+    print(f"leading eigenvalue error: {err:.2%}")
+
+    from collections import Counter
+
+    algos = Counter(res.algorithms_used)
+    print(f"\nSimulated GPU time in SpMM: {res.simulated_time_s * 1e3:.2f} ms "
+          f"over {len(res.algorithms_used)} multiplies")
+    print(f"Algorithms chosen by the SSF: {dict(algos)}")
+
+
+if __name__ == "__main__":
+    main()

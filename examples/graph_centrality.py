@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Graph-analytics workload: batched personalized PageRank via SpMM.
+
+The paper's introduction motivates SpMM with graph analytics — centrality
+computations multiply a sparse adjacency matrix by a block of dense
+vectors [28].  This example builds a scale-free graph (networkx), runs a
+few power iterations of personalized PageRank for a *batch* of seed
+vertices (each batch column is one personalization), and shows how the
+adjacency matrix's skew drives the system's algorithm choice and speedup.
+
+Run:  python examples/graph_centrality.py [--nodes 2048] [--batch 256]
+"""
+
+import argparse
+
+import networkx as nx
+import numpy as np
+
+from repro import analysis, gpu, kernels
+from repro.formats import COOMatrix, to_format
+
+
+def adjacency_from_graph(g: nx.Graph) -> COOMatrix:
+    """Column-stochastic adjacency (out-degree normalized) as COO."""
+    n = g.number_of_nodes()
+    rows, cols, vals = [], [], []
+    degree = dict(g.degree())
+    for u, v in g.edges():
+        # undirected edge -> both directions, normalized by source degree
+        rows.append(v)
+        cols.append(u)
+        vals.append(1.0 / max(degree[u], 1))
+        rows.append(u)
+        cols.append(v)
+        vals.append(1.0 / max(degree[v], 1))
+    return COOMatrix((n, n), rows, cols, np.asarray(vals, dtype=np.float32))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=2048)
+    parser.add_argument("--batch", type=int, default=256,
+                        help="number of personalization vectors")
+    parser.add_argument("--iters", type=int, default=5)
+    parser.add_argument("--alpha", type=float, default=0.85)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print(f"Building a Barabasi-Albert graph: {args.nodes} nodes")
+    g = nx.barabasi_albert_graph(args.nodes, 8, seed=args.seed)
+    adj = adjacency_from_graph(g)
+    print(f"  adjacency nnz = {adj.nnz}, density = {adj.density:.4f}")
+    print(f"  SSF = {analysis.ssf(adj):.4g}")
+
+    # Personalization block: one one-hot seed per column.
+    rng = np.random.default_rng(args.seed)
+    seeds = rng.choice(args.nodes, size=args.batch, replace=False)
+    x = np.zeros((args.nodes, args.batch), dtype=np.float32)
+    x[seeds, np.arange(args.batch)] = 1.0
+    restart = x.copy()
+
+    total_time = 0.0
+    chosen = None
+    for it in range(args.iters):
+        run = kernels.hybrid_spmm(adj, x, gpu.GV100)
+        x = args.alpha * np.asarray(run.result.output, dtype=np.float32)
+        x += (1 - args.alpha) * restart
+        total_time += run.time_s
+        chosen = run.name
+        print(f"  iter {it}: {run.name:18s} {run.time_s * 1e6:9.1f} us  "
+              f"mass={x.sum() / args.batch:.4f}")
+
+    # Compare the last iteration against the baseline kernel.
+    baseline = kernels.csr_spmm(to_format(adj, "csr"), x, gpu.GV100)
+    bt = gpu.time_kernel(baseline, gpu.GV100)
+    print(f"\nChosen algorithm: {chosen}")
+    print(f"Simulated time, {args.iters} iterations: {total_time * 1e3:.2f} ms")
+    print(f"Per-iteration speedup vs CSR baseline: "
+          f"{bt.total_s / (total_time / args.iters):.2f}x")
+
+    top = np.argsort(-x[:, 0])[:5]
+    print(f"Top-5 vertices for seed {seeds[0]}: {top.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

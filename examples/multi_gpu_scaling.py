@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Out-of-core, multi-GPU SpMM planning (Section 6.2, Fig. 18).
+
+Plans the paper's extreme case — a 2M x 2M problem whose dense operands
+total ~17 TB — across a GPU count sweep: A (compact CSC) is replicated,
+B/C split into vertical strips, and each GPU streams its strip in chunks
+overlapped with compute.  Also quantifies Section 6.2's format argument:
+a fat offline tiled-DCSR A squeezes the streaming buffers and slows the
+whole pipeline relative to CSC.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+from repro.multigpu import compare_a_formats, plan_multi_gpu, stream_strip
+
+
+def main() -> None:
+    n = 2_000_000
+    density = 5e-5
+    nnz = density * n * n
+    a_csc_bytes = 8 * nnz + 4 * (n + 1)  # CSC at FP32
+    a_tiled_bytes = 1.4 * a_csc_bytes  # Fig. 9's typical overhead
+
+    dense_tb = 2 * 4 * n * n / 1024**4
+    print(f"Problem: {n:,} x {n:,}, d={density:g} (nnz={nnz:,.0f})")
+    print(f"  dense B+C: {dense_tb:.1f} TB — cannot fit any GPU")
+    print(f"  sparse A (CSC): {a_csc_bytes / 1024**3:.2f} GiB, replicated\n")
+
+    # Assume each GPU computes its strip at an effective 400 GB/s of A+B+C
+    # movement (the simulated kernel rate for high-SSF inputs).
+    print(f"{'GPUs':>5} {'strip TB':>9} {'chunks':>7} {'time/GPU s':>11} "
+          f"{'overlap eff':>12}")
+    for n_gpus in (4, 8, 16, 32, 64):
+        plan = plan_multi_gpu(
+            n, n, a_csc_bytes, n_gpus=n_gpus, gpu_memory_gb=16.0
+        )
+        strip_bytes = plan.b_strip_bytes
+        compute_s = 2.5 * strip_bytes / 400e9  # A re-reads + B in + C out
+        est = stream_strip(
+            plan, compute_time_full_strip_s=compute_s, link_bandwidth_gbps=64
+        )
+        print(f"{n_gpus:5d} {strip_bytes / 1024**4:9.2f} {est.n_chunks:7d} "
+              f"{est.total_s:11.1f} {est.overlap_efficiency:12.2f}")
+
+    # Section 6.2's format argument, at a density where A matters: on a
+    # 16 GB GPU a denser problem's CSC still fits with streaming room to
+    # spare, while the 1.4x offline tiled-DCSR either squeezes the chunk
+    # buffers or stops fitting altogether.
+    from repro.errors import ConfigError
+
+    n2, d2 = 2_000_000, 4e-4
+    nnz2 = d2 * n2 * n2
+    csc2 = 8 * nnz2 + 4 * (n2 + 1)
+    tiled2 = 1.4 * csc2
+    print(f"\nFormat comparison at 16 GPUs, denser problem (d={d2:g}):")
+    plan_csc = plan_multi_gpu(n2, n2, csc2, n_gpus=16, gpu_memory_gb=16)
+    strip_bytes = plan_csc.b_strip_bytes
+    est_csc = stream_strip(
+        plan_csc,
+        compute_time_full_strip_s=2.5 * strip_bytes / 400e9,
+        link_bandwidth_gbps=64,
+    )
+    print(f"  CSC resident A: {plan_csc.a_bytes / 1024**3:6.2f} GiB -> "
+          f"{est_csc.n_chunks} chunks, {est_csc.total_s:.1f} s per GPU")
+    try:
+        plan_tiled = plan_multi_gpu(
+            n2, n2, tiled2, n_gpus=16, gpu_memory_gb=16
+        )
+        cmp = compare_a_formats(
+            plan_csc,
+            plan_tiled,
+            compute_time_full_strip_s=2.5 * strip_bytes / 400e9,
+            link_bandwidth_gbps=64,
+        )
+        print(f"  tiled-DCSR A:   {plan_tiled.a_bytes / 1024**3:6.2f} GiB -> "
+              f"{cmp['tiled'].n_chunks} chunks, {cmp['tiled'].total_s:.1f} s "
+              f"({cmp['time_ratio']:.3f}x slower, chunks "
+              f"{cmp['chunk_ratio']:.1f}x smaller)")
+    except ConfigError as exc:
+        print(f"  tiled-DCSR A:   {tiled2 / 1024**3:6.2f} GiB -> DOES NOT "
+              f"FIT ({exc})")
+        print("  The compact storage format is what makes the out-of-core "
+              "configuration feasible at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Pruned-DNN inference: sparse weight x dense activation batch as SpMM.
+
+The paper's second motivating domain is deep learning: magnitude pruning
+[11, 26] leaves weight matrices 80-98 % sparse, and a batched forward pass
+through such a layer is exactly SpMM (weights sparse, activations dense).
+This example prunes a random MLP layer at several sparsity levels, runs
+the batch through the simulated system, and reports how the algorithm
+choice and speedup move with density — pruned weights are near-uniform, so
+this is the C-stationary/DCSR regime of Fig. 16's left half.
+
+Run:  python examples/pruned_nn.py [--in-features 2048] [--batch 512]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import analysis, gpu, kernels, matrices
+from repro.formats import to_format
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--in-features", type=int, default=2048)
+    parser.add_argument("--out-features", type=int, default=2048)
+    parser.add_argument("--batch", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    activations = rng.standard_normal(
+        (args.in_features, args.batch)
+    ).astype(np.float32)
+
+    print(f"Layer {args.out_features}x{args.in_features}, batch {args.batch}")
+    print(f"{'density':>8} {'kept %':>7} {'ssf':>10} {'algorithm':>20} "
+          f"{'time us':>9} {'vs csr':>7}")
+    for density in (0.2, 0.1, 0.05, 0.02, 0.01):
+        weights = matrices.pruned_dnn_layer(
+            args.out_features, args.in_features, density, seed=args.seed
+        )
+        run = kernels.hybrid_spmm(weights, activations, gpu.GV100)
+        out = relu(np.asarray(run.result.output))
+        baseline = kernels.csr_spmm(
+            to_format(weights, "csr"), activations, gpu.GV100
+        )
+        bt = gpu.time_kernel(baseline, gpu.GV100)
+        expected = relu(kernels.scipy_spmm(weights, activations))
+        assert np.allclose(out, expected, rtol=1e-4, atol=1e-3)
+        print(f"{density:8.2f} {100 * density:6.1f}% "
+              f"{analysis.ssf(weights):10.3g} {run.name:>20} "
+              f"{run.time_s * 1e6:9.1f} {bt.total_s / run.time_s:6.2f}x")
+
+    print("\nThe SSF tracks density for these near-uniform layers: lightly\n"
+          "pruned weights (d >= ~5%) cross the threshold and profit from\n"
+          "online tiled DCSR, while aggressively pruned layers fall in\n"
+          "Fig. 16's low-SSF region where untiled CSR/DCSR wins and blind\n"
+          "tiling would lose.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The sandboxed environment ships setuptools 65.5 without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot build
+the editable wheel offline.  ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on newer toolchains) installs the
+package via the classic egg-link path instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

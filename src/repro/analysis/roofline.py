@@ -1,0 +1,91 @@
+"""Section 2's bytes-per-FLOP model: why SpMM is memory-bandwidth bound.
+
+The paper counts, for an ``N×N`` sparse A at density ``d`` multiplied by an
+``N×N`` dense B:
+
+* CSR bytes: ``8·nnz + 4·(N+1)`` (FP32 values + col_idx, plus row_ptr);
+* dense traffic: accesses to B and the output C;
+* FLOPs: ``2 · nnz · N`` (a multiply and an add per nonzero per column).
+
+We expose the model with an explicit reuse assumption, because the dense
+term dominates and its value depends on it:
+
+* ``reuse='perfect'`` — B and C each move once (``8·N·K`` bytes): the
+  paper's printed formula;
+* ``reuse='none'`` — every access goes to DRAM (``12`` bytes per
+  nonzero-column pair: read B, read+write C): the compulsory upper bound.
+
+Real kernels land between the two; either way the intensity sits far below
+a GPU's machine balance, which is the claim that matters (Fig. 2 measures
+75 % memory stalls).  The paper quotes 5.1 bytes/FLOP for ``N=20k``,
+``d=0.1%`` — that sits inside our [perfect, none] band (the printed
+perfect-reuse formula alone evaluates to 0.2; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Arithmetic-intensity summary of one SpMM instance."""
+
+    sparse_bytes: float
+    dense_bytes: float
+    flops: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.sparse_bytes + self.dense_bytes
+
+    @property
+    def bytes_per_flop(self) -> float:
+        return self.total_bytes / self.flops if self.flops else float("inf")
+
+
+def spmm_roofline(
+    n: int,
+    density: float,
+    *,
+    dense_cols: int | None = None,
+    reuse: str = "perfect",
+    value_bytes: int = 4,
+) -> RooflinePoint:
+    """Bytes/FLOP of an ``n×n`` SpMM against an ``n×K`` dense operand."""
+    if not 0.0 <= density <= 1.0:
+        raise ConfigError(f"density must be in [0,1], got {density}")
+    if n <= 0:
+        raise ConfigError(f"n must be positive, got {n}")
+    k = dense_cols if dense_cols is not None else n
+    nnz = density * n * n
+    sparse = (value_bytes + 4) * nnz + 4 * (n + 1)
+    if reuse == "perfect":
+        dense = 2 * value_bytes * n * k  # B once + C once
+    elif reuse == "none":
+        # Per (nonzero, column) pair: read B, read C, write C.
+        dense = 3 * value_bytes * nnz * k
+    else:
+        raise ConfigError(f"reuse must be 'perfect' or 'none', got {reuse!r}")
+    flops = 2.0 * nnz * k
+    return RooflinePoint(sparse_bytes=sparse, dense_bytes=dense, flops=flops)
+
+
+def machine_balance(peak_bandwidth_gbps: float, peak_gflops: float) -> float:
+    """Bytes/FLOP a machine can feed at peak (GV100: 870/15700 ≈ 0.055)."""
+    if peak_gflops <= 0 or peak_bandwidth_gbps <= 0:
+        raise ConfigError("peaks must be positive")
+    return peak_bandwidth_gbps / peak_gflops
+
+
+def is_memory_bound(
+    point: RooflinePoint, peak_bandwidth_gbps: float, peak_gflops: float
+) -> bool:
+    """True when the kernel's intensity exceeds the machine balance —
+    i.e. DRAM cannot keep the FLOP units fed and the kernel stalls on
+    memory (the Fig. 2 regime)."""
+    return point.bytes_per_flop > machine_balance(
+        peak_bandwidth_gbps, peak_gflops
+    )

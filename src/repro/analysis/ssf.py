@@ -1,0 +1,145 @@
+"""Sparsity Skewness Function (Eq. 2) and its entropy ingredient (Eq. 1).
+
+The SSF is the paper's one-number heuristic for choosing between
+C-stationary (untiled CSR/DCSR) and B-stationary (online tiled DCSR):
+
+.. math::
+
+   H_{norm} = -\\sum_{t \\in A.tiles}\\sum_{r \\in t.rows}
+       \\frac{r.nnz}{A.nnz}\\log\\frac{r.nnz}{A.nnz}
+       \\cdot \\frac{1}{\\log A.nnz}
+
+   SSF = \\frac{n_{nnzrow}/n}{\\mathrm{mean}(n_{nnzrow_{strip}}/n)}
+         \\cdot A.nnz \\cdot (1 - H_{norm})
+
+Intuition (Section 3.1.4): a large SSF means B-stationary should win —
+many non-empty rows overall but few per strip (cheap atomics), lots of
+nonzeros (B-tile reuse pays), and low entropy (clustered tiles).
+
+``learn_threshold`` reproduces the paper's learned ``SSF_th``: given the
+profiled (SSF, t_C/t_B) scatter of Fig. 4, it picks the vertical split that
+maximizes classification accuracy (the paper reports >93 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..matrices.stats import (
+    matrix_stats,
+    nonzero_rows_per_strip,
+    row_segment_nnz,
+)
+
+
+def normalized_entropy(matrix, tile_width: int = 64) -> float:
+    """Eq. 1: Shannon entropy of row-segment nnz over Hartley entropy.
+
+    Returns a value in [0, 1]: 1 when every row segment holds exactly one
+    nonzero (maximal scatter), approaching 0 when a single segment holds
+    everything.  Degenerate matrices (nnz <= 1) return 0.
+    """
+    seg = row_segment_nnz(matrix, tile_width).astype(np.float64)
+    total = seg.sum()
+    if total <= 1:
+        return 0.0
+    p = seg / total
+    shannon = -np.sum(p * np.log(p))
+    hartley = np.log(total)
+    return float(shannon / hartley) if hartley > 0 else 0.0
+
+
+def ssf(matrix, tile_width: int = 64) -> float:
+    """Eq. 2: the Sparsity Skewness Function of one matrix.
+
+    Empty matrices return 0 (no basis to prefer tiling).
+    """
+    if matrix.nnz == 0:
+        return 0.0
+    stats = matrix_stats(matrix, tile_width)
+    strips = nonzero_rows_per_strip(matrix, tile_width)
+    mean_strip_frac = strips.mean() / max(stats.n_rows, 1)
+    if mean_strip_frac == 0:
+        return 0.0
+    row_frac = stats.n_nonzero_rows / max(stats.n_rows, 1)
+    h = normalized_entropy(matrix, tile_width)
+    return float(row_frac / mean_strip_frac * matrix.nnz * (1.0 - h))
+
+
+@dataclass(frozen=True)
+class ThresholdFit:
+    """Result of learning ``SSF_th`` from a profiled scatter."""
+
+    threshold: float
+    accuracy: float
+    n_samples: int
+
+    def choose(self, ssf_value: float) -> str:
+        """Classify one matrix: B-stationary above threshold, else C."""
+        return "b_stationary" if ssf_value > self.threshold else "c_stationary"
+
+
+def learn_threshold(ssf_values, time_ratios) -> ThresholdFit:
+    """Fit the vertical split of Fig. 4.
+
+    ``time_ratios`` are ``t_C / t_B`` — above 1 means B-stationary is the
+    faster algorithm for that matrix.  The returned threshold maximizes the
+    fraction of matrices routed to their faster algorithm; ties break toward
+    the larger threshold (prefer the cheaper, untiled C-stationary path).
+    """
+    s = np.asarray(ssf_values, dtype=np.float64)
+    r = np.asarray(time_ratios, dtype=np.float64)
+    if s.size == 0 or s.size != r.size:
+        raise ConfigError(
+            f"need equal, non-empty samples; got {s.size} SSF / {r.size} ratios"
+        )
+    b_better = r > 1.0
+    order = np.argsort(s, kind="stable")
+    s_sorted = s[order]
+    b_sorted = b_better[order]
+    # Candidate thresholds: below everything, between neighbours, above all.
+    n = s.size
+    # correct(th between i-1 and i) = (#C-better among first i) +
+    #                                 (#B-better among the rest)
+    c_prefix = np.concatenate(([0], np.cumsum(~b_sorted)))
+    b_suffix = np.concatenate((np.cumsum(b_sorted[::-1])[::-1], [0]))
+    correct = c_prefix + b_suffix
+    # A split between equal SSF values is not realizable by a threshold:
+    # mask interior candidates to strict value boundaries only.
+    realizable = np.ones(n + 1, dtype=bool)
+    if n > 1:
+        realizable[1:n] = s_sorted[1:] > s_sorted[:-1]
+    scores = np.where(realizable, correct + np.arange(n + 1) * 1e-12, -1.0)
+    best = int(np.argmax(scores))  # tie → larger threshold
+    if best == 0:
+        threshold = float(s_sorted[0]) * 0.5 if s_sorted[0] > 0 else -1.0
+    elif best == n:
+        threshold = float(s_sorted[-1]) * 2.0 + 1.0
+    else:
+        lo, hi = s_sorted[best - 1], s_sorted[best]
+        threshold = float(np.sqrt(lo * hi)) if lo > 0 and hi > 0 else float(
+            (lo + hi) / 2.0
+        )
+    return ThresholdFit(
+        threshold=threshold,
+        accuracy=float(correct[best] / n),
+        n_samples=int(n),
+    )
+
+
+def classification_report(ssf_values, time_ratios, fit: ThresholdFit) -> dict:
+    """Quadrant counts of the Fig. 4 scatter under a fitted threshold."""
+    s = np.asarray(ssf_values, dtype=np.float64)
+    r = np.asarray(time_ratios, dtype=np.float64)
+    chose_b = s > fit.threshold
+    b_better = r > 1.0
+    return {
+        "correct_b": int(np.sum(chose_b & b_better)),
+        "correct_c": int(np.sum(~chose_b & ~b_better)),
+        "missed_b": int(np.sum(~chose_b & b_better)),  # upper-left quadrant
+        "missed_c": int(np.sum(chose_b & ~b_better)),  # lower-right quadrant
+        "accuracy": float(np.mean(chose_b == b_better)),
+    }

@@ -1,0 +1,141 @@
+"""Table 1: analytical compulsory-memory-traffic model for tiled SpMM.
+
+The paper compares the three tiling strategies by the DRAM traffic each one
+*must* generate, ignoring cache reuse:
+
+=============  =========================  ===================  =============================
+strategy       A (small)                  B (large)            C (large)
+=============  =========================  ===================  =============================
+A-stationary   ``size(A.csr)``            ``A.nnz × n``        ``n_nnzrow_strip × n/k × n × 2``
+B-stationary   ``size(A.csr) × n/k``      ``n_nnzcol × n``     ``n_nnzrow_strip × n/k × n × 2``
+C-stationary   ``size(A.csr) × n/k``      ``A.nnz × n``        ``n_nnzrow × n``
+=============  =========================  ===================  =============================
+
+with ``n × n`` matrices, ``k × k`` tiles, atomics costed at 2× a plain
+access, and — under a uniform distribution —
+``n_nnzrow_strip ≈ (1 − (1−d)^k) · n``.
+
+This module implements the model in *bytes*, generalized to an ``n × K``
+dense operand (the paper sets ``K = n``), and in two flavours:
+
+* :func:`analytic_traffic` — closed-form from a :class:`MatrixStats`
+  profile, exactly Table 1's algebra (used by the SSF discussion and the
+  Table 1 bench);
+* the *measured* counterpart lives in the kernels, which count traffic from
+  the real non-zero structure; tests cross-check the two on uniform inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..matrices.stats import MatrixStats, matrix_stats
+from ..util import MODEL_INDEX_BYTES, MODEL_VALUE_BYTES
+
+#: Strategy names accepted throughout the analysis/kernels layers.
+STRATEGIES = ("a_stationary", "b_stationary", "c_stationary")
+
+#: The paper's atomic-update cost multiplier over a plain access.
+ATOMIC_COST_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Per-operand compulsory traffic (bytes) of one strategy."""
+
+    strategy: str
+    a_bytes: float
+    b_bytes: float
+    c_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.a_bytes + self.b_bytes + self.c_bytes
+
+
+def csr_size_bytes(stats: MatrixStats) -> float:
+    """``size(A.csr)`` = values + col_idx + row_ptr in modelled bytes."""
+    return (
+        stats.nnz * (MODEL_VALUE_BYTES + MODEL_INDEX_BYTES)
+        + (stats.n_rows + 1) * MODEL_INDEX_BYTES
+    )
+
+
+def uniform_nnzrow_strip(n_rows: int, density: float, tile_width: int) -> float:
+    """Expected non-empty rows per ``tile_width``-wide strip, uniform case.
+
+    Table 1's footnote: ``n_nnzrow_strip ≈ (1 − (1−d)^k) · n``.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ConfigError(f"density must be in [0,1], got {density}")
+    return (1.0 - (1.0 - density) ** tile_width) * n_rows
+
+
+def analytic_traffic(
+    stats: MatrixStats,
+    strategy: str,
+    *,
+    dense_cols: int | None = None,
+    tile: int | None = None,
+    value_bytes: int = MODEL_VALUE_BYTES,
+) -> TrafficEstimate:
+    """Evaluate one row of Table 1 for a profiled matrix.
+
+    ``dense_cols`` is ``K``, the width of B and C (paper: ``K = n``);
+    ``tile`` is the square tile edge ``k`` (paper: 64, and also the strip
+    width the profile was taken at).
+    """
+    if strategy not in STRATEGIES:
+        raise ConfigError(f"unknown strategy {strategy!r}; expected {STRATEGIES}")
+    n = stats.n_rows
+    k = tile if tile is not None else stats.tile_width
+    if k <= 0:
+        raise ConfigError(f"tile must be positive, got {k}")
+    K = dense_cols if dense_cols is not None else n
+    n_strips = max(1.0, stats.n_cols / k)
+    a_once = csr_size_bytes(stats)
+
+    # Dense-side traffic in elements, converted to bytes at the end.
+    b_per_nnz = stats.nnz * K  # every nonzero touches a K-wide row of B
+    b_single = stats.n_nonzero_cols * K  # each useful B row fetched once
+    c_single = stats.n_nonzero_rows * K  # each non-empty C row written once
+    c_partial = (
+        stats.mean_nonzero_rows_per_strip * n_strips * K * ATOMIC_COST_FACTOR
+    )
+
+    if strategy == "a_stationary":
+        a, b, c = a_once, b_per_nnz, c_partial
+    elif strategy == "b_stationary":
+        a, b, c = a_once * n_strips, b_single, c_partial
+    else:  # c_stationary
+        a, b, c = a_once * n_strips, b_per_nnz, c_single
+    return TrafficEstimate(
+        strategy=strategy,
+        a_bytes=float(a),
+        b_bytes=float(b * value_bytes),
+        c_bytes=float(c * value_bytes),
+    )
+
+
+def traffic_comparison(
+    matrix, *, dense_cols: int | None = None, tile: int = 64
+) -> dict[str, TrafficEstimate]:
+    """Table 1 for a concrete matrix: all three strategies side by side."""
+    stats = matrix_stats(matrix, tile_width=tile)
+    return {
+        s: analytic_traffic(stats, s, dense_cols=dense_cols, tile=tile)
+        for s in STRATEGIES
+    }
+
+
+def preferred_strategy_analytic(
+    matrix, *, dense_cols: int | None = None, tile: int = 64
+) -> str:
+    """The strategy with the least total compulsory traffic.
+
+    A-stationary is never chosen in practice (Section 3.1.1 rules it out),
+    but the model itself makes that emerge rather than hard-coding it.
+    """
+    table = traffic_comparison(matrix, dense_cols=dense_cols, tile=tile)
+    return min(table.values(), key=lambda t: t.total_bytes).strategy

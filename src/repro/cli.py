@@ -1,0 +1,260 @@
+"""Command-line interface: profile, footprint, and simulate sparse matrices.
+
+Usage (``python -m repro <command> ...``):
+
+``profile``
+    Print sparsity statistics, the SSF, and the algorithm the paper's
+    heuristic would choose for a Matrix Market file or a synthetic matrix.
+``footprint``
+    Compare every format's modelled DRAM footprint for one matrix.
+``simulate``
+    Run all SpMM algorithm variants on the simulated GPU and print the
+    Fig. 16-style speedup row.
+``engine``
+    Report the near-memory engine's Section 5.3 numbers for a GPU preset.
+
+Matrices come either from ``--mtx <file>`` or from a generator spec
+``--generate family:n_rows:n_cols:density[:seed]``, e.g.
+``--generate block_diagonal:2048:2048:0.02:7``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import analysis, gpu, kernels, matrices
+from .errors import ReproError
+from .formats import read_matrix_market, to_format
+from .util import human_bytes
+
+
+def _load_matrix(args):
+    if args.mtx and args.generate:
+        raise ReproError("pass either --mtx or --generate, not both")
+    if args.mtx:
+        return read_matrix_market(args.mtx)
+    if args.generate:
+        parts = args.generate.split(":")
+        if len(parts) not in (4, 5):
+            raise ReproError(
+                "generator spec must be family:n_rows:n_cols:density[:seed]"
+            )
+        family, n_rows, n_cols, density = parts[:4]
+        seed = int(parts[4]) if len(parts) == 5 else 0
+        fn = matrices.GENERATORS.get(family)
+        if fn is None:
+            raise ReproError(
+                f"unknown family {family!r}; available: "
+                f"{sorted(matrices.GENERATORS)}"
+            )
+        return fn(int(n_rows), int(n_cols), float(density), seed=seed)
+    raise ReproError("a matrix is required: --mtx <file> or --generate <spec>")
+
+
+def _add_matrix_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mtx", help="Matrix Market file to read")
+    p.add_argument(
+        "--generate",
+        help="synthetic spec family:n_rows:n_cols:density[:seed]",
+    )
+    p.add_argument(
+        "--tile-width", type=int, default=64, help="vertical strip width"
+    )
+
+
+def cmd_profile(args) -> int:
+    m = _load_matrix(args)
+    stats = matrices.matrix_stats(m, tile_width=args.tile_width)
+    s = analysis.ssf(m, tile_width=args.tile_width)
+    h = analysis.normalized_entropy(m, tile_width=args.tile_width)
+    print(f"shape:                 {m.n_rows} x {m.n_cols}")
+    print(f"nnz:                   {m.nnz} (density {m.density:.3g})")
+    print(f"non-empty rows:        {stats.n_nonzero_rows} "
+          f"({stats.n_nonzero_rows / max(m.n_rows, 1):.1%})")
+    print(f"non-empty cols:        {stats.n_nonzero_cols}")
+    print(f"mean nnz/nonzero row:  {stats.mean_nnz_per_nonzero_row:.2f}")
+    print(f"mean nnz rows/strip:   {stats.mean_nonzero_rows_per_strip:.1f}")
+    print(f"row nnz CV:            {stats.row_nnz_cv:.2f}")
+    print(f"col nnz CV:            {stats.col_nnz_cv:.2f}")
+    print(f"H_norm (Eq. 1):        {h:.4f}")
+    print(f"SSF (Eq. 2):           {s:.6g}")
+    choice = (
+        "B-stationary (online tiled DCSR)"
+        if s > args.ssf_threshold
+        else "C-stationary (untiled CSR/DCSR)"
+    )
+    print(f"heuristic choice:      {choice} "
+          f"(threshold {args.ssf_threshold:g})")
+    return 0
+
+
+def cmd_footprint(args) -> int:
+    m = _load_matrix(args)
+    print(f"{'format':>12} {'metadata':>12} {'values':>12} {'total':>12} "
+          f"{'vs CSR':>7}")
+    csr_total = to_format(m, "csr").footprint_bytes()
+    for fmt in ("coo", "csr", "csc", "dcsr", "dcsc", "ell", "tiled_csr", "tiled_dcsr"):
+        c = to_format(m, fmt)
+        print(f"{fmt:>12} {human_bytes(c.metadata_bytes()):>12} "
+              f"{human_bytes(c.value_bytes()):>12} "
+              f"{human_bytes(c.footprint_bytes()):>12} "
+              f"{c.footprint_bytes() / max(csr_total, 1):6.2f}x")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    m = _load_matrix(args)
+    config = gpu.get_config(args.gpu)
+    k = args.k if args.k else min(m.n_cols, 2048)
+    b = kernels.random_dense_operand(m.n_cols, k, seed=args.seed)
+    variants = kernels.run_all_variants(m, b, config)
+    base = variants["baseline_csr"].time_s
+    print(f"simulated GPU: {config.name}; K = {k}; "
+          f"SSF = {analysis.ssf(m):.4g}")
+    print(f"{'variant':>22} {'time us':>10} {'speedup':>8} "
+          f"{'DRAM MB':>8} {'mem-bound':>9}")
+    for name, run in variants.items():
+        t = run.timing
+        print(f"{name:>22} {run.time_s * 1e6:10.1f} "
+              f"{base / run.time_s:8.2f} "
+              f"{run.result.traffic.total_bytes / 1e6:8.2f} "
+              f"{str(t.memory_bound):>9}")
+    hybrid = kernels.hybrid_spmm(
+        m, b, config, ssf_threshold=args.ssf_threshold
+    )
+    print(f"\nhybrid choice: {hybrid.name} "
+          f"({base / hybrid.time_s:.2f}x over baseline)")
+    if not kernels.verify_against_reference(hybrid, m, b):
+        print("ERROR: numeric verification failed", file=sys.stderr)
+        return 1
+    print("numeric output verified against scipy.")
+    return 0
+
+
+def cmd_engine(args) -> int:
+    from .engine import pipeline_report, size_prefetch_buffer
+    from .hw import chip_overhead, engine_area, engine_power
+
+    config = gpu.get_config(args.gpu)
+    rep = pipeline_report(config)
+    spec = size_prefetch_buffer(config)
+    area = engine_area()
+    chip = chip_overhead(config)
+    power = engine_power(config)
+    print(f"GPU: {config.name} ({config.mem_channels} channels x "
+          f"{config.channel_bandwidth_gbps} GB/s)")
+    print(f"pipeline: {rep.n_stages} stages, cycle {rep.cycle_time_ns} ns; "
+          f"budgets {rep.fp32_budget_ns:.3f}/{rep.fp64_budget_ns:.3f} ns "
+          f"(fp32 ok: {rep.meets_fp32}, fp64 ok: {rep.meets_fp64})")
+    print(f"prefetch buffer: {spec.bytes_per_column} B/col, "
+          f"{human_bytes(spec.total_bytes)} total")
+    print(f"area: {area.total_mm2:.3f} mm^2/unit; {chip.n_engines} units = "
+          f"{chip.total_mm2:.2f} mm^2 ({chip.fraction:.2%} of die)")
+    print(f"worst-case power: {power.total_w:.2f} W "
+          f"({power.tdp_fraction:.2%} of TDP)")
+    return 0
+
+
+def cmd_collection(args) -> int:
+    from .collection import collection_summary, format_report, scan_collection
+
+    profiles, skipped = scan_collection(
+        args.directory,
+        pattern=args.pattern,
+        min_rows=args.min_rows,
+        max_rows=args.max_rows if args.max_rows > 0 else None,
+        ssf_threshold=args.ssf_threshold,
+    )
+    print(format_report(profiles))
+    for name, reason in skipped:
+        print(f"skipped {name}: {reason}")
+    summary = collection_summary(profiles)
+    print(f"\n{summary['count']} matrices profiled; "
+          f"B-stationary recommended for "
+          f"{summary.get('recommend_b_stationary', 0)}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    import json
+
+    from . import figures
+
+    data = figures.generate(args.id, scale=args.scale)
+    print(json.dumps(data, indent=2, default=float))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Near-memory SpMM transformation (SC '19) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="sparsity statistics and SSF")
+    _add_matrix_args(p)
+    p.add_argument(
+        "--ssf-threshold", type=float, default=kernels.SSF_TH_DEFAULT
+    )
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("footprint", help="per-format storage comparison")
+    _add_matrix_args(p)
+    p.set_defaults(func=cmd_footprint)
+
+    p = sub.add_parser("simulate", help="run all SpMM variants")
+    _add_matrix_args(p)
+    p.add_argument("--gpu", default="gv100", help="gv100 or tu116")
+    p.add_argument("--k", type=int, default=0, help="dense columns (0=auto)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--ssf-threshold", type=float, default=kernels.SSF_TH_DEFAULT
+    )
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("engine", help="Section 5.3 engine report")
+    p.add_argument("--gpu", default="gv100", help="gv100 or tu116")
+    p.set_defaults(func=cmd_engine)
+
+    p = sub.add_parser(
+        "collection", help="profile a directory of Matrix Market files"
+    )
+    p.add_argument("directory")
+    p.add_argument("--pattern", default="*.mtx")
+    p.add_argument("--min-rows", type=int, default=0)
+    p.add_argument("--max-rows", type=int, default=0, help="0 = no limit")
+    p.add_argument(
+        "--ssf-threshold", type=float, default=kernels.SSF_TH_DEFAULT
+    )
+    p.set_defaults(func=cmd_collection)
+
+    p = sub.add_parser(
+        "figure", help="regenerate a paper figure's data as JSON"
+    )
+    p.add_argument(
+        "id", help="figure id: fig2, fig4, fig5, fig8, fig9, fig16"
+    )
+    p.add_argument(
+        "--scale", type=float, default=0.5, help="corpus size multiplier"
+    )
+    p.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

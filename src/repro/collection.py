@@ -1,0 +1,147 @@
+"""Batch profiling of Matrix Market collections (real-data adoption path).
+
+The paper profiles ~4,000 SuiteSparse matrices to learn ``SSF_th``.  This
+module is the downstream user's version of that sweep: point it at a
+directory of ``.mtx`` files (e.g. a SuiteSparse download) and it produces
+per-matrix profiles — shape, density, skew, entropy, SSF and the
+algorithm recommendation — with the paper's dimension filter applied
+(Section 5.1 keeps 4k–44k rows; both bounds are parameters here).
+
+Exposed on the CLI as ``python -m repro collection <dir>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from .analysis.ssf import normalized_entropy, ssf
+from .errors import FormatError, ReproError
+from .formats.mmio import read_matrix_market
+from .kernels.hybrid import SSF_TH_DEFAULT
+from .matrices.stats import matrix_stats
+
+
+@dataclass(frozen=True)
+class MatrixProfile:
+    """One collection matrix's profile row."""
+
+    name: str
+    n_rows: int
+    n_cols: int
+    nnz: int
+    density: float
+    n_nonzero_rows: int
+    mean_nonzero_rows_per_strip: float
+    row_nnz_cv: float
+    col_nnz_cv: float
+    entropy: float
+    ssf: float
+    recommendation: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def profile_matrix(
+    name: str,
+    matrix,
+    *,
+    tile_width: int = 64,
+    ssf_threshold: float = SSF_TH_DEFAULT,
+) -> MatrixProfile:
+    """Profile one loaded matrix into a :class:`MatrixProfile`."""
+    stats = matrix_stats(matrix, tile_width=tile_width)
+    s = ssf(matrix, tile_width=tile_width)
+    return MatrixProfile(
+        name=name,
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        nnz=matrix.nnz,
+        density=matrix.density,
+        n_nonzero_rows=stats.n_nonzero_rows,
+        mean_nonzero_rows_per_strip=stats.mean_nonzero_rows_per_strip,
+        row_nnz_cv=stats.row_nnz_cv,
+        col_nnz_cv=stats.col_nnz_cv,
+        entropy=normalized_entropy(matrix, tile_width=tile_width),
+        ssf=s,
+        recommendation=(
+            "b_stationary_online" if s > ssf_threshold else "c_stationary"
+        ),
+    )
+
+
+def scan_collection(
+    directory,
+    *,
+    pattern: str = "*.mtx",
+    min_rows: int = 0,
+    max_rows: int | None = None,
+    tile_width: int = 64,
+    ssf_threshold: float = SSF_TH_DEFAULT,
+    strict: bool = False,
+) -> tuple[list[MatrixProfile], list[tuple[str, str]]]:
+    """Profile every Matrix Market file under ``directory``.
+
+    Returns ``(profiles, skipped)`` where ``skipped`` holds
+    ``(filename, reason)`` pairs — dimension-filtered matrices and (unless
+    ``strict``) unparsable files.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise ReproError(f"not a directory: {directory!r}")
+    profiles: list[MatrixProfile] = []
+    skipped: list[tuple[str, str]] = []
+    for path in sorted(root.glob(pattern)):
+        try:
+            m = read_matrix_market(path)
+        except FormatError as exc:
+            if strict:
+                raise
+            skipped.append((path.name, f"parse error: {exc}"))
+            continue
+        if m.n_rows < min_rows:
+            skipped.append((path.name, f"below {min_rows} rows"))
+            continue
+        if max_rows is not None and m.n_rows > max_rows:
+            skipped.append((path.name, f"above {max_rows} rows"))
+            continue
+        profiles.append(
+            profile_matrix(
+                path.stem,
+                m,
+                tile_width=tile_width,
+                ssf_threshold=ssf_threshold,
+            )
+        )
+    return profiles, skipped
+
+
+def collection_summary(profiles: list[MatrixProfile]) -> dict:
+    """Aggregate view of a profiled collection."""
+    if not profiles:
+        return {"count": 0}
+    n_b = sum(1 for p in profiles if p.recommendation == "b_stationary_online")
+    return {
+        "count": len(profiles),
+        "recommend_b_stationary": n_b,
+        "recommend_c_stationary": len(profiles) - n_b,
+        "median_density": sorted(p.density for p in profiles)[
+            len(profiles) // 2
+        ],
+        "median_ssf": sorted(p.ssf for p in profiles)[len(profiles) // 2],
+    }
+
+
+def format_report(profiles: list[MatrixProfile]) -> str:
+    """Human-readable table for the CLI."""
+    lines = [
+        f"{'matrix':>24} {'rows':>7} {'cols':>7} {'nnz':>9} "
+        f"{'density':>9} {'SSF':>11} {'choice':>20}"
+    ]
+    for p in profiles:
+        lines.append(
+            f"{p.name[:24]:>24} {p.n_rows:>7} {p.n_cols:>7} {p.nnz:>9} "
+            f"{p.density:>9.2e} {p.ssf:>11.4g} {p.recommendation:>20}"
+        )
+    return "\n".join(lines)

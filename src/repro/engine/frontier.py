@@ -1,0 +1,89 @@
+"""Column-frontier lane state (Fig. 14's pointer arrays).
+
+The engine holds two N-wide pointer arrays for the strip under conversion:
+
+* ``boundary_ptr`` — each column's end index in the CSC arrays (the
+  original ``col_ptr`` values);
+* ``frontier_ptr`` — each column's next unconsumed element, initialized to
+  the column starts (walk-through step 1 in Fig. 13).
+
+A lane is *active* while ``frontier < boundary``; its presented coordinate
+is ``row_idx[frontier]`` (or ``INVALID_COORD`` once exhausted).  Advancing
+a lane models step 4: increment the frontier and issue a refill request for
+the next element of that column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EngineError
+from .comparator import INVALID_COORD
+
+
+class LaneState:
+    """Frontier/boundary pointers for one strip's ≤N columns."""
+
+    def __init__(self, col_ptr, row_idx, n_lanes: int):
+        ptr = np.asarray(col_ptr, dtype=np.int64)
+        if ptr.ndim != 1 or ptr.size < 1:
+            raise EngineError("col_ptr must be a non-empty 1-D array")
+        if ptr.size - 1 > n_lanes:
+            raise EngineError(
+                f"strip has {ptr.size - 1} columns but engine has {n_lanes} lanes"
+            )
+        if np.any(np.diff(ptr) < 0) or ptr[0] != 0:
+            raise EngineError("col_ptr must be non-decreasing from 0")
+        self.n_lanes = n_lanes
+        self.n_cols = ptr.size - 1
+        self.row_idx = np.asarray(row_idx, dtype=np.int64)
+        if ptr[-1] > self.row_idx.size:
+            raise EngineError("col_ptr overruns row_idx")
+        # Unused lanes get frontier == boundary == 0 (never active).
+        self.boundary_ptr = np.zeros(n_lanes, dtype=np.int64)
+        self.frontier_ptr = np.zeros(n_lanes, dtype=np.int64)
+        self.boundary_ptr[: self.n_cols] = ptr[1:]
+        self.frontier_ptr[: self.n_cols] = ptr[:-1]
+        #: refill requests issued so far (8-byte element fetches, step 4/5)
+        self.refill_requests = int(self.n_cols)  # initial fills
+
+    # ---------------------------------------------------------------- state
+    def active_mask(self) -> np.ndarray:
+        """Lanes still holding unconsumed elements (boundary check, step 2)."""
+        return self.frontier_ptr < self.boundary_ptr
+
+    def current_coords(self, row_limit: int | None = None) -> np.ndarray:
+        """Row coordinate presented by each lane (INVALID when exhausted or,
+        if ``row_limit`` is given, when the lane's next row is beyond the
+        current tile's row range)."""
+        coords = np.full(self.n_lanes, INVALID_COORD, dtype=np.int64)
+        mask = self.active_mask()
+        idx = self.frontier_ptr[mask]
+        rows = self.row_idx[idx]
+        coords[mask] = rows
+        if row_limit is not None:
+            coords[coords >= row_limit] = INVALID_COORD
+        return coords
+
+    def advance(self, lanes: np.ndarray) -> None:
+        """Consume the frontier element of each given lane (step 4)."""
+        lanes = np.asarray(lanes, dtype=np.int64)
+        if lanes.size == 0:
+            return
+        if np.any(lanes < 0) or np.any(lanes >= self.n_lanes):
+            raise EngineError("lane index out of range")
+        if np.any(self.frontier_ptr[lanes] >= self.boundary_ptr[lanes]):
+            raise EngineError("advancing an exhausted lane")
+        self.frontier_ptr[lanes] += 1
+        # Every consumed element triggers a refill fetch for the column
+        # unless the column just exhausted.
+        still = self.frontier_ptr[lanes] < self.boundary_ptr[lanes]
+        self.refill_requests += int(np.count_nonzero(still))
+
+    def exhausted(self) -> bool:
+        """True when every lane has consumed its column."""
+        return bool(np.all(self.frontier_ptr >= self.boundary_ptr))
+
+    def remaining(self) -> int:
+        """Total unconsumed elements across all lanes."""
+        return int(np.sum(self.boundary_ptr - self.frontier_ptr))

@@ -1,0 +1,127 @@
+"""Prefetch-buffer sizing and occupancy model (Section 5.3).
+
+To sustain one DCSR row per cycle, all 64 column lanes must have their next
+(coordinate, value) pair on hand.  Refilling a lane takes
+
+* ~3.3 ns to determine which columns were consumed and issue requests
+  (Fig. 14 steps 4-5), plus
+* ~15 ns of DRAM column-access latency (CL),
+
+so ≈18.8 ns must be hidden.  In the worst case one lane is drained every
+0.588 ns cycle (FP32); a per-column FIFO of
+``ceil(hide_ns / cycle_ns)`` 8-byte entries — 32 entries = 256 B per
+column, 16 KiB per 64-lane engine — rides out the latency even at 100 %
+channel utilization.
+
+:func:`simulate_drain` is a discrete check of that argument: it drains one
+entry per cycle from a single column while refills arrive ``latency``
+cycles after being issued, and reports whether the buffer ever underruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..gpu.config import GPUConfig
+from ..util import ceil_div
+
+#: Request-generation latency (Fig. 14 steps 4-5), ns.
+REQUEST_LATENCY_NS = 3.3
+#: DRAM column-access strobe latency, ns.
+DRAM_CL_NS = 15.0
+
+
+@dataclass(frozen=True)
+class PrefetchBufferSpec:
+    """Sizing of the per-engine prefetch SRAM."""
+
+    entry_bytes: int
+    entries_per_column: int
+    n_columns: int
+    hide_latency_ns: float
+    cycle_time_ns: float
+
+    @property
+    def bytes_per_column(self) -> int:
+        return self.entry_bytes * self.entries_per_column
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_column * self.n_columns
+
+
+def size_prefetch_buffer(
+    config: GPUConfig,
+    *,
+    n_columns: int = 64,
+    precision: str = "fp32",
+    request_latency_ns: float = REQUEST_LATENCY_NS,
+    dram_cl_ns: float = DRAM_CL_NS,
+) -> PrefetchBufferSpec:
+    """Reproduce the Section 5.3 sizing for a given channel config."""
+    if n_columns <= 0:
+        raise ConfigError("n_columns must be positive")
+    if precision == "fp32":
+        entry = 8
+        cycle = config.channel_cycle_time_ns_fp32
+    elif precision == "fp64":
+        entry = 12
+        cycle = config.channel_cycle_time_ns_fp64
+    else:
+        raise ConfigError(f"precision must be fp32/fp64, got {precision!r}")
+    hide = request_latency_ns + dram_cl_ns
+    entries = ceil_div(int(round(hide * 1000)), int(round(cycle * 1000)))
+    # Round entries up to a power-of-two FIFO depth (hardware-friendly and
+    # what produces the paper's 256 B/column at 0.588 ns x 18.3-18.8 ns).
+    depth = 1
+    while depth < entries:
+        depth *= 2
+    return PrefetchBufferSpec(
+        entry_bytes=entry,
+        entries_per_column=depth,
+        n_columns=n_columns,
+        hide_latency_ns=hide,
+        cycle_time_ns=cycle,
+    )
+
+
+def simulate_drain(
+    spec: PrefetchBufferSpec,
+    n_cycles: int = 1000,
+    *,
+    drain_every_cycles: int = 1,
+) -> dict:
+    """Worst-case single-column drain/refill simulation.
+
+    One entry leaves the FIFO every ``drain_every_cycles`` cycles; the
+    refill for each consumed entry arrives ``hide_latency`` later.  Returns
+    occupancy statistics and whether the consumer ever stalled.
+    """
+    if n_cycles <= 0 or drain_every_cycles <= 0:
+        raise ConfigError("cycle counts must be positive")
+    latency_cycles = ceil_div(
+        int(round(spec.hide_latency_ns * 1000)),
+        int(round(spec.cycle_time_ns * 1000)),
+    )
+    occupancy = spec.entries_per_column
+    in_flight: list[int] = []  # arrival cycles of issued refills
+    underruns = 0
+    min_occ = occupancy
+    for cycle in range(n_cycles):
+        # Arrivals first (refill data lands at the start of the cycle).
+        while in_flight and in_flight[0] <= cycle:
+            in_flight.pop(0)
+            occupancy += 1
+        if cycle % drain_every_cycles == 0:
+            if occupancy == 0:
+                underruns += 1
+            else:
+                occupancy -= 1
+                in_flight.append(cycle + latency_cycles)
+        min_occ = min(min_occ, occupancy)
+    return {
+        "underruns": underruns,
+        "min_occupancy": min_occ,
+        "latency_cycles": latency_cycles,
+    }

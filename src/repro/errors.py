@@ -1,0 +1,45 @@
+"""Exception hierarchy shared across :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix container is structurally invalid.
+
+    Raised by ``validate()`` methods and by constructors that check their
+    inputs: non-monotone pointer arrays, out-of-range indices, mismatched
+    array lengths, or shape/nnz disagreements.
+    """
+
+
+class ConversionError(ReproError):
+    """A format conversion was requested that cannot be performed."""
+
+
+class ConfigError(ReproError):
+    """A hardware/simulation configuration is inconsistent.
+
+    Examples: a cache whose capacity is not divisible by line size x ways,
+    a GPU with zero memory channels, or a tile width that is not positive.
+    """
+
+
+class SimulationError(ReproError):
+    """The functional simulation reached an impossible state.
+
+    This indicates a bug in the model (e.g. an engine frontier passing its
+    boundary) rather than bad user input, but is raised as a checked error
+    so property tests can assert it never fires.
+    """
+
+
+class EngineError(SimulationError):
+    """The near-memory conversion engine model detected an invalid state."""

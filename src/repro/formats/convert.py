@@ -1,0 +1,196 @@
+"""Software reference conversions between every pair of formats.
+
+These are the *offline* conversion paths the paper contrasts with its online
+engine.  Besides producing correct containers (they are the oracle for the
+engine model's output), the CSR→strip extractors also count the work each
+strategy performs, reproducing Section 4.1's argument that CSR is a poor
+baseline format for online tiling:
+
+* the **stateless** CSR extractor binary-searches every row for each strip —
+  O(n log nnz_row) probes per strip;
+* the **stateful** CSR extractor keeps a per-row frontier — O(n) metadata
+  held across calls, and random strip access degenerates to stateless cost;
+* the **CSC** extractor just slices ``col_ptr`` — O(width) pointer reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConversionError
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dcsr import DCSRMatrix
+from .tiled import DEFAULT_TILE_WIDTH, TiledCSR, TiledDCSR
+
+
+# --------------------------------------------------------------------- basic
+def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    """CSR → CSC via stable counting sort on columns."""
+    rows, cols, vals = csr.to_coo_arrays()
+    return CSCMatrix.from_coo(COOMatrix(csr.shape, rows, cols, vals))
+
+
+def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    """CSC → CSR via stable counting sort on rows."""
+    rows, cols, vals = csc.to_coo_arrays()
+    return CSRMatrix.from_coo(COOMatrix(csc.shape, rows, cols, vals))
+
+
+def csr_to_dcsr(csr: CSRMatrix) -> DCSRMatrix:
+    """CSR → untiled DCSR (drop empty-row pointers)."""
+    return DCSRMatrix.from_csr(csr)
+
+
+def dcsr_to_csr(dcsr: DCSRMatrix) -> CSRMatrix:
+    """Untiled DCSR → CSR (reinstate empty-row pointers)."""
+    return dcsr.to_csr()
+
+
+def to_format(matrix, target: str):
+    """Convert any container to the named format.
+
+    ``target`` is one of ``coo``, ``csr``, ``csc``, ``dcsr``, ``tiled_csr``,
+    ``tiled_dcsr``.  Tiled targets use the default 64-column width.
+    """
+    rows, cols, vals = matrix.to_coo_arrays()
+    coo = COOMatrix(matrix.shape, rows, cols, vals)
+    if target == "coo":
+        return coo.deduplicate()
+    if target == "csr":
+        return CSRMatrix.from_coo(coo)
+    if target == "csc":
+        return CSCMatrix.from_coo(coo)
+    if target == "dcsr":
+        return DCSRMatrix.from_coo(coo)
+    if target == "dcsc":
+        from .dcsc import DCSCMatrix
+
+        return DCSCMatrix.from_coo(coo)
+    if target == "ell":
+        from .ell import ELLMatrix
+
+        return ELLMatrix.from_coo(coo)
+    if target == "tiled_csr":
+        return TiledCSR.from_csc(CSCMatrix.from_coo(coo))
+    if target == "tiled_dcsr":
+        return TiledDCSR.from_csc(CSCMatrix.from_coo(coo))
+    raise ConversionError(f"unknown target format {target!r}")
+
+
+# --------------------------------------------- strip extraction cost models
+@dataclass
+class ExtractionCost:
+    """Work counters for one strip-extraction strategy (Section 4.1)."""
+
+    #: binary-search probes into col_idx arrays
+    search_probes: int = 0
+    #: metadata words held as persistent converter state
+    state_words: int = 0
+    #: pointer/index words read to locate the strip
+    pointer_reads: int = 0
+
+    def total_ops(self) -> int:
+        """Aggregate operation count used for complexity comparisons."""
+        return self.search_probes + self.pointer_reads
+
+
+@dataclass
+class StatefulCSRExtractor:
+    """Stateful CSR strip extractor: remembers each row's column frontier.
+
+    Sequential calls for strips 0, 1, 2, ... advance the jagged per-row
+    frontier cheaply; a *random* strip access must rebuild the frontier with
+    binary searches, which is why the paper rejects this design (random
+    access is common — multiple SMs work on different strips).
+    """
+
+    csr: CSRMatrix
+    frontier: np.ndarray = field(init=False)
+    next_strip: int = field(init=False, default=0)
+    cost: ExtractionCost = field(init=False)
+
+    def __post_init__(self):
+        self.frontier = self.csr.row_ptr[:-1].astype(np.int64).copy()
+        # Converter must persist one frontier word per matrix row.
+        self.cost = ExtractionCost(state_words=self.csr.n_rows)
+
+    def extract(self, strip_id: int, width: int = DEFAULT_TILE_WIDTH) -> CSRMatrix:
+        """Return the CSR strip ``strip_id``, updating frontier state."""
+        col_start = strip_id * width
+        col_end = min(col_start + width, self.csr.n_cols)
+        if col_start >= self.csr.n_cols:
+            raise ConversionError(f"strip {strip_id} out of range")
+        if strip_id != self.next_strip:
+            # Random access: re-derive every row frontier by binary search.
+            for i in range(self.csr.n_rows):
+                lo, hi = int(self.csr.row_ptr[i]), int(self.csr.row_ptr[i + 1])
+                seg = self.csr.col_idx[lo:hi]
+                self.frontier[i] = lo + int(np.searchsorted(seg, col_start))
+                self.cost.search_probes += max(1, int(np.ceil(np.log2(hi - lo)))) if hi > lo else 1
+        ptr = [0]
+        cols_out, vals_out = [], []
+        for i in range(self.csr.n_rows):
+            start = int(self.frontier[i])
+            hi = int(self.csr.row_ptr[i + 1])
+            j = start
+            while j < hi and self.csr.col_idx[j] < col_end:
+                cols_out.append(int(self.csr.col_idx[j]) - col_start)
+                vals_out.append(self.csr.values[j])
+                j += 1
+            self.cost.pointer_reads += 2  # frontier word + row_ptr bound
+            self.frontier[i] = j
+            ptr.append(len(cols_out))
+        self.next_strip = strip_id + 1
+        vals = np.asarray(vals_out, dtype=self.csr.value_dtype)
+        return CSRMatrix((self.csr.n_rows, col_end - col_start), ptr, cols_out, vals)
+
+
+def stateless_csr_extract(
+    csr: CSRMatrix, strip_id: int, width: int = DEFAULT_TILE_WIDTH
+) -> tuple[CSRMatrix, ExtractionCost]:
+    """Stateless CSR strip extraction: binary-search every row, every call.
+
+    Returns the strip plus the O(n log nnz_row) cost the paper calls
+    prohibitive for a hardware engine.
+    """
+    col_start = strip_id * width
+    col_end = min(col_start + width, csr.n_cols)
+    if col_start >= csr.n_cols:
+        raise ConversionError(f"strip {strip_id} out of range")
+    cost = ExtractionCost()
+    ptr = [0]
+    cols_out: list[int] = []
+    vals_out: list[float] = []
+    for i in range(csr.n_rows):
+        lo, hi = int(csr.row_ptr[i]), int(csr.row_ptr[i + 1])
+        seg = csr.col_idx[lo:hi]
+        a = int(np.searchsorted(seg, col_start, side="left"))
+        b = int(np.searchsorted(seg, col_end, side="left"))
+        probes = max(1, int(np.ceil(np.log2(max(hi - lo, 2)))))
+        cost.search_probes += 2 * probes
+        cost.pointer_reads += 2  # row_ptr[i], row_ptr[i+1]
+        cols_out.extend((seg[a:b] - col_start).tolist())
+        vals_out.extend(csr.values[lo + a : lo + b].tolist())
+        ptr.append(len(cols_out))
+    vals = np.asarray(vals_out, dtype=csr.value_dtype)
+    return CSRMatrix((csr.n_rows, col_end - col_start), ptr, cols_out, vals), cost
+
+
+def csc_strip_extract(
+    csc: CSCMatrix, strip_id: int, width: int = DEFAULT_TILE_WIDTH
+) -> tuple[tuple[np.ndarray, np.ndarray, np.ndarray], ExtractionCost]:
+    """CSC strip extraction: O(width) pointer reads, no search, no state.
+
+    Returns ``((col_ptr, row_idx, values), cost)`` — the raw slice the
+    near-memory engine starts from.
+    """
+    col_start = strip_id * width
+    col_end = min(col_start + width, csc.n_cols)
+    if col_start >= csc.n_cols:
+        raise ConversionError(f"strip {strip_id} out of range")
+    slice_ = csc.strip_slice(col_start, col_end)
+    return slice_, ExtractionCost(pointer_reads=(col_end - col_start) + 1)

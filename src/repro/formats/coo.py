@@ -1,0 +1,115 @@
+"""Coordinate-list (COO) container.
+
+COO is the interchange format: Matrix Market files deserialize to it, the
+synthetic generators emit it, and every conversion is defined through it.
+The paper notes (Section 4.1) that deserializing COO to CSC costs the same
+as to CSR — :func:`repro.formats.convert` exercises both paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..util import as_index_array, as_value_array, check_in_range, check_shape
+from .base import SparseMatrix
+
+
+class COOMatrix(SparseMatrix):
+    """Unordered ``(row, col, value)`` triplets with explicit shape.
+
+    Duplicates are permitted (they accumulate on densification) unless the
+    container was produced by :meth:`deduplicate`.
+    """
+
+    format_name = "coo"
+
+    def __init__(self, shape, rows, cols, values, *, dtype=None):
+        self.shape = check_shape(shape)
+        self.rows = as_index_array(rows, name="rows")
+        self.cols = as_index_array(cols, name="cols")
+        self.values = as_value_array(values, dtype=dtype, name="values")
+        if not (self.rows.size == self.cols.size == self.values.size):
+            raise FormatError(
+                "rows/cols/values length mismatch: "
+                f"{self.rows.size}/{self.cols.size}/{self.values.size}"
+            )
+        self.validate()
+
+    # ------------------------------------------------------------- interface
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    def validate(self) -> None:
+        check_in_range(self.rows, self.n_rows, name="rows")
+        check_in_range(self.cols, self.n_cols, name="cols")
+
+    def to_coo_arrays(self):
+        return self.rows, self.cols, self.values
+
+    def metadata_arrays(self) -> dict[str, np.ndarray]:
+        return {"rows": self.rows, "cols": self.cols}
+
+    # ------------------------------------------------------------ operations
+    def deduplicate(self) -> "COOMatrix":
+        """Return a copy with duplicate coordinates summed and sorted.
+
+        Sorting is row-major (row, then column), the canonical order used by
+        the round-trip property tests.
+        """
+        if self.nnz == 0:
+            return COOMatrix(self.shape, [], [], np.array([], dtype=self.value_dtype))
+        keys = self.rows * self.n_cols + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        boundaries = np.concatenate(([True], keys_sorted[1:] != keys_sorted[:-1]))
+        group_ids = np.cumsum(boundaries) - 1
+        n_groups = int(group_ids[-1]) + 1
+        summed = np.zeros(n_groups, dtype=np.float64)
+        np.add.at(summed, group_ids, self.values[order].astype(np.float64))
+        first = np.flatnonzero(boundaries)
+        rows = self.rows[order][first]
+        cols = self.cols[order][first]
+        return COOMatrix(self.shape, rows, cols, summed.astype(self.value_dtype))
+
+    def sorted_rowmajor(self) -> "COOMatrix":
+        """Return a copy sorted row-major without summing duplicates."""
+        order = np.argsort(self.rows * self.n_cols + self.cols, kind="stable")
+        return COOMatrix(
+            self.shape, self.rows[order], self.cols[order], self.values[order]
+        )
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (rows and cols swapped)."""
+        return COOMatrix(
+            (self.n_cols, self.n_rows), self.cols, self.rows, self.values
+        )
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_dense(cls, dense, *, dtype=None) -> "COOMatrix":
+        """Build from a dense 2-D array, keeping only non-zero cells."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise FormatError(f"dense input must be 2-D, got shape {dense.shape}")
+        rows, cols = np.nonzero(dense)
+        return cls(dense.shape, rows, cols, dense[rows, cols], dtype=dtype)
+
+    @classmethod
+    def from_scipy(cls, mat) -> "COOMatrix":
+        """Build from any ``scipy.sparse`` matrix."""
+        m = mat.tocoo()
+        return cls(m.shape, m.row, m.col, m.data)
+
+    def to_scipy(self):
+        """Return the equivalent ``scipy.sparse.coo_matrix``."""
+        import scipy.sparse as sp
+
+        return sp.coo_matrix(
+            (self.values, (self.rows, self.cols)), shape=self.shape
+        )

@@ -1,0 +1,140 @@
+"""Compressed Sparse Column (CSC) — the paper's in-memory baseline format.
+
+CSC mirrors CSR along columns: ``values`` and ``row_idx`` of length ``nnz``
+plus ``col_ptr`` of length ``n_cols + 1``.  Section 4.1 argues CSC is the
+right *storage* format for online tiling because a vertical strip of columns
+``[c, c+W)`` is a contiguous, pointer-addressed slice — no per-row frontier
+state or scans are needed.  The near-memory engine
+(:mod:`repro.engine.conversion`) consumes exactly this container.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..util import (
+    as_index_array,
+    as_value_array,
+    check_in_range,
+    check_monotone,
+    check_shape,
+)
+from .base import SparseMatrix
+
+
+class CSCMatrix(SparseMatrix):
+    """CSC container with validated invariants and per-column helpers."""
+
+    format_name = "csc"
+
+    def __init__(self, shape, col_ptr, row_idx, values, *, dtype=None):
+        self.shape = check_shape(shape)
+        self.col_ptr = as_index_array(col_ptr, name="col_ptr")
+        self.row_idx = as_index_array(row_idx, name="row_idx")
+        self.values = as_value_array(values, dtype=dtype, name="values")
+        self.validate()
+
+    # ------------------------------------------------------------- interface
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    def validate(self) -> None:
+        if self.col_ptr.size != self.n_cols + 1:
+            raise FormatError(
+                f"col_ptr length {self.col_ptr.size} != n_cols+1 ({self.n_cols + 1})"
+            )
+        check_monotone(self.col_ptr, name="col_ptr")
+        if self.col_ptr[-1] != self.row_idx.size:
+            raise FormatError(
+                f"col_ptr[-1]={self.col_ptr[-1]} != len(row_idx)={self.row_idx.size}"
+            )
+        if self.row_idx.size != self.values.size:
+            raise FormatError("row_idx/values length mismatch")
+        check_in_range(self.row_idx, self.n_rows, name="row_idx")
+
+    def to_coo_arrays(self):
+        cols = np.repeat(
+            np.arange(self.n_cols, dtype=self.col_ptr.dtype), self.col_lengths()
+        )
+        return self.row_idx, cols, self.values
+
+    def metadata_arrays(self) -> dict[str, np.ndarray]:
+        return {"col_ptr": self.col_ptr, "row_idx": self.row_idx}
+
+    # --------------------------------------------------------------- queries
+    def col_lengths(self) -> np.ndarray:
+        """nnz per column, length ``n_cols``."""
+        return np.diff(self.col_ptr)
+
+    def col_slice(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(row_idx, values)`` views for column ``j``."""
+        lo, hi = int(self.col_ptr[j]), int(self.col_ptr[j + 1])
+        return self.row_idx[lo:hi], self.values[lo:hi]
+
+    def has_sorted_indices(self) -> bool:
+        """True if every column's row indices are strictly increasing.
+
+        The conversion engine requires this — its column frontiers advance
+        monotonically down each column (Fig. 13).
+        """
+        for j in range(self.n_cols):
+            rows, _ = self.col_slice(j)
+            if rows.size > 1 and np.any(np.diff(rows) <= 0):
+                return False
+        return True
+
+    def strip_slice(self, col_start: int, col_end: int):
+        """Return ``(col_ptr, row_idx, values)`` for columns ``[start, end)``.
+
+        This is the O(1)-indexing contiguous extraction Section 4.1 credits
+        CSC with: the sub-arrays are views, and the returned ``col_ptr`` is
+        rebased to 0.
+        """
+        if not (0 <= col_start <= col_end <= self.n_cols):
+            raise FormatError(
+                f"strip [{col_start}, {col_end}) out of range for {self.n_cols} cols"
+            )
+        lo = int(self.col_ptr[col_start])
+        hi = int(self.col_ptr[col_end])
+        ptr = self.col_ptr[col_start : col_end + 1] - lo
+        return ptr, self.row_idx[lo:hi], self.values[lo:hi]
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_coo(cls, coo) -> "CSCMatrix":
+        """Build from COO (duplicates summed, rows sorted within columns)."""
+        d = coo.deduplicate()
+        order = np.argsort(d.cols * d.n_rows + d.rows, kind="stable")
+        rows = d.rows[order]
+        cols = d.cols[order]
+        vals = d.values[order]
+        col_ptr = np.zeros(d.n_cols + 1, dtype=np.int64)
+        np.add.at(col_ptr, cols + 1, 1)
+        np.cumsum(col_ptr, out=col_ptr)
+        return cls(d.shape, col_ptr, rows, vals)
+
+    @classmethod
+    def from_dense(cls, dense, *, dtype=None) -> "CSCMatrix":
+        from .coo import COOMatrix
+
+        return cls.from_coo(COOMatrix.from_dense(dense, dtype=dtype))
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSCMatrix":
+        m = mat.tocsc()
+        m.sort_indices()
+        return cls(m.shape, m.indptr, m.indices, m.data)
+
+    def to_scipy(self):
+        """Return the equivalent ``scipy.sparse.csc_matrix``."""
+        import scipy.sparse as sp
+
+        return sp.csc_matrix(
+            (self.values, self.row_idx, self.col_ptr), shape=self.shape
+        )

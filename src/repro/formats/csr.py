@@ -1,0 +1,136 @@
+"""Compressed Sparse Row (CSR) — the community-standard format (Fig. 1).
+
+CSR stores three vectors: ``values`` and ``col_idx`` of length ``nnz``, and
+``row_ptr`` of length ``n_rows + 1`` whose consecutive pairs delimit each
+row's slice of the other two.  The paper's baseline (cuSPARSE stand-in)
+computes directly on this container, and its footprint —
+``8*nnz + 4*(n_rows+1)`` bytes at FP32 — is the denominator of the Fig. 9
+storage-overhead experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..util import (
+    as_index_array,
+    as_value_array,
+    check_in_range,
+    check_monotone,
+    check_shape,
+)
+from .base import SparseMatrix
+
+
+class CSRMatrix(SparseMatrix):
+    """CSR container with validated invariants and per-row helpers."""
+
+    format_name = "csr"
+
+    def __init__(self, shape, row_ptr, col_idx, values, *, dtype=None):
+        self.shape = check_shape(shape)
+        self.row_ptr = as_index_array(row_ptr, name="row_ptr")
+        self.col_idx = as_index_array(col_idx, name="col_idx")
+        self.values = as_value_array(values, dtype=dtype, name="values")
+        self.validate()
+
+    # ------------------------------------------------------------- interface
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    def validate(self) -> None:
+        if self.row_ptr.size != self.n_rows + 1:
+            raise FormatError(
+                f"row_ptr length {self.row_ptr.size} != n_rows+1 ({self.n_rows + 1})"
+            )
+        check_monotone(self.row_ptr, name="row_ptr")
+        if self.row_ptr[-1] != self.col_idx.size:
+            raise FormatError(
+                f"row_ptr[-1]={self.row_ptr[-1]} != len(col_idx)={self.col_idx.size}"
+            )
+        if self.col_idx.size != self.values.size:
+            raise FormatError("col_idx/values length mismatch")
+        check_in_range(self.col_idx, self.n_cols, name="col_idx")
+
+    def to_coo_arrays(self):
+        rows = np.repeat(
+            np.arange(self.n_rows, dtype=self.row_ptr.dtype), self.row_lengths()
+        )
+        return rows, self.col_idx, self.values
+
+    def metadata_arrays(self) -> dict[str, np.ndarray]:
+        return {"row_ptr": self.row_ptr, "col_idx": self.col_idx}
+
+    # --------------------------------------------------------------- queries
+    def row_lengths(self) -> np.ndarray:
+        """nnz per row, length ``n_rows``."""
+        return np.diff(self.row_ptr)
+
+    def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(col_idx, values)`` views for row ``i``."""
+        lo, hi = int(self.row_ptr[i]), int(self.row_ptr[i + 1])
+        return self.col_idx[lo:hi], self.values[lo:hi]
+
+    def empty_rows(self) -> np.ndarray:
+        """Boolean mask of rows with zero stored entries."""
+        return self.row_lengths() == 0
+
+    def has_sorted_indices(self) -> bool:
+        """True if every row's column indices are strictly increasing."""
+        if self.nnz < 2:
+            return True
+        diffs = np.diff(self.col_idx)
+        # Row boundaries may legitimately decrease; mask them out.
+        boundary = np.zeros(self.nnz - 1, dtype=bool)
+        inner_ptr = self.row_ptr[1:-1]
+        boundary[inner_ptr[(inner_ptr > 0) & (inner_ptr < self.nnz)] - 1] = True
+        return bool(np.all((diffs > 0) | boundary))
+
+    def sort_indices(self) -> "CSRMatrix":
+        """Return a copy with column indices sorted within each row."""
+        col_idx = self.col_idx.copy()
+        values = self.values.copy()
+        for i in range(self.n_rows):
+            lo, hi = int(self.row_ptr[i]), int(self.row_ptr[i + 1])
+            if hi - lo > 1:
+                order = np.argsort(col_idx[lo:hi], kind="stable")
+                col_idx[lo:hi] = col_idx[lo:hi][order]
+                values[lo:hi] = values[lo:hi][order]
+        return CSRMatrix(self.shape, self.row_ptr, col_idx, values)
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_coo(cls, coo) -> "CSRMatrix":
+        """Build from a :class:`~repro.formats.coo.COOMatrix` (duplicates summed)."""
+        d = coo.deduplicate()
+        n_rows, n_cols = d.shape
+        row_ptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(row_ptr, d.rows + 1, 1)
+        np.cumsum(row_ptr, out=row_ptr)
+        return cls(d.shape, row_ptr, d.cols, d.values)
+
+    @classmethod
+    def from_dense(cls, dense, *, dtype=None) -> "CSRMatrix":
+        from .coo import COOMatrix
+
+        return cls.from_coo(COOMatrix.from_dense(dense, dtype=dtype))
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        m = mat.tocsr()
+        m.sort_indices()
+        return cls(m.shape, m.indptr, m.indices, m.data)
+
+    def to_scipy(self):
+        """Return the equivalent ``scipy.sparse.csr_matrix``."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.values, self.col_idx, self.row_ptr), shape=self.shape
+        )

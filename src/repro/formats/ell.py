@@ -1,0 +1,121 @@
+"""ELLPACK (ELL) — the padded fixed-width format, for comparison.
+
+ELL stores every row in exactly ``max_row_nnz`` slots (column index plus
+value), padding short rows.  GPU SpMV work the paper builds on ([1, 38])
+uses it for its perfectly regular access pattern; its Achilles' heel is
+the same row-skew the SSF measures — one heavy row pads the entire matrix.
+It is included as a comparison format (``to_format(..., "ell")`` and the
+CLI footprint table): the ``padding_ratio`` it reports is yet another view
+of the row-skew axis, and for skewed matrices its footprint dwarfs every
+compressed format, which is why the paper's lineage abandoned it for
+CSR-family formats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..util import as_value_array, check_shape
+from .base import SparseMatrix
+
+#: column-index filler for padded slots.
+PAD = -1
+
+
+class ELLMatrix(SparseMatrix):
+    """ELLPACK container: ``(n_rows, width)`` index/value planes."""
+
+    format_name = "ell"
+
+    def __init__(self, shape, col_idx, values):
+        self.shape = check_shape(shape)
+        self.col_idx = np.asarray(col_idx, dtype=np.int64)
+        vals = np.asarray(values)
+        if vals.dtype not in (np.float32, np.float64):
+            vals = vals.astype(np.float32)
+        self.values = np.ascontiguousarray(vals)
+        self.validate()
+
+    # ------------------------------------------------------------- interface
+    @property
+    def width(self) -> int:
+        """Padded row width (``max_row_nnz``)."""
+        return int(self.col_idx.shape[1]) if self.col_idx.ndim == 2 else 0
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.col_idx != PAD))
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def padding_ratio(self) -> float:
+        """Padded slots over total slots — the row-skew tax."""
+        slots = self.col_idx.size
+        return 1.0 - self.nnz / slots if slots else 0.0
+
+    def validate(self) -> None:
+        if self.col_idx.ndim != 2 or self.values.ndim != 2:
+            raise FormatError("ELL planes must be 2-D")
+        if self.col_idx.shape != self.values.shape:
+            raise FormatError("col_idx/values plane shape mismatch")
+        if self.col_idx.shape[0] != self.n_rows:
+            raise FormatError(
+                f"plane has {self.col_idx.shape[0]} rows, matrix {self.n_rows}"
+            )
+        real = self.col_idx != PAD
+        if real.any():
+            vals = self.col_idx[real]
+            if vals.min() < 0 or vals.max() >= self.n_cols:
+                raise FormatError("col_idx out of range")
+        # Padding must carry zero values so dense reconstruction is exact.
+        if np.any(self.values[~real] != 0):
+            raise FormatError("padded slots must hold zero values")
+
+    def to_coo_arrays(self):
+        real = self.col_idx != PAD
+        rows, slots = np.nonzero(real)
+        return rows, self.col_idx[rows, slots], self.values[rows, slots]
+
+    def metadata_arrays(self) -> dict[str, np.ndarray]:
+        # The whole index plane moves, padding included.
+        return {"col_idx": self.col_idx.ravel()}
+
+    def value_bytes(self) -> int:
+        # Padded value slots move too: the format's defining cost.
+        return self.values.size * int(np.dtype(self.value_dtype).itemsize)
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_csr(cls, csr) -> "ELLMatrix":
+        lengths = csr.row_lengths()
+        width = int(lengths.max()) if lengths.size else 0
+        col_idx = np.full((csr.n_rows, width), PAD, dtype=np.int64)
+        values = np.zeros((csr.n_rows, width), dtype=csr.value_dtype)
+        for i in range(csr.n_rows):
+            lo, hi = int(csr.row_ptr[i]), int(csr.row_ptr[i + 1])
+            col_idx[i, : hi - lo] = csr.col_idx[lo:hi]
+            values[i, : hi - lo] = csr.values[lo:hi]
+        return cls(csr.shape, col_idx, values)
+
+    @classmethod
+    def from_coo(cls, coo) -> "ELLMatrix":
+        from .csr import CSRMatrix
+
+        return cls.from_csr(CSRMatrix.from_coo(coo))
+
+    @classmethod
+    def from_dense(cls, dense, *, dtype=None) -> "ELLMatrix":
+        from .csr import CSRMatrix
+
+        return cls.from_csr(CSRMatrix.from_dense(dense, dtype=dtype))
+
+    def to_csr(self):
+        from .coo import COOMatrix
+        from .csr import CSRMatrix
+
+        rows, cols, vals = self.to_coo_arrays()
+        return CSRMatrix.from_coo(COOMatrix(self.shape, rows, cols, vals))

@@ -1,0 +1,237 @@
+"""Tiled sparse containers: vertical strips of CSR or DCSR (Section 3.2).
+
+The paper tiles the sparse input A into vertical strips (default width 64 to
+match the 64x64 B tile held in shared memory).  Each strip is itself a sparse
+matrix over local column indices ``[0, width)``:
+
+* :class:`TiledCSR` keeps a full ``row_ptr`` per strip — pathological when
+  ~99 % of strip rows are empty (Figs. 5-6);
+* :class:`TiledDCSR` keeps per-strip DCSR — the compute-efficient format the
+  near-memory engine produces online.
+
+Strips can be further cut into fixed-height row tiles (``DCSR_HEIGHT`` = 64
+in the paper's API, Fig. 11); :meth:`TiledDCSR.row_tile` extracts one as a
+stand-alone DCSR tile, which is what a thread block receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+from ..util import ceil_div, check_shape
+from .base import SparseMatrix
+from .csr import CSRMatrix
+from .dcsr import DCSRMatrix
+
+#: The paper's strip/tile width (matches a 64x64 shared-memory B tile).
+DEFAULT_TILE_WIDTH = 64
+#: The paper's DCSR tile height (``DCSR_HEIGHT`` in the Fig. 11 API).
+DEFAULT_TILE_HEIGHT = 64
+
+
+def strip_bounds(n_cols: int, width: int) -> list[tuple[int, int]]:
+    """Column ranges ``[(start, end), ...]`` of each vertical strip.
+
+    The final strip may be narrower than ``width`` when ``width`` does not
+    divide ``n_cols``.
+    """
+    if width <= 0:
+        raise FormatError(f"strip width must be positive, got {width}")
+    return [(s, min(s + width, n_cols)) for s in range(0, n_cols, width)]
+
+
+def n_strips(n_cols: int, width: int) -> int:
+    """Number of vertical strips covering ``n_cols`` columns."""
+    if width <= 0:
+        raise FormatError(f"strip width must be positive, got {width}")
+    return ceil_div(n_cols, width) if n_cols else 0
+
+
+@dataclass(frozen=True)
+class StripInfo:
+    """Static description of one vertical strip."""
+
+    strip_id: int
+    col_start: int
+    col_end: int
+
+    @property
+    def width(self) -> int:
+        return self.col_end - self.col_start
+
+
+class _TiledBase(SparseMatrix):
+    """Shared machinery for strip-partitioned containers."""
+
+    def __init__(self, shape, strips, tile_width: int):
+        self.shape = check_shape(shape)
+        self.tile_width = int(tile_width)
+        if self.tile_width <= 0:
+            raise FormatError(f"tile_width must be positive, got {tile_width}")
+        self.strips: list = list(strips)
+        expected = n_strips(self.n_cols, self.tile_width)
+        if len(self.strips) != expected:
+            raise FormatError(
+                f"expected {expected} strips for {self.n_cols} cols at "
+                f"width {self.tile_width}, got {len(self.strips)}"
+            )
+        self.validate()
+
+    # ------------------------------------------------------------- interface
+    @property
+    def n_strips(self) -> int:
+        return len(self.strips)
+
+    @property
+    def nnz(self) -> int:
+        return sum(s.nnz for s in self.strips)
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        if self.strips:
+            return self.strips[0].value_dtype
+        return np.dtype(np.float32)
+
+    def strip_info(self, strip_id: int) -> StripInfo:
+        """Column range of strip ``strip_id``."""
+        start = strip_id * self.tile_width
+        return StripInfo(strip_id, start, min(start + self.tile_width, self.n_cols))
+
+    def validate(self) -> None:
+        for sid, strip in enumerate(self.strips):
+            info = self.strip_info(sid)
+            if strip.shape != (self.n_rows, info.width):
+                raise FormatError(
+                    f"strip {sid} shape {strip.shape} != "
+                    f"({self.n_rows}, {info.width})"
+                )
+            strip.validate()
+
+    def to_coo_arrays(self):
+        rows_all, cols_all, vals_all = [], [], []
+        for sid, strip in enumerate(self.strips):
+            r, c, v = strip.to_coo_arrays()
+            rows_all.append(r)
+            cols_all.append(c + sid * self.tile_width)
+            vals_all.append(v)
+        if not rows_all:
+            empty_i = np.array([], dtype=np.int64)
+            return empty_i, empty_i.copy(), np.array([], dtype=np.float32)
+        return (
+            np.concatenate(rows_all),
+            np.concatenate(cols_all),
+            np.concatenate(vals_all),
+        )
+
+    def metadata_arrays(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for sid, strip in enumerate(self.strips):
+            for name, arr in strip.metadata_arrays().items():
+                out[f"strip{sid}.{name}"] = arr
+        return out
+
+    def strip_nnz(self) -> np.ndarray:
+        """nnz per strip, length ``n_strips``."""
+        return np.array([s.nnz for s in self.strips], dtype=np.int64)
+
+
+class TiledCSR(_TiledBase):
+    """Vertical strips each stored as full CSR (the inefficient strawman)."""
+
+    format_name = "tiled_csr"
+
+    @classmethod
+    def from_csc(cls, csc, *, tile_width: int = DEFAULT_TILE_WIDTH) -> "TiledCSR":
+        """Partition a CSC matrix into CSR strips (offline reference path)."""
+        from .coo import COOMatrix
+
+        strips = []
+        for start, end in strip_bounds(csc.n_cols, tile_width):
+            ptr, rows, vals = csc.strip_slice(start, end)
+            cols = np.repeat(np.arange(end - start, dtype=np.int64), np.diff(ptr))
+            coo = COOMatrix((csc.n_rows, end - start), rows, cols, vals)
+            strips.append(CSRMatrix.from_coo(coo))
+        return cls(csc.shape, strips, tile_width)
+
+    @classmethod
+    def from_csr(cls, csr, *, tile_width: int = DEFAULT_TILE_WIDTH) -> "TiledCSR":
+        """Partition a CSR matrix into CSR strips."""
+        from .convert import csr_to_csc
+
+        return cls.from_csc(csr_to_csc(csr), tile_width=tile_width)
+
+    def nonzero_rows_per_strip(self) -> np.ndarray:
+        """Count of rows with >=1 stored entry in each strip (Fig. 5 input)."""
+        return np.array(
+            [int(np.count_nonzero(s.row_lengths())) for s in self.strips],
+            dtype=np.int64,
+        )
+
+
+class TiledDCSR(_TiledBase):
+    """Vertical strips each stored as DCSR — the compute-efficient format."""
+
+    format_name = "tiled_dcsr"
+
+    @classmethod
+    def from_tiled_csr(cls, tiled: TiledCSR) -> "TiledDCSR":
+        """Densify every strip of a :class:`TiledCSR` (offline reference)."""
+        strips = [DCSRMatrix.from_csr(s) for s in tiled.strips]
+        return cls(tiled.shape, strips, tiled.tile_width)
+
+    @classmethod
+    def from_csc(cls, csc, *, tile_width: int = DEFAULT_TILE_WIDTH) -> "TiledDCSR":
+        """Software CSC→tiled-DCSR conversion (oracle for the engine model)."""
+        return cls.from_tiled_csr(TiledCSR.from_csc(csc, tile_width=tile_width))
+
+    @classmethod
+    def from_csr(cls, csr, *, tile_width: int = DEFAULT_TILE_WIDTH) -> "TiledDCSR":
+        return cls.from_tiled_csr(TiledCSR.from_csr(csr, tile_width=tile_width))
+
+    def nonzero_rows_per_strip(self) -> np.ndarray:
+        """Count of non-empty rows per strip (``len(row_idx)`` of each)."""
+        return np.array([s.n_nonzero_rows for s in self.strips], dtype=np.int64)
+
+    # -------------------------------------------------------------- row tiles
+    def n_row_tiles(self, tile_height: int = DEFAULT_TILE_HEIGHT) -> int:
+        """Number of ``tile_height``-row tiles per strip."""
+        if tile_height <= 0:
+            raise FormatError(f"tile_height must be positive, got {tile_height}")
+        return ceil_div(self.n_rows, tile_height) if self.n_rows else 0
+
+    def row_tile(
+        self,
+        strip_id: int,
+        row_start: int,
+        tile_height: int = DEFAULT_TILE_HEIGHT,
+    ) -> DCSRMatrix:
+        """Extract the DCSR tile covering rows ``[row_start, row_start+H)``.
+
+        The returned tile's ``row_idx`` is *local* to the tile (0-based),
+        matching what ``GetDCSRTile`` streams into shared memory.
+        """
+        strip: DCSRMatrix = self.strips[strip_id]
+        row_end = min(row_start + tile_height, self.n_rows)
+        lo = int(np.searchsorted(strip.row_idx, row_start, side="left"))
+        hi = int(np.searchsorted(strip.row_idx, row_end, side="left"))
+        row_idx = strip.row_idx[lo:hi] - row_start
+        ptr_lo = int(strip.row_ptr[lo])
+        ptr_hi = int(strip.row_ptr[hi])
+        row_ptr = strip.row_ptr[lo : hi + 1] - ptr_lo
+        return DCSRMatrix(
+            (row_end - row_start, strip.shape[1]),
+            row_idx,
+            row_ptr,
+            strip.col_idx[ptr_lo:ptr_hi],
+            strip.values[ptr_lo:ptr_hi],
+        )
+
+    def iter_row_tiles(
+        self, strip_id: int, tile_height: int = DEFAULT_TILE_HEIGHT
+    ):
+        """Yield ``(row_start, tile)`` pairs walking down one strip."""
+        for row_start in range(0, self.n_rows, tile_height):
+            yield row_start, self.row_tile(strip_id, row_start, tile_height)

@@ -1,0 +1,113 @@
+"""Event counters shared by the kernels and the timing model.
+
+The kernels execute SpMM numerically with NumPy *and* account the events a
+profiler would report: per-operand DRAM traffic, atomic updates, warp
+instruction mix, and (after timing) a stall-reason breakdown mirroring the
+paper's NVPROF pie (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass
+class TrafficCounters:
+    """DRAM traffic by operand, in bytes (atomics counted separately)."""
+
+    a_bytes: float = 0.0
+    b_bytes: float = 0.0
+    c_bytes: float = 0.0
+    #: bytes moved by atomic read-modify-write updates of C partial sums;
+    #: these are *additional* to c_bytes and already include the 2x cost.
+    atomic_bytes: float = 0.0
+
+    def add(self, other: "TrafficCounters") -> None:
+        self.a_bytes += other.a_bytes
+        self.b_bytes += other.b_bytes
+        self.c_bytes += other.c_bytes
+        self.atomic_bytes += other.atomic_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        return self.a_bytes + self.b_bytes + self.c_bytes + self.atomic_bytes
+
+    def validate(self) -> None:
+        for name in ("a_bytes", "b_bytes", "c_bytes", "atomic_bytes"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"negative traffic counter {name}")
+
+
+@dataclass
+class InstructionMix:
+    """Thread-execution counts by class (the Fig. 7 categories).
+
+    Counts are *thread executions*: one warp instruction contributes
+    ``warp_size`` executions split between the active classes and
+    ``inactive``.
+    """
+
+    fp: int = 0
+    integer: int = 0
+    control_flow: int = 0
+    #: executions where the lane was predicated off / diverged (Fig. 7's
+    #: "Inactive" bar).
+    inactive: int = 0
+
+    def add(self, other: "InstructionMix") -> None:
+        self.fp += other.fp
+        self.integer += other.integer
+        self.control_flow += other.control_flow
+        self.inactive += other.inactive
+
+    @property
+    def total(self) -> int:
+        return self.fp + self.integer + self.control_flow + self.inactive
+
+    @property
+    def active(self) -> int:
+        return self.fp + self.integer + self.control_flow
+
+    def fraction(self, name: str) -> float:
+        """Fraction of total executions in one class (Fig. 7's y-axis)."""
+        if self.total == 0:
+            return 0.0
+        return getattr(self, name) / self.total
+
+    def validate(self) -> None:
+        for name in ("fp", "integer", "control_flow", "inactive"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"negative instruction counter {name}")
+
+
+@dataclass
+class StallBreakdown:
+    """Fractions of kernel time by stall reason (Fig. 2's pie)."""
+
+    memory: float
+    sm: float
+    other: float
+
+    def validate(self) -> None:
+        total = self.memory + self.sm + self.other
+        if not 0.999 <= total <= 1.001:
+            raise SimulationError(f"stall fractions sum to {total}, not 1")
+        if min(self.memory, self.sm, self.other) < 0:
+            raise SimulationError("negative stall fraction")
+
+
+@dataclass
+class KernelResult:
+    """Everything one simulated kernel execution produces."""
+
+    #: the numeric output C (n_rows x K float array)
+    output: object
+    traffic: TrafficCounters
+    mix: InstructionMix
+    flops: float
+    #: human-readable algorithm tag, e.g. "csr_c_stationary"
+    algorithm: str = ""
+    #: free-form per-kernel extras (tile counts, conversion stats, ...)
+    extras: dict = field(default_factory=dict)

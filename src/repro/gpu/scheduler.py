@@ -1,0 +1,97 @@
+"""SM-level work scheduling: assignment policies and makespan.
+
+The timing model charges total thread executions against the whole GPU's
+issue capacity — implicitly assuming perfect balance across SMs.  This
+module quantifies when that assumption holds: given per-work-item costs
+(per-row or per-tile execution counts), it assigns items to SMs under
+several policies and reports the makespan inflation over the balanced
+ideal:
+
+* ``round_robin`` — the hardware block scheduler's arrival order;
+* ``greedy_lpt``  — longest-processing-time-first (the classic 4/3-bound
+  heuristic; what dynamic block scheduling approaches);
+* ``merge_path``  — pre-split items by the merge-path decomposition
+  (:mod:`repro.kernels.merge`) so no single item can dominate.
+
+Section 3.1.1's row-per-warp/row-per-thread discussion and Section 5.2's
+merge-based outlook are both statements about this inflation factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+POLICIES = ("round_robin", "greedy_lpt", "merge_path")
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Per-SM load vector and its imbalance summary."""
+
+    policy: str
+    loads: np.ndarray
+
+    @property
+    def makespan(self) -> float:
+        return float(self.loads.max()) if self.loads.size else 0.0
+
+    @property
+    def ideal(self) -> float:
+        return float(self.loads.sum() / self.loads.size) if self.loads.size else 0.0
+
+    @property
+    def inflation(self) -> float:
+        """makespan / ideal — 1.0 means perfectly balanced SMs."""
+        return self.makespan / self.ideal if self.ideal > 0 else 1.0
+
+
+def schedule(costs, n_sms: int, *, policy: str = "greedy_lpt") -> ScheduleResult:
+    """Assign work items with the given ``costs`` to ``n_sms`` SMs."""
+    c = np.asarray(costs, dtype=np.float64)
+    if n_sms <= 0:
+        raise ConfigError("n_sms must be positive")
+    if c.size and c.min() < 0:
+        raise ConfigError("costs must be non-negative")
+    loads = np.zeros(n_sms, dtype=np.float64)
+    if policy == "round_robin":
+        for i, cost in enumerate(c):
+            loads[i % n_sms] += cost
+    elif policy == "greedy_lpt":
+        for cost in np.sort(c)[::-1]:
+            loads[int(np.argmin(loads))] += cost
+    elif policy == "merge_path":
+        # Split the total evenly; items are divisible at merge-path cuts.
+        total = c.sum()
+        per = total / n_sms
+        loads[:] = per
+        # The only residual imbalance is one item-granule per SM boundary;
+        # model it as half the mean item cost.
+        if c.size:
+            loads[0] += float(c.mean()) / 2.0
+    else:
+        raise ConfigError(f"unknown policy {policy!r}; expected {POLICIES}")
+    return ScheduleResult(policy=policy, loads=loads)
+
+
+def compare_policies(costs, n_sms: int) -> dict[str, ScheduleResult]:
+    """All policies side by side for one workload."""
+    return {p: schedule(costs, n_sms, policy=p) for p in POLICIES}
+
+
+def row_block_costs(row_lengths, dense_cols: int, block_rows: int = 64):
+    """Execution-cost per 64-row block under row-per-warp (the thread-block
+    granularity the hardware scheduler actually places)."""
+    lens = np.asarray(row_lengths, dtype=np.float64)
+    if dense_cols <= 0 or block_rows <= 0:
+        raise ConfigError("dense_cols and block_rows must be positive")
+    n_blocks = int(np.ceil(lens.size / block_rows)) if lens.size else 0
+    costs = np.zeros(n_blocks, dtype=np.float64)
+    for b in range(n_blocks):
+        seg = lens[b * block_rows : (b + 1) * block_rows]
+        # Per block: FP sweeps plus per-row overheads (see gpu.sm).
+        costs[b] = float(seg.sum()) * dense_cols + 3.0 * seg.size * 32
+    return costs

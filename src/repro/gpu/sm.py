@@ -1,0 +1,133 @@
+"""Warp-level activity accounting for row-per-warp SpMM kernels.
+
+Section 3.1.1 fixes the intra-block mapping: **row-per-warp**, where one
+warp owns one (non-empty, for DCSR) matrix row and its 32 lanes sweep the
+``K`` dense columns in groups of 32.  This module turns per-row non-zero
+counts into the Fig. 7 instruction-mix counters under an explicit model:
+
+per processed row with ``nnz_r`` non-zeros (all warp-wide, 32 lanes):
+
+* control flow — ``nnz_r + 1`` instructions (inner loop + exit test);
+* integer — ``2 + 2·nnz_r`` instructions (row setup, index/address math);
+* FP — ``nnz_r · ceil(K/32)`` FMA instructions, of which only ``K`` lane
+  executions per sweep are active: the paper's "last column slice is load
+  imbalanced if K is not a multiple of 32" shows up here as
+  ``nnz_r · (32·ceil(K/32) − K)`` inactive executions;
+
+per *empty* row (CSR formats only — DCSR never schedules them): one
+control-flow instruction in which a single lane inspects ``row_ptr`` and
+the other 31 executions are inactive — exactly the Fig. 6 pathology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..util import ceil_div
+from .counters import InstructionMix
+
+
+def row_per_warp_activity(
+    row_lengths,
+    n_empty_rows: int,
+    dense_cols: int,
+    *,
+    warp_size: int = 32,
+) -> InstructionMix:
+    """Instruction mix for processing the given rows under row-per-warp.
+
+    ``row_lengths`` holds nnz per *scheduled non-empty* row; ``n_empty_rows``
+    counts additionally scheduled empty rows (zero for DCSR kernels).
+    """
+    if dense_cols <= 0:
+        raise ConfigError(f"dense_cols must be positive, got {dense_cols}")
+    if warp_size <= 0:
+        raise ConfigError(f"warp_size must be positive, got {warp_size}")
+    if n_empty_rows < 0:
+        raise ConfigError("n_empty_rows must be non-negative")
+    lens = np.asarray(row_lengths, dtype=np.int64)
+    if lens.size and lens.min() < 0:
+        raise ConfigError("row lengths must be non-negative")
+    nnz = int(lens.sum())
+    n_rows = int(lens.size)
+    groups = ceil_div(dense_cols, warp_size)
+    slack_per_sweep = groups * warp_size - dense_cols
+
+    mix = InstructionMix()
+    # Non-empty rows: warp-wide CF / INT, K-wide FP sweeps.
+    mix.control_flow += (nnz + n_rows) * warp_size
+    mix.integer += (2 * n_rows + 2 * nnz) * warp_size
+    mix.fp += nnz * dense_cols
+    mix.inactive += nnz * slack_per_sweep
+    # Empty rows: one lane checks row_ptr, 31 idle (Fig. 6, right).
+    mix.control_flow += n_empty_rows
+    mix.inactive += n_empty_rows * (warp_size - 1)
+    return mix
+
+
+def row_per_thread_activity(
+    row_lengths,
+    dense_cols: int,
+    *,
+    warp_size: int = 32,
+) -> InstructionMix:
+    """Instruction mix under the **row-per-thread** mapping (Section 3.1.1).
+
+    The alternative intra-block mapping: each *lane* owns one matrix row
+    and walks one dense column at a time, so a warp covers 32 rows.  The
+    last-column-slice imbalance of row-per-warp disappears (lanes don't
+    split K), but "variation in the number of non-zero elements across
+    rows imbalances the load for each thread": every lane in a warp runs
+    for as many iterations as the warp's *longest* row, and lanes whose
+    rows finished early are inactive — "generally more common than the
+    load-balancing cause by the remainder columns", which is why the paper
+    picks row-per-warp.
+
+    Per warp of 32 consecutive rows, per dense column:
+
+    * each iteration is one FMA slot per lane: active for lanes whose row
+      still has a nonzero, inactive otherwise;
+    * warp-wide CF/INT overheads mirror the row-per-warp accounting at the
+      per-nonzero level.
+    """
+    if dense_cols <= 0:
+        raise ConfigError(f"dense_cols must be positive, got {dense_cols}")
+    if warp_size <= 0:
+        raise ConfigError(f"warp_size must be positive, got {warp_size}")
+    lens = np.asarray(row_lengths, dtype=np.int64)
+    if lens.size and lens.min() < 0:
+        raise ConfigError("row lengths must be non-negative")
+    mix = InstructionMix()
+    nnz = int(lens.sum())
+    # Scalar (per-lane) work mirrors row-per-warp's per-nonzero terms.
+    mix.control_flow += (nnz + int(lens.size)) * 1
+    mix.integer += 2 * int(lens.size) + 2 * nnz
+    for w in range(0, lens.size, warp_size):
+        group = lens[w : w + warp_size]
+        longest = int(group.max()) if group.size else 0
+        if longest == 0:
+            continue
+        active_lanes = int(group.sum())  # lane-iterations with real work
+        total_lanes = longest * warp_size  # warp runs to the longest row
+        mix.fp += active_lanes * dense_cols
+        mix.inactive += (total_lanes - active_lanes) * dense_cols
+    return mix
+
+
+def dcsr_tile_overhead(
+    n_nonzero_rows: int, *, warp_size: int = 32
+) -> InstructionMix:
+    """Extra integer work a DCSR kernel pays per tile: loading ``row_idx``
+    to map warps onto the densified rows (one warp-wide load per stored
+    row).  This is the metadata cost that buys away the empty-row scans."""
+    if n_nonzero_rows < 0:
+        raise ConfigError("n_nonzero_rows must be non-negative")
+    return InstructionMix(integer=n_nonzero_rows * warp_size)
+
+
+def inactive_reduction(csr_mix: InstructionMix, dcsr_mix: InstructionMix) -> float:
+    """Fig. 7's headline: fraction of inactive executions removed by DCSR."""
+    if csr_mix.inactive == 0:
+        return 0.0
+    return 1.0 - dcsr_mix.inactive / csr_mix.inactive

@@ -1,0 +1,105 @@
+"""Memory-bound kernel timing and Fig. 2 stall attribution.
+
+SpMM is bandwidth bound (Section 2), so the model is deliberately
+first-order:
+
+* ``t_mem`` — all DRAM traffic (atomics pre-inflated by their 2x factor)
+  at the achievable streaming bandwidth;
+* ``t_sm`` — total thread executions retired at
+  ``cores × clock × sm_issue_efficiency``.  The instruction mix already
+  counts every scalar execution (index math, control flow, inactive
+  lanes), so the default efficiency is 1.0 — one execution per core per
+  cycle is the hardware ceiling, and with it the CSR baseline lands on
+  Fig. 2's ~75 % memory / ~23 % SM stall split for typical corpus
+  matrices;
+* ``t_other`` — fixed per-kernel-launch overhead.
+
+Execution time is ``max(t_mem, t_sm) + t_other`` (compute overlaps memory),
+and the stall pie attributes the overlapped window to whichever resource is
+*not* the bottleneck:
+
+* memory stall = exposed memory time = ``t_mem − min(t_mem, t_sm)``;
+* SM stall = the overlapped (compute-limited) share = ``min(t_mem, t_sm)``;
+* other = launch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .config import GPUConfig
+from .counters import KernelResult, StallBreakdown
+
+#: Issue-efficiency ceiling (see module docstring).
+DEFAULT_SM_ISSUE_EFFICIENCY = 1.0
+#: Fixed kernel-launch overhead, seconds.
+DEFAULT_LAUNCH_OVERHEAD_S = 3e-6
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Seconds-level timing of one simulated kernel."""
+
+    t_mem_s: float
+    t_sm_s: float
+    t_other_s: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.t_mem_s, self.t_sm_s) + self.t_other_s
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.t_mem_s >= self.t_sm_s
+
+    def stall_breakdown(self) -> StallBreakdown:
+        """Fig. 2's pie for this kernel."""
+        total = self.total_s
+        if total <= 0:
+            return StallBreakdown(memory=0.0, sm=0.0, other=1.0)
+        overlapped = min(self.t_mem_s, self.t_sm_s)
+        exposed_mem = self.t_mem_s - overlapped if self.memory_bound else 0.0
+        exposed_sm = (
+            self.t_sm_s - overlapped if not self.memory_bound else 0.0
+        )
+        mem = exposed_mem / total
+        sm = (overlapped + exposed_sm) / total
+        other = self.t_other_s / total
+        return StallBreakdown(memory=mem, sm=sm, other=other)
+
+
+def time_kernel(
+    result: KernelResult,
+    config: GPUConfig,
+    *,
+    sm_issue_efficiency: float = DEFAULT_SM_ISSUE_EFFICIENCY,
+    launch_overhead_s: float = DEFAULT_LAUNCH_OVERHEAD_S,
+) -> TimingResult:
+    """Estimate the wall time of a simulated kernel on ``config``."""
+    if not 0 < sm_issue_efficiency <= 1:
+        raise ConfigError("sm_issue_efficiency must be in (0, 1]")
+    if launch_overhead_s < 0:
+        raise ConfigError("launch_overhead_s must be non-negative")
+    result.traffic.validate()
+    result.mix.validate()
+    t_mem = result.traffic.total_bytes / (
+        config.effective_bandwidth_gbps * 1e9
+    )
+    retire_rate = (
+        config.thread_slots_per_cycle * config.clock_ghz * 1e9 * sm_issue_efficiency
+    )
+    t_sm = result.mix.total / retire_rate
+    n_launches = int(result.extras.get("n_kernel_launches", 1))
+    return TimingResult(
+        t_mem_s=t_mem,
+        t_sm_s=t_sm,
+        t_other_s=n_launches * launch_overhead_s,
+    )
+
+
+def speedup(baseline: TimingResult, candidate: TimingResult) -> float:
+    """Baseline time over candidate time (>1 means candidate is faster)."""
+    if candidate.total_s <= 0:
+        raise ConfigError("candidate time must be positive")
+    return baseline.total_s / candidate.total_s

@@ -1,0 +1,64 @@
+"""Crossbar (SM <-> FB partition) bandwidth accounting.
+
+The online conversion engine reads compact CSC from DRAM but streams the
+*expanded* tiled DCSR across the GPU-internal crossbar to the requesting
+SM's shared memory.  The paper's Section 7 argues this is fine because the
+Xbar has substantially more internal bandwidth than DRAM; this model makes
+that claim checkable: it tracks both byte streams and reports whether the
+crossbar ever becomes the new bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .config import GPUConfig
+
+
+@dataclass
+class XbarTraffic:
+    """Bytes crossing the crossbar, by producer."""
+
+    #: DRAM-originated data forwarded through the Xbar (normal loads)
+    dram_bytes: float = 0.0
+    #: engine-expanded tiled-DCSR bytes (larger than their DRAM source)
+    engine_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.dram_bytes + self.engine_bytes
+
+
+class CrossbarModel:
+    """Accumulates crossbar traffic and answers bottleneck queries."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.traffic = XbarTraffic()
+
+    def record_dram_forward(self, n_bytes: float) -> None:
+        if n_bytes < 0:
+            raise SimulationError("negative byte count")
+        self.traffic.dram_bytes += n_bytes
+
+    def record_engine_stream(self, n_bytes: float) -> None:
+        if n_bytes < 0:
+            raise SimulationError("negative byte count")
+        self.traffic.engine_bytes += n_bytes
+
+    def transfer_time_s(self) -> float:
+        """Time to move all recorded bytes at Xbar bandwidth."""
+        return self.traffic.total_bytes / (self.config.xbar_bandwidth_gbps * 1e9)
+
+    def expansion_factor(self) -> float:
+        """engine bytes / their compact share of DRAM bytes — how much the
+        online conversion inflates on-chip traffic (>= 1 in practice)."""
+        if self.traffic.dram_bytes == 0:
+            return 1.0
+        return self.traffic.total_bytes / self.traffic.dram_bytes
+
+    def is_bottleneck(self, dram_time_s: float) -> bool:
+        """True if the Xbar would take longer than DRAM for this kernel —
+        the condition the paper's design must (and does) avoid."""
+        return self.transfer_time_s() > dram_time_s

@@ -1,0 +1,59 @@
+"""Area and energy models for the conversion engine (Section 5.3)."""
+
+from .area import (
+    COMPARATOR_UNIT_MM2,
+    CONTROL_FLOOR_MM2,
+    REG32_MM2,
+    ChipOverhead,
+    EngineArea,
+    chip_overhead,
+    engine_area,
+)
+from .cacti import (
+    SRAMEstimate,
+    meets_cycle_time,
+    sram_estimate,
+)
+from .system_energy import (
+    DRAM_PJ_PER_BYTE_HBM2,
+    SM_PJ_PER_EXECUTION,
+    EnergyComparison,
+    EnergyEstimate,
+    compare_energy,
+    dram_pj_per_byte,
+    kernel_energy,
+)
+from .energy import (
+    ENERGY_PER_ROW_FP32_PJ,
+    ENERGY_PER_ROW_FP64_PJ,
+    PowerReport,
+    conversion_energy_j,
+    engine_power,
+    speedup_amortizes_power,
+)
+
+__all__ = [
+    "SRAMEstimate",
+    "sram_estimate",
+    "meets_cycle_time",
+    "EngineArea",
+    "engine_area",
+    "ChipOverhead",
+    "chip_overhead",
+    "COMPARATOR_UNIT_MM2",
+    "REG32_MM2",
+    "CONTROL_FLOOR_MM2",
+    "PowerReport",
+    "engine_power",
+    "conversion_energy_j",
+    "speedup_amortizes_power",
+    "ENERGY_PER_ROW_FP32_PJ",
+    "ENERGY_PER_ROW_FP64_PJ",
+    "EnergyEstimate",
+    "EnergyComparison",
+    "kernel_energy",
+    "compare_energy",
+    "dram_pj_per_byte",
+    "DRAM_PJ_PER_BYTE_HBM2",
+    "SM_PJ_PER_EXECUTION",
+]

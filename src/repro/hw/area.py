@@ -1,0 +1,110 @@
+"""Engine area model and chip-level overheads (Section 5.3).
+
+One transformation unit comprises:
+
+* the N-input comparator tree — ``N − 1`` two-input comparator units, each
+  a 32-bit magnitude comparator with bypass muxes (Fig. 15);
+* the frontier/boundary pointer arrays (2 × N 32-bit registers) and the
+  per-lane coordinate/value staging registers;
+* the 16 KiB prefetch SRAM (:mod:`repro.hw.cacti`);
+* pipeline registers and the request/emit control FSMs.
+
+The per-block constants are calibrated so a 64-lane unit totals the
+paper's reported **0.077 mm²** in 16 nm; the structure (what scales with
+what) is the model's content — halving the lane count roughly halves the
+comparator and register area but not the control floor, which is how the
+per-SM placement alternative ends up ~2× costlier (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..gpu.config import GPUConfig
+from .cacti import sram_estimate
+
+#: mm^2 per 2-input comparator unit (32-bit comparator + bypass muxes).
+COMPARATOR_UNIT_MM2 = 3.0e-4
+#: mm^2 per 32-bit register (pointer/staging/pipeline).
+REG32_MM2 = 1.1e-5
+#: mm^2 of fixed control (request queue, FSMs, channel interface).
+CONTROL_FLOOR_MM2 = 0.0325
+
+
+@dataclass(frozen=True)
+class EngineArea:
+    """Area breakdown of one conversion unit."""
+
+    comparator_mm2: float
+    registers_mm2: float
+    buffer_mm2: float
+    control_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (
+            self.comparator_mm2
+            + self.registers_mm2
+            + self.buffer_mm2
+            + self.control_mm2
+        )
+
+
+def engine_area(
+    *, n_lanes: int = 64, buffer_bytes: int = 16 * 1024
+) -> EngineArea:
+    """Area of one transformation unit with ``n_lanes`` column lanes."""
+    if n_lanes <= 0:
+        raise ConfigError("n_lanes must be positive")
+    if buffer_bytes <= 0:
+        raise ConfigError("buffer_bytes must be positive")
+    n_comparators = n_lanes - 1
+    # boundary + frontier + coordinate + value staging per lane, plus one
+    # pipeline register rank per tree level (~n_lanes regs total).
+    n_regs = 4 * n_lanes + n_lanes
+    return EngineArea(
+        comparator_mm2=n_comparators * COMPARATOR_UNIT_MM2,
+        registers_mm2=n_regs * REG32_MM2,
+        buffer_mm2=sram_estimate(buffer_bytes).area_mm2,
+        control_mm2=CONTROL_FLOOR_MM2,
+    )
+
+
+@dataclass(frozen=True)
+class ChipOverhead:
+    """Chip-level cost of placing one engine per memory channel."""
+
+    gpu: str
+    n_engines: int
+    unit_mm2: float
+    total_mm2: float
+    chip_mm2: float
+
+    @property
+    def fraction(self) -> float:
+        return self.total_mm2 / self.chip_mm2
+
+
+def chip_overhead(
+    config: GPUConfig, *, n_lanes: int = 64, per_sm: bool = False
+) -> ChipOverhead:
+    """Total engine area on a GPU (Section 5.3 / Section 6.1).
+
+    ``per_sm=True`` evaluates the Section 6.1 alternative of one engine per
+    SM, which the paper prices at ~2× the per-channel cost: more engines
+    *and* a larger buffer per engine to cover the extra Xbar latency.
+    """
+    if per_sm:
+        n_engines = config.n_sms
+        unit = engine_area(n_lanes=n_lanes, buffer_bytes=32 * 1024).total_mm2
+    else:
+        n_engines = config.mem_channels
+        unit = engine_area(n_lanes=n_lanes).total_mm2
+    return ChipOverhead(
+        gpu=config.name,
+        n_engines=n_engines,
+        unit_mm2=unit,
+        total_mm2=n_engines * unit,
+        chip_mm2=config.die_area_mm2,
+    )

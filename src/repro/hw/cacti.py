@@ -1,0 +1,71 @@
+"""Simplified CACTI-like SRAM model for the engine's internal buffers.
+
+The paper sizes its prefetch buffer with CACTI [13] on a 16 nm process.  We
+model the quantities Section 5.3 consumes — area, access latency, access
+energy — with first-order scaling laws anchored to public 16 nm-class SRAM
+macro figures:
+
+* area: a fixed periphery floor plus a per-bit density term (small macros
+  are dominated by periphery, which is why 16 KiB costs far more per bit
+  than a megabyte-class cache);
+* latency: grows with the square root of capacity (wordline/bitline RC);
+* energy: a per-access floor plus a per-byte term.
+
+The constants are calibration anchors, not synthesis results; the tests pin
+the Section 5.3 requirements (16 KiB buffer accessible under the 0.588 ns
+cycle) rather than the constants themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from ..errors import ConfigError
+
+#: mm^2 of fixed periphery per SRAM macro (decoders, sense amps, IO).
+PERIPHERY_AREA_MM2 = 0.004
+#: mm^2 per KiB of 16 nm SRAM cell array (~0.3 mm^2 per MiB cells alone,
+#: inflated for small-macro inefficiency).
+AREA_PER_KIB_MM2 = 0.0011
+#: ns access floor for a tiny macro.
+LATENCY_FLOOR_NS = 0.15
+#: ns added per sqrt(KiB).
+LATENCY_PER_SQRT_KIB_NS = 0.05
+#: pJ per access floor.
+ENERGY_FLOOR_PJ = 0.8
+#: pJ per byte moved.
+ENERGY_PER_BYTE_PJ = 0.18
+
+
+@dataclass(frozen=True)
+class SRAMEstimate:
+    """Area/latency/energy of one SRAM macro."""
+
+    capacity_bytes: int
+    area_mm2: float
+    access_latency_ns: float
+    access_energy_pj: float
+
+
+def sram_estimate(capacity_bytes: int, *, access_bytes: int = 8) -> SRAMEstimate:
+    """Estimate a macro of ``capacity_bytes`` read ``access_bytes`` at a time."""
+    if capacity_bytes <= 0:
+        raise ConfigError("capacity must be positive")
+    if access_bytes <= 0:
+        raise ConfigError("access width must be positive")
+    kib = capacity_bytes / 1024.0
+    return SRAMEstimate(
+        capacity_bytes=capacity_bytes,
+        area_mm2=PERIPHERY_AREA_MM2 + AREA_PER_KIB_MM2 * kib,
+        access_latency_ns=LATENCY_FLOOR_NS
+        + LATENCY_PER_SQRT_KIB_NS * math.sqrt(kib),
+        access_energy_pj=ENERGY_FLOOR_PJ + ENERGY_PER_BYTE_PJ * access_bytes,
+    )
+
+
+def meets_cycle_time(est: SRAMEstimate, cycle_ns: float) -> bool:
+    """Section 5.3's requirement: buffer reads fit in the engine cycle."""
+    if cycle_ns <= 0:
+        raise ConfigError("cycle time must be positive")
+    return est.access_latency_ns <= cycle_ns

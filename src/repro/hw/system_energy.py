@@ -1,0 +1,134 @@
+"""System-level energy per kernel: DRAM + SM + engine (Section 5.3's close).
+
+The paper's final energy argument is qualitative — "our average speedup
+(2.26x) more than amortizes for the added power and energy".  This module
+makes it quantitative: given a simulated kernel's counters it estimates
+
+* **DRAM energy** — pJ/byte for HBM2/GDDR6 class interfaces;
+* **SM energy** — pJ per scalar thread execution (issue + operand + ALU);
+* **static energy** — chip idle power over the kernel's duration;
+* **engine energy** — the per-row worst-case cost of any online
+  conversion performed.
+
+and derives energy and energy-delay product (EDP) comparisons between the
+baseline and the proposal.  Constants are first-order public figures for
+the 14/16 nm GPU generation; as with the area model, the *structure*
+(what scales with bytes vs executions vs time) carries the conclusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..gpu.config import GPUConfig
+from ..gpu.counters import KernelResult
+from ..gpu.timing import TimingResult
+from .energy import conversion_energy_j
+
+#: pJ per byte moved over an HBM2 interface (device + PHY + controller).
+DRAM_PJ_PER_BYTE_HBM2 = 4.0
+#: pJ per byte for GDDR6 (higher per-bit I/O energy).
+DRAM_PJ_PER_BYTE_GDDR6 = 7.0
+#: pJ per scalar thread execution on a 16 nm-class SM.
+SM_PJ_PER_EXECUTION = 1.2
+#: pJ per byte crossing the on-die crossbar.
+XBAR_PJ_PER_BYTE = 0.15
+
+
+def dram_pj_per_byte(config: GPUConfig) -> float:
+    return (
+        DRAM_PJ_PER_BYTE_HBM2
+        if config.memory_type.upper().startswith("HBM")
+        else DRAM_PJ_PER_BYTE_GDDR6
+    )
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Joules by component for one kernel execution."""
+
+    dram_j: float
+    sm_j: float
+    static_j: float
+    engine_j: float
+    xbar_j: float
+    time_s: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.dram_j + self.sm_j + self.static_j + self.engine_j + self.xbar_j
+        )
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J·s)."""
+        return self.total_j * self.time_s
+
+
+def kernel_energy(
+    result: KernelResult,
+    timing: TimingResult,
+    config: GPUConfig,
+) -> EnergyEstimate:
+    """Estimate one simulated kernel's energy from its counters."""
+    result.traffic.validate()
+    dram_j = result.traffic.total_bytes * dram_pj_per_byte(config) * 1e-12
+    sm_j = result.mix.total * SM_PJ_PER_EXECUTION * 1e-12
+    static_j = config.idle_power_w * timing.total_s
+    conv = result.extras.get("conversion")
+    engine_j = (
+        conversion_energy_j(int(conv["steps"])) if conv is not None else 0.0
+    )
+    xbar_bytes = float(result.extras.get("xbar_engine_bytes", 0.0))
+    xbar_j = xbar_bytes * XBAR_PJ_PER_BYTE * 1e-12
+    return EnergyEstimate(
+        dram_j=dram_j,
+        sm_j=sm_j,
+        static_j=static_j,
+        engine_j=engine_j,
+        xbar_j=xbar_j,
+        time_s=timing.total_s,
+    )
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Baseline-vs-proposal energy verdict."""
+
+    baseline: EnergyEstimate
+    candidate: EnergyEstimate
+
+    @property
+    def energy_ratio(self) -> float:
+        """baseline / candidate energy (>1: the proposal saves energy)."""
+        if self.candidate.total_j <= 0:
+            raise ConfigError("candidate energy must be positive")
+        return self.baseline.total_j / self.candidate.total_j
+
+    @property
+    def edp_ratio(self) -> float:
+        """baseline / candidate EDP (>1: the proposal wins energy-delay)."""
+        if self.candidate.edp <= 0:
+            raise ConfigError("candidate EDP must be positive")
+        return self.baseline.edp / self.candidate.edp
+
+    @property
+    def engine_share(self) -> float:
+        """Fraction of the candidate's energy spent in the engine."""
+        return self.candidate.engine_j / self.candidate.total_j
+
+
+def compare_energy(
+    baseline_result: KernelResult,
+    baseline_timing: TimingResult,
+    candidate_result: KernelResult,
+    candidate_timing: TimingResult,
+    config: GPUConfig,
+) -> EnergyComparison:
+    """The paper's closing argument as a computation."""
+    return EnergyComparison(
+        baseline=kernel_energy(baseline_result, baseline_timing, config),
+        candidate=kernel_energy(candidate_result, candidate_timing, config),
+    )

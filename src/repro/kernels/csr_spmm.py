@@ -1,0 +1,85 @@
+"""Untiled CSR SpMM, C-stationary, row-per-warp — the cuSPARSE stand-in.
+
+This is the baseline every speedup in Fig. 16 is normalized to: the
+community-standard format (Fig. 1) with the paper's preferred C-stationary
+mapping (Section 3.1.1), no tiling of A, and the B vertical strip held hot
+in the LLC.
+
+Traffic model (structure-derived):
+
+* A — the CSR arrays stream once per 64-wide B column group;
+* B — per-nonzero gathers of K-wide B rows with LLC reuse correction;
+* C — each non-empty row written exactly once (no atomics).
+
+Activity model: one warp per matrix row, *including* the empty ones — the
+row-per-warp kernel must at least inspect ``row_ptr`` for every row, which
+is exactly the inefficiency DCSR removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from ..gpu.config import GPUConfig
+from ..gpu.counters import InstructionMix, KernelResult, TrafficCounters
+from ..gpu.sm import row_per_warp_activity
+from .common import (
+    b_operand_traffic,
+    c_single_write_bytes,
+    llc_bytes,
+    n_b_column_groups,
+    spmm_flops,
+)
+from .reference import check_operands, scipy_spmm
+
+
+def csr_spmm(
+    csr: CSRMatrix, dense: np.ndarray, config: GPUConfig
+) -> KernelResult:
+    """Simulate the baseline CSR kernel; returns result + counters."""
+    b = check_operands(csr, dense)
+    k = b.shape[1]
+    out = scipy_spmm(csr, b)
+
+    lengths = csr.row_lengths()
+    nz_lengths = lengths[lengths > 0]
+    n_empty = int(csr.n_rows - nz_lengths.size)
+    unique_cols = int(np.unique(csr.col_idx).size) if csr.nnz else 0
+
+    groups = n_b_column_groups(k)
+    traffic = TrafficCounters()
+    traffic.a_bytes = float(csr.footprint_bytes() * groups)
+    b_traf = b_operand_traffic(
+        total_accesses=csr.nnz * k,
+        unique_rows=unique_cols,
+        dense_cols=k,
+        llc_bytes=llc_bytes(config),
+    )
+    traffic.b_bytes = b_traf.total_bytes
+    traffic.c_bytes = c_single_write_bytes(int(nz_lengths.size), k)
+
+    mix = InstructionMix()
+    # Every column group re-walks the row structure.
+    for _ in range(groups):
+        mix.add(
+            row_per_warp_activity(
+                nz_lengths,
+                n_empty,
+                min(k, 64),
+                warp_size=config.warp_size,
+            )
+        )
+
+    return KernelResult(
+        output=out,
+        traffic=traffic,
+        mix=mix,
+        flops=spmm_flops(csr.nnz, k),
+        algorithm="csr_c_stationary",
+        extras={
+            "n_kernel_launches": 1,
+            "n_empty_rows_scanned": n_empty * groups,
+            "unique_b_rows": unique_cols,
+        },
+    )

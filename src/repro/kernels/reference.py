@@ -1,0 +1,59 @@
+"""Numeric SpMM oracle (Algorithm 1) used to verify every simulated kernel.
+
+``reference_spmm`` is the literal triple loop of Algorithm 1, vectorized
+over the dense columns; ``scipy_spmm`` is the independent scipy.sparse
+cross-check the tests compare both against (mirroring the paper's "we
+verify our implementation can produce the same output as cuSPARSE").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def check_operands(matrix, dense) -> np.ndarray:
+    """Validate shapes and return ``dense`` as a C-contiguous 2-D array."""
+    b = np.asarray(dense)
+    if b.ndim != 2:
+        raise ConfigError(f"dense operand must be 2-D, got shape {b.shape}")
+    if b.shape[0] != matrix.n_cols:
+        raise ConfigError(
+            f"dimension mismatch: A is {matrix.shape}, B is {b.shape}"
+        )
+    return np.ascontiguousarray(b, dtype=np.float64)
+
+
+def reference_spmm(matrix, dense) -> np.ndarray:
+    """Algorithm 1, row by row (float64 accumulation for a stable oracle)."""
+    from ..formats.csr import CSRMatrix
+    from ..formats.coo import COOMatrix
+
+    b = check_operands(matrix, dense)
+    rows, cols, vals = matrix.to_coo_arrays()
+    csr = CSRMatrix.from_coo(COOMatrix(matrix.shape, rows, cols, vals))
+    out = np.zeros((matrix.n_rows, b.shape[1]), dtype=np.float64)
+    for i in range(csr.n_rows):
+        lo, hi = int(csr.row_ptr[i]), int(csr.row_ptr[i + 1])
+        for j in range(lo, hi):
+            out[i] += float(csr.values[j]) * b[csr.col_idx[j]]
+    return out
+
+
+def scipy_spmm(matrix, dense) -> np.ndarray:
+    """Fast independent implementation via scipy (the production path)."""
+    import scipy.sparse as sp
+
+    b = check_operands(matrix, dense)
+    rows, cols, vals = matrix.to_coo_arrays()
+    a = sp.csr_matrix(
+        (np.asarray(vals, dtype=np.float64), (rows, cols)), shape=matrix.shape
+    )
+    return np.asarray(a @ b)
+
+
+def random_dense_operand(n_rows: int, k: int, seed=0) -> np.ndarray:
+    """A seeded dense B operand in the paper's FP32 value range."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.1, 1.0, size=(n_rows, k)).astype(np.float32)

@@ -1,0 +1,61 @@
+"""Tile-traversal orders for B-stationary SpMM (Section 3.1.3).
+
+With B tiled 64x64, the kernel must visit every (A-strip, B-column-group)
+pair; the *order* decides which operand's tiles stay hot in the LLC:
+
+* ``column_major`` — walk down one strip of A before moving to the next B
+  column group: C partial-sum tiles are revisited while resident, so atomic
+  retouches mostly hit the LLC.  A strips are re-streamed per group.
+* ``row_major`` — walk across strips for one row of B tiles: the A strip
+  in flight is shared by concurrent SMs (A reuse), but the entire C
+  surface is touched once per strip — C retouches all go to DRAM.
+
+The paper concludes column-major usually wins because C's footprint
+(dense) dwarfs A's (sparse); :func:`traversal_effects` encodes exactly
+that asymmetry for the traffic model, and the Fig. 16 bench ablates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ConfigError
+
+ORDERS = ("column_major", "row_major")
+
+
+@dataclass(frozen=True)
+class TraversalEffects:
+    """How an order interacts with the LLC, consumed by the traffic model."""
+
+    #: C partial-sum retouches may hit the LLC
+    c_cacheable: bool
+    #: repeated A-strip reads (across column groups) may hit the LLC
+    a_cacheable: bool
+
+
+def traversal_effects(order: str) -> TraversalEffects:
+    if order == "column_major":
+        return TraversalEffects(c_cacheable=True, a_cacheable=False)
+    if order == "row_major":
+        return TraversalEffects(c_cacheable=False, a_cacheable=True)
+    raise ConfigError(f"unknown traversal order {order!r}; expected {ORDERS}")
+
+
+def tile_visit_order(
+    n_strips: int, n_groups: int, order: str
+) -> Iterator[tuple[int, int]]:
+    """Yield (strip, column_group) pairs in traversal order."""
+    if n_strips < 0 or n_groups < 0:
+        raise ConfigError("tile counts must be non-negative")
+    if order == "column_major":
+        for g in range(n_groups):
+            for s in range(n_strips):
+                yield s, g
+    elif order == "row_major":
+        for s in range(n_strips):
+            for g in range(n_groups):
+                yield s, g
+    else:
+        raise ConfigError(f"unknown traversal order {order!r}; expected {ORDERS}")

@@ -1,0 +1,323 @@
+"""Synthetic sparsity-pattern generators — the SuiteSparse substitute.
+
+The paper profiles ~4,000 real matrices whose behaviour is governed by three
+axes its analysis names explicitly: density ``d``, row-/column-wise non-zero
+skew (``n_nnzrow`` vs ``n_nnzcol``), and the entropy of the per-tile non-zero
+distribution (Eq. 1).  Each generator here targets a region of that space:
+
+==================  =======================================================
+generator           sparsity character
+==================  =======================================================
+uniform_random      i.i.d. cells — maximal entropy, symmetric row/col nnz
+powerlaw_rows       few heavy rows (skewed ``n_nnzrow``), e.g. web graphs
+powerlaw_cols       few heavy columns (skewed ``n_nnzcol``)
+banded              diagonal locality — low entropy, clustered strips
+block_diagonal      dense blocks on the diagonal — very low entropy
+clustered           random dense blocks scattered in a sparse sea
+tall_skinny         many more rows than columns (few strips)
+bipartite_graph     scale-free bipartite adjacency via preferential attach
+pruned_dnn_layer    magnitude-pruned dense weights — near-uniform
+kronecker_graph     R-MAT-style self-similar graph adjacency
+==================  =======================================================
+
+All generators return a deduplicated :class:`~repro.formats.coo.COOMatrix`
+with values in (0.1, 1] and are fully deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..formats.coo import COOMatrix
+from ..util import VALUE_DTYPE, rng_from
+
+
+def _finalize(shape, rows, cols, rng) -> COOMatrix:
+    """Attach uniform(0.1, 1] values and deduplicate."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = rng.uniform(0.1, 1.0, size=rows.size).astype(VALUE_DTYPE)
+    return COOMatrix(shape, rows, cols, vals).deduplicate()
+
+
+def _target_nnz(n_rows: int, n_cols: int, density: float) -> int:
+    if not 0.0 <= density <= 1.0:
+        raise FormatError(f"density must be in [0, 1], got {density}")
+    return int(round(density * n_rows * n_cols))
+
+
+def uniform_random(n_rows: int, n_cols: int, density: float, seed=0) -> COOMatrix:
+    """I.i.d. uniform non-zero placement at the requested density."""
+    rng = rng_from(seed)
+    nnz = _target_nnz(n_rows, n_cols, density)
+    cells = n_rows * n_cols
+    if nnz >= cells:
+        rows, cols = np.divmod(np.arange(cells, dtype=np.int64), n_cols)
+        return _finalize((n_rows, n_cols), rows, cols, rng)
+    # Sample linear cell ids without replacement (choice is fine at our sizes
+    # since nnz << cells for sparse matrices; fall back to unique-resample).
+    flat = rng.choice(cells, size=nnz, replace=False)
+    rows, cols = np.divmod(flat.astype(np.int64), n_cols)
+    return _finalize((n_rows, n_cols), rows, cols, rng)
+
+
+def _powerlaw_weights(n: int, alpha: float, rng) -> np.ndarray:
+    """Zipf-like weights with random rank permutation, normalized to sum 1."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-alpha)
+    rng.shuffle(w)
+    return w / w.sum()
+
+
+def powerlaw_rows(
+    n_rows: int, n_cols: int, density: float, *, alpha: float = 1.2, seed=0
+) -> COOMatrix:
+    """Row-skewed pattern: per-row nnz follows a Zipf(``alpha``) profile.
+
+    Columns within a row are uniform, so ``n_nnzcol`` stays near-uniform
+    while ``n_nnzrow`` is heavy-tailed — the Section 3.1.4 case where
+    C-stationary wins.
+    """
+    rng = rng_from(seed)
+    nnz = _target_nnz(n_rows, n_cols, density)
+    per_row = rng.multinomial(nnz, _powerlaw_weights(n_rows, alpha, rng))
+    per_row = np.minimum(per_row, n_cols)
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), per_row)
+    cols = np.concatenate(
+        [rng.choice(n_cols, size=k, replace=False) for k in per_row if k]
+    ) if per_row.sum() else np.array([], dtype=np.int64)
+    return _finalize((n_rows, n_cols), rows, cols, rng)
+
+
+def powerlaw_cols(
+    n_rows: int, n_cols: int, density: float, *, alpha: float = 1.2, seed=0
+) -> COOMatrix:
+    """Column-skewed pattern (transpose of :func:`powerlaw_rows`)."""
+    t = powerlaw_rows(n_cols, n_rows, density, alpha=alpha, seed=seed)
+    return t.transpose().deduplicate()
+
+
+def banded(
+    n_rows: int, n_cols: int, density: float, *, bandwidth: int | None = None, seed=0
+) -> COOMatrix:
+    """Non-zeros confined to a diagonal band of half-width ``bandwidth``.
+
+    The band is filled to the requested overall density; a narrow band gives
+    the clustered, low-entropy strips common in FEM/stencil matrices.
+    """
+    rng = rng_from(seed)
+    if bandwidth is None:
+        bandwidth = max(1, n_cols // 16)
+    if bandwidth < 0:
+        raise FormatError(f"bandwidth must be non-negative, got {bandwidth}")
+    nnz = _target_nnz(n_rows, n_cols, density)
+    rows = rng.integers(0, n_rows, size=2 * nnz + 8)
+    # Diagonal position scaled for rectangular shapes.
+    diag = (rows * n_cols) // max(n_rows, 1)
+    offs = rng.integers(-bandwidth, bandwidth + 1, size=rows.size)
+    cols = diag + offs
+    ok = (cols >= 0) & (cols < n_cols)
+    rows, cols = rows[ok][:nnz], cols[ok][:nnz]
+    return _finalize((n_rows, n_cols), rows, cols, rng)
+
+
+def block_diagonal(
+    n_rows: int,
+    n_cols: int,
+    density: float,
+    *,
+    block_size: int = 64,
+    block_fill: float = 0.5,
+    seed=0,
+) -> COOMatrix:
+    """Dense-ish blocks along the diagonal — the lowest-entropy pattern.
+
+    Blocks of ``block_size`` are filled at ``block_fill`` until the target
+    density is met (or every block is used).
+    """
+    rng = rng_from(seed)
+    if block_size <= 0:
+        raise FormatError(f"block_size must be positive, got {block_size}")
+    nnz_target = _target_nnz(n_rows, n_cols, density)
+    n_blocks = min(n_rows, n_cols) // block_size + 1
+    rows_all, cols_all = [], []
+    total = 0
+    for b in range(n_blocks):
+        if total >= nnz_target:
+            break
+        r0, c0 = b * block_size, b * block_size
+        h = min(block_size, n_rows - r0)
+        w = min(block_size, n_cols - c0)
+        if h <= 0 or w <= 0:
+            break
+        k = min(int(block_fill * h * w), nnz_target - total)
+        if k <= 0:
+            continue
+        flat = rng.choice(h * w, size=k, replace=False)
+        rr, cc = np.divmod(flat.astype(np.int64), w)
+        rows_all.append(rr + r0)
+        cols_all.append(cc + c0)
+        total += k
+    if not rows_all:
+        return COOMatrix((n_rows, n_cols), [], [], np.array([], dtype=VALUE_DTYPE))
+    return _finalize(
+        (n_rows, n_cols), np.concatenate(rows_all), np.concatenate(cols_all), rng
+    )
+
+
+def clustered(
+    n_rows: int,
+    n_cols: int,
+    density: float,
+    *,
+    n_clusters: int = 12,
+    cluster_size: int = 48,
+    cluster_fill: float = 0.4,
+    seed=0,
+) -> COOMatrix:
+    """Random dense blocks scattered across the matrix plus uniform noise.
+
+    Roughly half the nnz budget lands in the clusters (low entropy) and the
+    rest is uniform background — the "skewed" matrices where B-stationary
+    amortizes its atomic cost (Section 3.1.2).
+    """
+    rng = rng_from(seed)
+    nnz_target = _target_nnz(n_rows, n_cols, density)
+    rows_all, cols_all = [], []
+    budget = nnz_target // 2
+    for _ in range(n_clusters):
+        if budget <= 0:
+            break
+        h = min(cluster_size, n_rows)
+        w = min(cluster_size, n_cols)
+        r0 = int(rng.integers(0, max(n_rows - h, 0) + 1))
+        c0 = int(rng.integers(0, max(n_cols - w, 0) + 1))
+        k = min(int(cluster_fill * h * w), budget)
+        if k <= 0:
+            continue
+        flat = rng.choice(h * w, size=k, replace=False)
+        rr, cc = np.divmod(flat.astype(np.int64), w)
+        rows_all.append(rr + r0)
+        cols_all.append(cc + c0)
+        budget -= k
+    # Uniform background for the remaining budget.
+    rest = nnz_target - sum(a.size for a in rows_all)
+    if rest > 0:
+        cells = n_rows * n_cols
+        flat = rng.choice(cells, size=min(rest, cells), replace=False)
+        rr, cc = np.divmod(flat.astype(np.int64), n_cols)
+        rows_all.append(rr)
+        cols_all.append(cc)
+    if not rows_all:
+        return COOMatrix((n_rows, n_cols), [], [], np.array([], dtype=VALUE_DTYPE))
+    return _finalize(
+        (n_rows, n_cols), np.concatenate(rows_all), np.concatenate(cols_all), rng
+    )
+
+
+def tall_skinny(
+    n_rows: int, n_cols: int, density: float, seed=0
+) -> COOMatrix:
+    """Uniform pattern validated to be tall (rows >= 4x cols).
+
+    Tall-skinny matrices have few strips and few non-zero rows per strip —
+    the Fig. 9 outliers where tiled DCSR is *cheaper* than CSR.
+    """
+    if n_rows < 4 * n_cols:
+        raise FormatError(
+            f"tall_skinny expects n_rows >= 4*n_cols, got {n_rows}x{n_cols}"
+        )
+    return uniform_random(n_rows, n_cols, density, seed=seed)
+
+
+def bipartite_graph(
+    n_rows: int, n_cols: int, density: float, *, seed=0
+) -> COOMatrix:
+    """Scale-free bipartite adjacency via preferential attachment.
+
+    Both row and column degrees are heavy-tailed, mimicking web/social
+    bipartite graphs (the graph-analytics workloads in the paper's intro).
+    """
+    rng = rng_from(seed)
+    nnz = _target_nnz(n_rows, n_cols, density)
+    # Degree-proportional sampling with +1 smoothing, done in rounds so the
+    # degree vector feeds back (preferential attachment) without a per-edge
+    # Python loop.
+    if nnz == 0:
+        return COOMatrix((n_rows, n_cols), [], [], np.array([], dtype=VALUE_DTYPE))
+    row_deg = np.ones(n_rows, dtype=np.float64)
+    col_deg = np.ones(n_cols, dtype=np.float64)
+    rows_all, cols_all = [], []
+    remaining = nnz
+    while remaining > 0:
+        batch = max(64, remaining // 4)
+        batch = min(batch, remaining)
+        r = rng.choice(n_rows, size=batch, p=row_deg / row_deg.sum())
+        c = rng.choice(n_cols, size=batch, p=col_deg / col_deg.sum())
+        rows_all.append(r.astype(np.int64))
+        cols_all.append(c.astype(np.int64))
+        np.add.at(row_deg, r, 1.0)
+        np.add.at(col_deg, c, 1.0)
+        remaining -= batch
+    rows = np.concatenate(rows_all)
+    cols = np.concatenate(cols_all)
+    return _finalize((n_rows, n_cols), rows, cols, rng)
+
+
+def pruned_dnn_layer(
+    n_rows: int, n_cols: int, density: float, *, seed=0
+) -> COOMatrix:
+    """Magnitude-pruned dense weight matrix (the DNN pruning workload).
+
+    Draws Gaussian weights and keeps the largest ``density`` fraction by
+    magnitude — near-uniform placement but with realistic value statistics.
+    """
+    rng = rng_from(seed)
+    nnz = _target_nnz(n_rows, n_cols, density)
+    weights = rng.normal(0.0, 1.0, size=(n_rows, n_cols))
+    if nnz == 0:
+        return COOMatrix((n_rows, n_cols), [], [], np.array([], dtype=VALUE_DTYPE))
+    flat = np.abs(weights).ravel()
+    keep = np.argpartition(flat, flat.size - nnz)[flat.size - nnz :]
+    rows, cols = np.divmod(keep.astype(np.int64), n_cols)
+    vals = weights[rows, cols].astype(VALUE_DTYPE)
+    return COOMatrix((n_rows, n_cols), rows, cols, vals).deduplicate()
+
+
+def kronecker_graph(
+    scale: int, density: float, *, seed=0, initiator=None
+) -> COOMatrix:
+    """R-MAT / stochastic-Kronecker adjacency, ``2**scale`` square.
+
+    The classic (0.57, 0.19, 0.19, 0.05) initiator yields the skewed,
+    clustered structure of real graph adjacency matrices.
+    """
+    rng = rng_from(seed)
+    n = 1 << scale
+    if initiator is None:
+        initiator = (0.57, 0.19, 0.19, 0.05)
+    p = np.asarray(initiator, dtype=np.float64)
+    p = p / p.sum()
+    nnz = _target_nnz(n, n, density)
+    quad = rng.choice(4, size=(nnz, scale), p=p)
+    row_bits = (quad >> 1) & 1  # quadrants 2,3 are the lower half
+    col_bits = quad & 1  # quadrants 1,3 are the right half
+    weights = 1 << np.arange(scale - 1, -1, -1, dtype=np.int64)
+    rows = row_bits @ weights
+    cols = col_bits @ weights
+    return _finalize((n, n), rows, cols, rng)
+
+
+#: name → callable registry used by :mod:`repro.matrices.suite`.
+GENERATORS = {
+    "uniform": uniform_random,
+    "powerlaw_rows": powerlaw_rows,
+    "powerlaw_cols": powerlaw_cols,
+    "banded": banded,
+    "block_diagonal": block_diagonal,
+    "clustered": clustered,
+    "tall_skinny": tall_skinny,
+    "bipartite": bipartite_graph,
+    "pruned_dnn": pruned_dnn_layer,
+}

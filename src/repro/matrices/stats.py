@@ -1,0 +1,161 @@
+"""Sparsity statistics the paper's analysis is parameterized by.
+
+``MatrixStats`` gathers everything Sections 3.1.2–3.1.4 reference:
+
+* density ``d`` and total nnz;
+* ``n_nnzrow`` / ``n_nnzcol`` — the number of *non-empty* rows/columns
+  (Table 1's ``n_nnzrow ≈ n_nnzcol ≈ n`` under uniform distribution);
+* ``n_nnzrow_strip`` — non-empty rows per 64-wide vertical strip, whose
+  mean appears in the SSF denominator and whose histogram is Fig. 5;
+* per-(row, strip) **row-segment** nnz counts, the support of the Eq. 1
+  entropy (a row segment is one row's nonzeros within one strip — tile
+  height does not change the segment population, only its grouping).
+
+Everything is computed vectorized from COO triplets, so a 4,000-matrix
+profiling sweep stays fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+from ..formats.tiled import DEFAULT_TILE_WIDTH, n_strips
+
+
+def _coo_arrays(matrix):
+    rows, cols, _ = matrix.to_coo_arrays()
+    return np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)
+
+
+def nnz_per_row(matrix) -> np.ndarray:
+    """nnz count for each row (length ``n_rows``)."""
+    rows, _ = _coo_arrays(matrix)
+    out = np.zeros(matrix.n_rows, dtype=np.int64)
+    np.add.at(out, rows, 1)
+    return out
+
+
+def nnz_per_col(matrix) -> np.ndarray:
+    """nnz count for each column (length ``n_cols``)."""
+    _, cols = _coo_arrays(matrix)
+    out = np.zeros(matrix.n_cols, dtype=np.int64)
+    np.add.at(out, cols, 1)
+    return out
+
+
+def row_segment_nnz(matrix, tile_width: int = DEFAULT_TILE_WIDTH) -> np.ndarray:
+    """nnz of every non-empty (row, strip) segment, in no particular order.
+
+    This is the population Eq. 1's entropy is taken over: each element is
+    ``r.nnz`` for one row segment ``r`` of one tile ``t``.
+    """
+    if tile_width <= 0:
+        raise FormatError(f"tile_width must be positive, got {tile_width}")
+    rows, cols = _coo_arrays(matrix)
+    if rows.size == 0:
+        return np.array([], dtype=np.int64)
+    strips = cols // tile_width
+    keys = rows * n_strips(matrix.n_cols, tile_width) + strips
+    _, counts = np.unique(keys, return_counts=True)
+    return counts.astype(np.int64)
+
+
+def nonzero_rows_per_strip(
+    matrix, tile_width: int = DEFAULT_TILE_WIDTH
+) -> np.ndarray:
+    """Count of non-empty rows in each vertical strip (length ``n_strips``).
+
+    The histogram of ``this / n_rows`` is Fig. 5; its mean over strips is
+    the ``mean(n_nnzrow_strip)`` term in the SSF denominator.
+    """
+    if tile_width <= 0:
+        raise FormatError(f"tile_width must be positive, got {tile_width}")
+    rows, cols = _coo_arrays(matrix)
+    k = n_strips(matrix.n_cols, tile_width)
+    out = np.zeros(k, dtype=np.int64)
+    if rows.size == 0:
+        return out
+    strips = cols // tile_width
+    keys = np.unique(rows * k + strips)
+    np.add.at(out, keys % k, 1)
+    return out
+
+
+def strip_density_histogram(
+    matrix,
+    tile_width: int = DEFAULT_TILE_WIDTH,
+    bins=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of per-strip non-zero-row fraction (the Fig. 5 series).
+
+    Returns ``(counts, bin_edges)``.  Default bins mirror the paper's:
+    1 %-wide buckets up to 10 % and coarse buckets beyond.
+    """
+    frac = nonzero_rows_per_strip(matrix, tile_width) / max(matrix.n_rows, 1)
+    if bins is None:
+        bins = np.concatenate(
+            [np.arange(0.0, 0.11, 0.01), [0.25, 0.5, 0.75, 1.0 + 1e-9]]
+        )
+    counts, edges = np.histogram(frac, bins=bins)
+    return counts, edges
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Scalar profile of one sparse matrix (inputs to the SSF heuristic)."""
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    density: float
+    #: number of rows with at least one nonzero
+    n_nonzero_rows: int
+    #: number of columns with at least one nonzero
+    n_nonzero_cols: int
+    #: mean nnz among non-empty rows
+    mean_nnz_per_nonzero_row: float
+    #: mean non-empty rows per vertical strip (SSF denominator term)
+    mean_nonzero_rows_per_strip: float
+    #: coefficient of variation of per-row nnz (row-skew indicator)
+    row_nnz_cv: float
+    #: coefficient of variation of per-col nnz (col-skew indicator)
+    col_nnz_cv: float
+    tile_width: int
+
+    @property
+    def aspect_ratio(self) -> float:
+        """rows / cols; >1 for tall matrices."""
+        return self.n_rows / self.n_cols if self.n_cols else float("inf")
+
+
+def matrix_stats(matrix, tile_width: int = DEFAULT_TILE_WIDTH) -> MatrixStats:
+    """Compute the full :class:`MatrixStats` profile of ``matrix``."""
+    per_row = nnz_per_row(matrix)
+    per_col = nnz_per_col(matrix)
+    nz_rows = per_row[per_row > 0]
+    strip_rows = nonzero_rows_per_strip(matrix, tile_width)
+
+    def cv(a: np.ndarray) -> float:
+        if a.size == 0:
+            return 0.0
+        mean = a.mean()
+        return float(a.std() / mean) if mean > 0 else 0.0
+
+    return MatrixStats(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        nnz=matrix.nnz,
+        density=matrix.density,
+        n_nonzero_rows=int(np.count_nonzero(per_row)),
+        n_nonzero_cols=int(np.count_nonzero(per_col)),
+        mean_nnz_per_nonzero_row=float(nz_rows.mean()) if nz_rows.size else 0.0,
+        mean_nonzero_rows_per_strip=float(strip_rows.mean())
+        if strip_rows.size
+        else 0.0,
+        row_nnz_cv=cv(per_row.astype(np.float64)),
+        col_nnz_cv=cv(per_col.astype(np.float64)),
+        tile_width=tile_width,
+    )

@@ -1,0 +1,136 @@
+"""Streaming/overlap model for out-of-core SpMM (Section 6.2).
+
+Each GPU processes its vertical B/C strip in chunks staged over the host
+link (CUDA streams / UVM paging in the paper).  With double buffering the
+steady state runs at ``max(transfer, compute)`` per chunk, plus a head
+(first transfer in) and tail (last result out):
+
+    total ≈ t_in(chunk 0) + Σ max(t_compute, t_in, t_out) + t_out(last)
+
+The model quantifies the paper's two claims:
+
+* streaming hides the slower of the two phases whenever compute and
+  transfer are comparable (``overlap_efficiency`` → 1);
+* a **smaller resident A** (CSC instead of offline tiled DCSR) leaves room
+  for bigger chunks, fewer chunk boundaries, and less head/tail loss —
+  ``compare_a_formats`` measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..util import ceil_div
+from .partition import MultiGPUPlan
+
+
+#: Fixed cost per chunk boundary: stream synchronization, kernel launch,
+#: UVM page-table work.  This is what makes *many tiny* chunks expensive —
+#: the Section 6.2 penalty a fat resident A forces.
+DEFAULT_CHUNK_OVERHEAD_S = 1e-3
+
+
+@dataclass(frozen=True)
+class StreamingEstimate:
+    """Timing of one GPU's chunked pass over its strip."""
+
+    n_chunks: int
+    chunk_bytes: float
+    t_transfer_per_chunk_s: float
+    t_compute_per_chunk_s: float
+    chunk_overhead_s: float
+    total_s: float
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Serial time over overlapped time (1.0 = perfect hiding)."""
+        serial = self.n_chunks * (
+            self.t_transfer_per_chunk_s * 2
+            + self.t_compute_per_chunk_s
+            + self.chunk_overhead_s
+        )
+        return serial / self.total_s if self.total_s > 0 else 1.0
+
+
+def stream_strip(
+    plan: MultiGPUPlan,
+    *,
+    compute_time_full_strip_s: float,
+    link_bandwidth_gbps: float = 32.0,
+    chunk_fraction: float | None = None,
+    chunk_overhead_s: float = DEFAULT_CHUNK_OVERHEAD_S,
+) -> StreamingEstimate:
+    """Estimate one GPU's wall time for its strip under double buffering.
+
+    ``chunk_fraction`` defaults to the largest double-bufferable chunk the
+    streaming slack allows (A resident, 4 chunk buffers: 2 in, 2 out).
+    The host link is modelled full duplex (B in and C out overlap).
+    """
+    import math
+
+    if compute_time_full_strip_s < 0:
+        raise ConfigError("compute time must be non-negative")
+    if link_bandwidth_gbps <= 0:
+        raise ConfigError("link bandwidth must be positive")
+    if chunk_overhead_s < 0:
+        raise ConfigError("chunk overhead must be non-negative")
+    strip_bytes = plan.b_strip_bytes
+    if chunk_fraction is None:
+        slack = plan.streaming_slack_bytes
+        if slack <= 0:
+            raise ConfigError("no device memory left for streaming buffers")
+        chunk_fraction = min(1.0, slack / (4.0 * strip_bytes))
+    if not 0 < chunk_fraction <= 1:
+        raise ConfigError("chunk_fraction must be in (0, 1]")
+    n_chunks = max(1, math.ceil(1.0 / chunk_fraction - 1e-9))
+    chunk = strip_bytes / n_chunks
+    bw = link_bandwidth_gbps * 1e9
+    t_in = chunk / bw  # B chunk in
+    t_out = chunk / bw  # C chunk out (full duplex with B)
+    t_comp = compute_time_full_strip_s / n_chunks
+    steady = (max(t_comp, t_in, t_out) + chunk_overhead_s) * n_chunks
+    total = t_in + steady + t_out  # head + steady state + tail
+    return StreamingEstimate(
+        n_chunks=n_chunks,
+        chunk_bytes=chunk,
+        t_transfer_per_chunk_s=t_in,
+        t_compute_per_chunk_s=t_comp,
+        chunk_overhead_s=chunk_overhead_s,
+        total_s=total,
+    )
+
+
+def compare_a_formats(
+    plan_csc: MultiGPUPlan,
+    plan_tiled: MultiGPUPlan,
+    *,
+    compute_time_full_strip_s: float,
+    link_bandwidth_gbps: float = 32.0,
+) -> dict:
+    """Section 6.2's argument quantified: compact A → better streaming.
+
+    Both plans must describe the same problem; they differ only in the
+    resident A footprint (CSC vs offline tiled DCSR).
+    """
+    if (plan_csc.n_rows, plan_csc.dense_cols) != (
+        plan_tiled.n_rows,
+        plan_tiled.dense_cols,
+    ):
+        raise ConfigError("plans describe different problems")
+    est_csc = stream_strip(
+        plan_csc,
+        compute_time_full_strip_s=compute_time_full_strip_s,
+        link_bandwidth_gbps=link_bandwidth_gbps,
+    )
+    est_tiled = stream_strip(
+        plan_tiled,
+        compute_time_full_strip_s=compute_time_full_strip_s,
+        link_bandwidth_gbps=link_bandwidth_gbps,
+    )
+    return {
+        "csc": est_csc,
+        "tiled": est_tiled,
+        "time_ratio": est_tiled.total_s / est_csc.total_s,
+        "chunk_ratio": est_csc.chunk_bytes / est_tiled.chunk_bytes,
+    }

@@ -1,0 +1,87 @@
+"""Unit tests for the Section 2 roofline model."""
+
+import pytest
+
+from repro.analysis import (
+    is_memory_bound,
+    machine_balance,
+    spmm_roofline,
+)
+from repro.errors import ConfigError
+
+# GV100 peaks used by the paper's platform (Section 5.1).
+GV100_BW = 870.0  # GB/s
+GV100_FP32 = 15_700.0  # GFLOP/s (5120 cores x 1.53 GHz x 2)
+
+
+class TestModel:
+    def test_paper_operating_point_memory_bound(self):
+        """N=20k, d=0.1% is memory bound under *any* reuse assumption."""
+        for reuse in ("perfect", "none"):
+            p = spmm_roofline(20_000, 0.001, reuse=reuse)
+            assert is_memory_bound(p, GV100_BW, GV100_FP32)
+
+    def test_paper_quoted_intensity_within_band(self):
+        """The paper's 5.1 B/FLOP lies between perfect- and no-reuse."""
+        lo = spmm_roofline(20_000, 0.001, reuse="perfect").bytes_per_flop
+        hi = spmm_roofline(20_000, 0.001, reuse="none").bytes_per_flop
+        assert lo < 5.1 < hi
+
+    def test_perfect_reuse_formula(self):
+        """Printed formula: (8nnz + 4(N+1) + 8N^2) / (2 nnz N)."""
+        n, d = 1000, 0.01
+        nnz = d * n * n
+        p = spmm_roofline(n, d, reuse="perfect")
+        expected = (8 * nnz + 4 * (n + 1) + 8 * n * n) / (2 * nnz * n)
+        assert p.bytes_per_flop == pytest.approx(expected)
+
+    def test_no_reuse_dominates_perfect(self):
+        a = spmm_roofline(5000, 0.001, reuse="perfect")
+        b = spmm_roofline(5000, 0.001, reuse="none")
+        assert b.total_bytes > a.total_bytes
+        assert b.flops == a.flops
+
+    def test_denser_matrix_higher_intensity_perfect(self):
+        """With perfect reuse, more nnz amortizes the dense traffic."""
+        lo = spmm_roofline(2000, 0.0001, reuse="perfect")
+        hi = spmm_roofline(2000, 0.01, reuse="perfect")
+        assert hi.bytes_per_flop < lo.bytes_per_flop
+
+    def test_dense_cols_parameter(self):
+        narrow = spmm_roofline(2000, 0.001, dense_cols=64)
+        square = spmm_roofline(2000, 0.001)
+        assert narrow.flops < square.flops
+        assert narrow.dense_bytes < square.dense_bytes
+
+    def test_fp64(self):
+        p4 = spmm_roofline(1000, 0.01, value_bytes=4)
+        p8 = spmm_roofline(1000, 0.01, value_bytes=8)
+        assert p8.total_bytes > p4.total_bytes
+
+    def test_zero_density(self):
+        p = spmm_roofline(100, 0.0)
+        assert p.flops == 0.0
+        assert p.bytes_per_flop == float("inf")
+
+
+class TestValidation:
+    def test_bad_density(self):
+        with pytest.raises(ConfigError):
+            spmm_roofline(100, 2.0)
+
+    def test_bad_n(self):
+        with pytest.raises(ConfigError):
+            spmm_roofline(0, 0.1)
+
+    def test_bad_reuse(self):
+        with pytest.raises(ConfigError):
+            spmm_roofline(100, 0.1, reuse="magic")
+
+    def test_bad_balance(self):
+        with pytest.raises(ConfigError):
+            machine_balance(0, 100)
+
+    def test_balance_value(self):
+        assert machine_balance(GV100_BW, GV100_FP32) == pytest.approx(
+            0.0554, rel=1e-2
+        )

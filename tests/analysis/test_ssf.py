@@ -1,0 +1,157 @@
+"""Unit + property tests for the SSF heuristic (Eqs. 1-2) and SSF_th fit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ThresholdFit,
+    classification_report,
+    learn_threshold,
+    normalized_entropy,
+    ssf,
+)
+from repro.errors import ConfigError
+from repro.formats import COOMatrix
+from repro.matrices import (
+    block_diagonal,
+    clustered,
+    uniform_random,
+)
+
+from ..conftest import coo_from_triplets
+
+
+class TestEntropy:
+    def test_single_segment_is_zero(self):
+        """All nnz in one row segment → zero entropy (fully clustered)."""
+        m = coo_from_triplets((8, 8), [(0, c, 1.0) for c in range(4)])
+        assert normalized_entropy(m, tile_width=8) == pytest.approx(0.0)
+
+    def test_maximal_scatter_is_one(self):
+        """Each segment holding exactly one nnz → H_norm = 1."""
+        m = coo_from_triplets((8, 8), [(i, i, 1.0) for i in range(8)])
+        assert normalized_entropy(m, tile_width=1) == pytest.approx(1.0)
+
+    def test_range(self):
+        for seed in range(4):
+            m = uniform_random(256, 256, 0.01, seed=seed)
+            h = normalized_entropy(m)
+            assert 0.0 <= h <= 1.0
+
+    def test_empty_matrix(self):
+        assert normalized_entropy(COOMatrix((4, 4), [], [], [])) == 0.0
+
+    def test_single_nnz(self):
+        m = coo_from_triplets((4, 4), [(1, 1, 1.0)])
+        assert normalized_entropy(m) == 0.0
+
+    def test_clustered_below_uniform(self):
+        u = uniform_random(512, 512, 0.005, seed=1)
+        c = block_diagonal(512, 512, 0.005, block_size=64, seed=1)
+        assert normalized_entropy(c) < normalized_entropy(u)
+
+
+class TestSSF:
+    def test_empty_matrix(self):
+        assert ssf(COOMatrix((4, 4), [], [], [])) == 0.0
+
+    def test_positive_for_nonempty(self):
+        m = uniform_random(256, 256, 0.01, seed=1)
+        assert ssf(m) > 0
+
+    def test_clustered_above_uniform(self):
+        """Section 3.1.4: skew/clustering pushes SSF up (toward B-stat)."""
+        u = uniform_random(1024, 1024, 0.002, seed=2)
+        c = clustered(1024, 1024, 0.02, seed=2)
+        assert ssf(c) > 10 * ssf(u)
+
+    def test_denser_uniform_scores_higher(self):
+        lo = uniform_random(512, 512, 0.001, seed=3)
+        hi = uniform_random(512, 512, 0.02, seed=3)
+        assert ssf(hi) > ssf(lo)
+
+    def test_tile_width_matters(self):
+        m = block_diagonal(512, 512, 0.01, block_size=64, seed=4)
+        assert ssf(m, tile_width=64) != ssf(m, tile_width=8)
+
+
+class TestThresholdLearning:
+    def test_perfectly_separable(self):
+        s = np.array([0.1, 0.2, 0.3, 10.0, 20.0, 30.0])
+        r = np.array([0.5, 0.6, 0.7, 2.0, 3.0, 4.0])
+        fit = learn_threshold(s, r)
+        assert fit.accuracy == 1.0
+        assert 0.3 < fit.threshold < 10.0
+
+    def test_choose_routes_by_threshold(self):
+        fit = ThresholdFit(threshold=1.0, accuracy=1.0, n_samples=4)
+        assert fit.choose(2.0) == "b_stationary"
+        assert fit.choose(0.5) == "c_stationary"
+
+    def test_all_c_better(self):
+        s = np.array([1.0, 2.0, 3.0])
+        r = np.array([0.5, 0.5, 0.5])
+        fit = learn_threshold(s, r)
+        assert fit.accuracy == 1.0
+        assert fit.threshold > 3.0  # everything routed to C
+
+    def test_all_b_better(self):
+        s = np.array([1.0, 2.0, 3.0])
+        r = np.array([2.0, 2.0, 2.0])
+        fit = learn_threshold(s, r)
+        assert fit.accuracy == 1.0
+        assert fit.threshold < 1.0
+
+    def test_noisy_still_majority_correct(self):
+        rng = np.random.default_rng(0)
+        s = np.concatenate([rng.uniform(0, 1, 50), rng.uniform(10, 20, 50)])
+        r = np.concatenate([rng.uniform(0.3, 0.9, 50), rng.uniform(1.1, 3, 50)])
+        # flip 5 labels
+        r[:5] = 1.5
+        fit = learn_threshold(s, r)
+        assert fit.accuracy >= 0.9
+        assert fit.n_samples == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            learn_threshold([], [])
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ConfigError):
+            learn_threshold([1.0], [1.0, 2.0])
+
+    def test_report_quadrants_sum(self):
+        s = np.array([0.1, 5.0, 0.2, 7.0])
+        r = np.array([0.5, 2.0, 1.5, 0.7])
+        fit = learn_threshold(s, r)
+        rep = classification_report(s, r, fit)
+        total = (
+            rep["correct_b"] + rep["correct_c"] + rep["missed_b"] + rep["missed_c"]
+        )
+        assert total == 4
+        assert rep["accuracy"] == pytest.approx(
+            (rep["correct_b"] + rep["correct_c"]) / 4
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1e-6, max_value=1e6),
+                st.floats(min_value=0.01, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_accuracy_at_least_majority_class(self, pairs):
+        """A 1-D stump can never do worse than always-pick-majority."""
+        s = np.array([p[0] for p in pairs])
+        r = np.array([p[1] for p in pairs])
+        fit = learn_threshold(s, r)
+        majority = max(np.mean(r > 1.0), np.mean(r <= 1.0))
+        assert fit.accuracy >= majority - 1e-9
+        rep = classification_report(s, r, fit)
+        assert rep["accuracy"] == pytest.approx(fit.accuracy)

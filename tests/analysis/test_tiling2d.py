@@ -1,0 +1,83 @@
+"""Unit tests for the 2-D / hierarchical tiling analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import best_tiling2d, tiling2d_traffic
+from repro.errors import ConfigError
+from repro.matrices import block_diagonal, uniform_random
+
+
+@pytest.fixture(scope="module")
+def uniform():
+    return uniform_random(1024, 1024, 5e-3, seed=61)
+
+
+LLC = 384 * 1024
+
+
+class TestModel:
+    def test_1x1_is_flat_tiling(self, uniform):
+        """The rb=cb=1 case reduces to the paper's 1-D scheme: one atomic
+        round trip per (strip, row) segment."""
+        from repro.matrices import row_segment_nnz
+
+        e = tiling2d_traffic(uniform, 1024, rb=1, cb=1, llc_bytes=LLC)
+        segs = row_segment_nnz(uniform, 64).size
+        assert e.c_bytes == pytest.approx(segs * 1024 * 4 * 2)
+
+    def test_bigger_supertiles_reduce_c_traffic(self, uniform):
+        e1 = tiling2d_traffic(uniform, 1024, rb=1, cb=1, llc_bytes=LLC)
+        e4 = tiling2d_traffic(uniform, 1024, rb=2, cb=2, llc_bytes=LLC)
+        assert e4.c_bytes <= e1.c_bytes
+        assert e4.b_bytes <= e1.b_bytes
+
+    def test_overflowing_supertile_loses_reuse(self, uniform):
+        fit = tiling2d_traffic(uniform, 1024, rb=2, cb=2, llc_bytes=LLC)
+        burst = tiling2d_traffic(
+            uniform, 1024, rb=64, cb=64, llc_bytes=LLC
+        )
+        assert fit.fits_llc
+        assert not burst.fits_llc
+        # Overflow falls back to per-segment atomics: C at least as big as
+        # the fitting configuration's.
+        assert burst.c_bytes >= fit.c_bytes
+
+    def test_a_traffic_independent_of_shape(self, uniform):
+        a1 = tiling2d_traffic(uniform, 1024, rb=1, cb=1, llc_bytes=LLC).a_bytes
+        a4 = tiling2d_traffic(uniform, 1024, rb=4, cb=4, llc_bytes=LLC).a_bytes
+        assert a1 == pytest.approx(a4)
+
+    def test_dims_clamped_to_matrix(self, uniform):
+        e = tiling2d_traffic(uniform, 64, rb=10_000, cb=10_000, llc_bytes=1e12)
+        assert e.rb <= 16 and e.cb <= 16  # 1024/64
+
+    def test_validation(self, uniform):
+        with pytest.raises(ConfigError):
+            tiling2d_traffic(uniform, 0, rb=1, cb=1, llc_bytes=LLC)
+        with pytest.raises(ConfigError):
+            tiling2d_traffic(uniform, 64, rb=0, cb=1, llc_bytes=LLC)
+
+
+class TestBest:
+    def test_best_is_minimum(self, uniform):
+        cands = ((1, 1), (2, 2), (4, 4))
+        best = best_tiling2d(
+            uniform, 1024, llc_bytes=LLC, candidates=cands
+        )
+        for rb, cb in cands:
+            e = tiling2d_traffic(uniform, 1024, rb=rb, cb=cb, llc_bytes=LLC)
+            assert best.total_bytes <= e.total_bytes
+
+    def test_hierarchical_beats_flat_when_nothing_fits(self):
+        """The Section 3.1.3 headroom: with a small LLC and a scattered
+        matrix, a fitting 2-D super-tile beats the 1-D traversal."""
+        m = uniform_random(2048, 2048, 5e-3, seed=62)
+        flat = tiling2d_traffic(m, 2048, rb=1, cb=1, llc_bytes=LLC)
+        best = best_tiling2d(m, 2048, llc_bytes=LLC)
+        assert best.total_bytes < flat.total_bytes
+
+    def test_no_candidates(self):
+        m = uniform_random(64, 64, 0.05, seed=63)
+        with pytest.raises(ConfigError):
+            best_tiling2d(m, 64, llc_bytes=LLC, candidates=())

@@ -1,0 +1,146 @@
+"""Unit tests for the Table 1 analytical traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ATOMIC_COST_FACTOR,
+    STRATEGIES,
+    analytic_traffic,
+    csr_size_bytes,
+    preferred_strategy_analytic,
+    traffic_comparison,
+    uniform_nnzrow_strip,
+)
+from repro.errors import ConfigError
+from repro.matrices import (
+    clustered,
+    matrix_stats,
+    uniform_random,
+)
+
+
+@pytest.fixture(scope="module")
+def uniform():
+    return uniform_random(1024, 1024, 0.001, seed=1)
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return clustered(1024, 1024, 0.02, seed=1)
+
+
+class TestCsrSize:
+    def test_formula(self, uniform):
+        s = matrix_stats(uniform)
+        assert csr_size_bytes(s) == 8 * s.nnz + 4 * (s.n_rows + 1)
+
+
+class TestUniformStripModel:
+    def test_closed_form_matches_measurement(self, uniform):
+        """(1-(1-d)^k)·n predicts the measured strip occupancy closely."""
+        s = matrix_stats(uniform, tile_width=64)
+        predicted = uniform_nnzrow_strip(1024, uniform.density, 64)
+        assert predicted == pytest.approx(s.mean_nonzero_rows_per_strip, rel=0.1)
+
+    def test_monotone_in_density(self):
+        lo = uniform_nnzrow_strip(1000, 0.001, 64)
+        hi = uniform_nnzrow_strip(1000, 0.01, 64)
+        assert hi > lo
+
+    def test_saturates_at_n(self):
+        assert uniform_nnzrow_strip(1000, 1.0, 64) == pytest.approx(1000)
+
+    def test_bad_density(self):
+        with pytest.raises(ConfigError):
+            uniform_nnzrow_strip(10, 1.5, 64)
+
+
+class TestTable1Structure:
+    """The relational claims Table 1 makes, as executable assertions."""
+
+    def test_a_stationary_reads_a_once(self, uniform):
+        s = matrix_stats(uniform)
+        t = analytic_traffic(s, "a_stationary", dense_cols=64)
+        assert t.a_bytes == pytest.approx(csr_size_bytes(s))
+
+    def test_b_and_c_read_a_per_strip(self, uniform):
+        s = matrix_stats(uniform)
+        n_strips = 1024 / 64
+        for strat in ("b_stationary", "c_stationary"):
+            t = analytic_traffic(s, strat, dense_cols=64)
+            assert t.a_bytes == pytest.approx(csr_size_bytes(s) * n_strips)
+
+    def test_b_stationary_fetches_b_once(self, uniform):
+        s = matrix_stats(uniform)
+        t = analytic_traffic(s, "b_stationary", dense_cols=64)
+        assert t.b_bytes == pytest.approx(4 * s.n_nonzero_cols * 64)
+
+    def test_c_stationary_writes_c_once(self, uniform):
+        s = matrix_stats(uniform)
+        t = analytic_traffic(s, "c_stationary", dense_cols=64)
+        assert t.c_bytes == pytest.approx(4 * s.n_nonzero_rows * 64)
+
+    def test_partial_sums_cost_atomics(self, uniform):
+        s = matrix_stats(uniform)
+        tb = analytic_traffic(s, "b_stationary", dense_cols=64)
+        expected = (
+            4
+            * s.mean_nonzero_rows_per_strip
+            * (1024 / 64)
+            * 64
+            * ATOMIC_COST_FACTOR
+        )
+        assert tb.c_bytes == pytest.approx(expected)
+
+    def test_a_and_b_share_c_traffic(self, uniform):
+        s = matrix_stats(uniform)
+        ta = analytic_traffic(s, "a_stationary", dense_cols=64)
+        tb = analytic_traffic(s, "b_stationary", dense_cols=64)
+        assert ta.c_bytes == pytest.approx(tb.c_bytes)
+
+    def test_a_and_c_share_b_traffic(self, uniform):
+        s = matrix_stats(uniform)
+        ta = analytic_traffic(s, "a_stationary", dense_cols=64)
+        tc = analytic_traffic(s, "c_stationary", dense_cols=64)
+        assert ta.b_bytes == pytest.approx(tc.b_bytes)
+
+    def test_unknown_strategy(self, uniform):
+        with pytest.raises(ConfigError, match="unknown strategy"):
+            analytic_traffic(matrix_stats(uniform), "d_stationary")
+
+    def test_bad_tile(self, uniform):
+        with pytest.raises(ConfigError, match="tile"):
+            analytic_traffic(matrix_stats(uniform), "c_stationary", tile=0)
+
+
+class TestSectionClaims:
+    def test_uniform_prefers_c_stationary(self, uniform):
+        """Section 3.1.2: uniform nnz → C-stationary wins (atomic cost)."""
+        assert preferred_strategy_analytic(uniform, dense_cols=64) == "c_stationary"
+
+    def test_skewed_prefers_b_stationary(self, skewed):
+        """Skewed distributions amortize the atomic cost (Section 3.1.2)."""
+        assert preferred_strategy_analytic(skewed, dense_cols=64) == "b_stationary"
+
+    def test_a_stationary_never_wins(self):
+        """Section 3.1.1: A-stationary has the most traffic (B+C revisits)."""
+        for seed in range(5):
+            m = uniform_random(512, 512, 0.005, seed=seed)
+            table = traffic_comparison(m, dense_cols=64)
+            worst = max(table.values(), key=lambda t: t.total_bytes)
+            # A-stationary is never the best choice.
+            best = min(table.values(), key=lambda t: t.total_bytes)
+            assert best.strategy != "a_stationary"
+            del worst
+
+    def test_value_bytes_scales_dense_terms(self, uniform):
+        s = matrix_stats(uniform)
+        t4 = analytic_traffic(s, "c_stationary", dense_cols=64, value_bytes=4)
+        t8 = analytic_traffic(s, "c_stationary", dense_cols=64, value_bytes=8)
+        assert t8.b_bytes == pytest.approx(2 * t4.b_bytes)
+        assert t8.a_bytes == pytest.approx(t4.a_bytes)  # A stays modelled CSR
+
+    def test_all_strategies_enumerated(self, uniform):
+        table = traffic_comparison(uniform, dense_cols=64)
+        assert set(table) == set(STRATEGIES)

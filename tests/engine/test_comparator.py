@@ -1,0 +1,134 @@
+"""Unit + property tests for the comparator tree (Fig. 15)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    INVALID_COORD,
+    ComparatorTree,
+    TwoInputComparator,
+    bitvector_to_lanes,
+    find_minimum_fast,
+)
+from repro.errors import EngineError
+
+
+class TestTwoInput:
+    def test_a_smaller(self):
+        u = TwoInputComparator()
+        coord, vec = u.compare(3, 0b1, 7, 0b1, 1)
+        assert coord == 3 and vec == 0b01
+
+    def test_b_smaller(self):
+        u = TwoInputComparator()
+        coord, vec = u.compare(9, 0b1, 2, 0b1, 1)
+        assert coord == 2 and vec == 0b10
+
+    def test_tie_merges_vectors(self):
+        """Fig. 15: equal coordinates point to all locations."""
+        u = TwoInputComparator()
+        coord, vec = u.compare(5, 0b1, 5, 0b1, 1)
+        assert coord == 5 and vec == 0b11
+
+    def test_counts_comparisons(self):
+        u = TwoInputComparator()
+        u.compare(1, 1, 2, 1, 1)
+        u.compare(1, 1, 2, 1, 1)
+        assert u.stats.comparisons == 2
+
+
+class TestTree:
+    def test_fig15_example(self):
+        """COOR3 smallest → min[3:0] = 1000."""
+        tree = ComparatorTree(4)
+        coord, vec = tree.find_minimum([9, 8, 7, 1])
+        assert coord == 1 and vec == 0b1000
+
+    def test_fig15_tie_example(self):
+        """COOR0 == COOR2 smallest → min[3:0] = 0101."""
+        tree = ComparatorTree(4)
+        coord, vec = tree.find_minimum([2, 6, 2, 9])
+        assert coord == 2 and vec == 0b0101
+
+    def test_all_equal(self):
+        tree = ComparatorTree(4)
+        coord, vec = tree.find_minimum([4, 4, 4, 4])
+        assert coord == 4 and vec == 0b1111
+
+    def test_all_invalid(self):
+        tree = ComparatorTree(4)
+        coord, vec = tree.find_minimum([INVALID_COORD] * 4)
+        assert vec == 0
+
+    def test_some_invalid(self):
+        tree = ComparatorTree(4)
+        coord, vec = tree.find_minimum([INVALID_COORD, 5, INVALID_COORD, 3])
+        assert coord == 3 and vec == 0b1000
+
+    def test_64_lane_tree(self):
+        tree = ComparatorTree(64)
+        coords = np.full(64, 100, dtype=np.int64)
+        coords[17] = 1
+        coords[42] = 1
+        coord, vec = tree.find_minimum(coords)
+        assert coord == 1
+        np.testing.assert_array_equal(bitvector_to_lanes(vec), [17, 42])
+
+    def test_non_power_of_two_lanes(self):
+        tree = ComparatorTree(5)
+        coord, vec = tree.find_minimum([5, 4, 3, 2, 1])
+        assert coord == 1 and vec == 0b10000
+
+    def test_stage_depth(self):
+        assert ComparatorTree(64).n_stages == 6
+        assert ComparatorTree(4).n_stages == 2
+        assert ComparatorTree(2).n_stages == 1
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(EngineError):
+            ComparatorTree(4).find_minimum([1, 2, 3])
+
+    def test_bad_lanes(self):
+        with pytest.raises(EngineError):
+            ComparatorTree(0)
+
+
+class TestFastEquivalence:
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=1000),
+                st.just(int(INVALID_COORD)),
+            ),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_tree_equals_fast(self, coords):
+        tree = ComparatorTree(len(coords))
+        coord_t, vec = tree.find_minimum(coords)
+        coord_f, lanes = find_minimum_fast(np.asarray(coords))
+        if lanes.size == 0:
+            assert vec == 0
+        else:
+            assert coord_t == coord_f
+            np.testing.assert_array_equal(bitvector_to_lanes(vec), lanes)
+
+    def test_fast_empty_rejected(self):
+        with pytest.raises(EngineError):
+            find_minimum_fast(np.array([], dtype=np.int64))
+
+    def test_fast_all_invalid(self):
+        coord, lanes = find_minimum_fast(
+            np.array([INVALID_COORD, INVALID_COORD])
+        )
+        assert lanes.size == 0
+
+    def test_bitvector_roundtrip(self):
+        np.testing.assert_array_equal(
+            bitvector_to_lanes(0b101001), [0, 3, 5]
+        )
+        assert bitvector_to_lanes(0).size == 0

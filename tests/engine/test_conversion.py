@@ -1,0 +1,231 @@
+"""Unit + property tests for the CSC→DCSR conversion engine (Figs. 13-14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    ConversionStats,
+    LaneState,
+    convert_strip_fast,
+    convert_strip_stepwise,
+    engine_input_bytes,
+    engine_output_bytes,
+)
+from repro.errors import EngineError
+from repro.formats import CSCMatrix, TiledDCSR
+
+from ..conftest import random_dense
+
+
+def fig13_strip():
+    """The Fig. 13 walk-through: a 5x3 strip with
+    col0 = {a0@0, a2@2, a4@4}, col1 = {b0@0, b1@1, b4@4}, col2 = {c0@0, c2@2}.
+    """
+    col_ptr = [0, 3, 6, 8]
+    row_idx = [0, 2, 4, 0, 1, 4, 0, 2]
+    values = np.array(
+        [10, 12, 14, 20, 21, 24, 30, 32], dtype=np.float32
+    )  # aX=1X, bX=2X, cX=3X
+    return col_ptr, row_idx, values
+
+
+class TestFig13WalkThrough:
+    def test_stepwise_output(self):
+        col_ptr, row_idx, values = fig13_strip()
+        dcsr, stats = convert_strip_stepwise(col_ptr, row_idx, values, 5)
+        # DCSR: row0 = [a0 b0 c0], row1 = [b1], row2 = [a2 c2], row4 = [a4 b4]
+        np.testing.assert_array_equal(dcsr.row_idx, [0, 1, 2, 4])
+        np.testing.assert_array_equal(dcsr.row_ptr, [0, 3, 4, 6, 8])
+        np.testing.assert_array_equal(dcsr.col_idx, [0, 1, 2, 1, 0, 2, 0, 1])
+        np.testing.assert_array_equal(
+            dcsr.values, [10, 20, 30, 21, 12, 32, 14, 24]
+        )
+
+    def test_one_step_per_row(self):
+        col_ptr, row_idx, values = fig13_strip()
+        _, stats = convert_strip_stepwise(col_ptr, row_idx, values, 5)
+        assert stats.steps == 4  # rows 0, 1, 2, 4
+        assert stats.elements == 8
+        assert stats.rows_emitted == 4
+
+    def test_fast_identical(self):
+        col_ptr, row_idx, values = fig13_strip()
+        d1, s1 = convert_strip_stepwise(col_ptr, row_idx, values, 5)
+        d2, s2 = convert_strip_fast(col_ptr, row_idx, values, 5)
+        np.testing.assert_array_equal(d1.row_idx, d2.row_idx)
+        np.testing.assert_array_equal(d1.row_ptr, d2.row_ptr)
+        np.testing.assert_array_equal(d1.col_idx, d2.col_idx)
+        np.testing.assert_array_equal(d1.values, d2.values)
+        assert s1.steps == s2.steps
+        assert s1.elements == s2.elements
+        assert s1.refill_requests == s2.refill_requests
+
+
+class TestLaneState:
+    def test_initial_frontiers(self):
+        col_ptr, row_idx, _ = fig13_strip()
+        lanes = LaneState(col_ptr, row_idx, 64)
+        np.testing.assert_array_equal(lanes.frontier_ptr[:3], [0, 3, 6])
+        np.testing.assert_array_equal(lanes.boundary_ptr[:3], [3, 6, 8])
+        assert lanes.remaining() == 8
+
+    def test_current_coords(self):
+        col_ptr, row_idx, _ = fig13_strip()
+        lanes = LaneState(col_ptr, row_idx, 4)
+        coords = lanes.current_coords()
+        np.testing.assert_array_equal(coords[:3], [0, 0, 0])
+
+    def test_row_limit_masks(self):
+        col_ptr, row_idx, _ = fig13_strip()
+        lanes = LaneState(col_ptr, row_idx, 4)
+        lanes.advance(np.array([0, 1, 2]))  # consume the row-0 elements
+        coords = lanes.current_coords(row_limit=2)
+        # col0 next is row 2 (masked), col1 next is row 1 (visible)
+        assert coords[1] == 1
+        assert coords[0] > 1000  # INVALID
+
+    def test_advance_exhausted_rejected(self):
+        lanes = LaneState([0, 1], [0], 2)
+        lanes.advance(np.array([0]))
+        with pytest.raises(EngineError, match="exhausted"):
+            lanes.advance(np.array([0]))
+
+    def test_advance_out_of_range(self):
+        lanes = LaneState([0, 1], [0], 2)
+        with pytest.raises(EngineError, match="lane index"):
+            lanes.advance(np.array([5]))
+
+    def test_too_many_columns(self):
+        with pytest.raises(EngineError, match="lanes"):
+            LaneState([0, 1, 2, 3], [0, 0, 0], 2)
+
+    def test_refills_counted(self):
+        col_ptr, row_idx, _ = fig13_strip()
+        lanes = LaneState(col_ptr, row_idx, 4)
+        start = lanes.refill_requests
+        lanes.advance(np.array([0]))  # col0 still has elements -> refill
+        assert lanes.refill_requests == start + 1
+
+
+class TestEdgeCases:
+    def test_empty_strip(self):
+        d, s = convert_strip_stepwise([0, 0, 0], [], np.array([]), 4)
+        assert d.nnz == 0 and s.steps == 0
+        d2, s2 = convert_strip_fast([0, 0, 0], [], np.array([]), 4)
+        assert d2.nnz == 0 and s2.steps == s.steps
+
+    def test_single_element(self):
+        d, s = convert_strip_stepwise([0, 1], [3], np.array([7.0]), 5)
+        assert d.nnz == 1
+        np.testing.assert_array_equal(d.row_idx, [3])
+        assert s.steps == 1
+
+    def test_single_dense_column(self):
+        n = 10
+        d, s = convert_strip_stepwise(
+            [0, n], np.arange(n), np.arange(n, dtype=np.float32), n
+        )
+        assert s.steps == n  # one step per row: the worst-case throughput
+
+    def test_full_row_all_lanes_one_step(self):
+        """All 4 columns share row 0 → a single step consumes 4 elements."""
+        d, s = convert_strip_stepwise(
+            [0, 1, 2, 3, 4], [0, 0, 0, 0], np.ones(4, dtype=np.float32), 3
+        )
+        assert s.steps == 1 and s.elements == 4
+
+    def test_row_out_of_range_rejected(self):
+        with pytest.raises(EngineError):
+            convert_strip_stepwise([0, 1], [9], np.array([1.0]), 5)
+        with pytest.raises(EngineError):
+            convert_strip_fast([0, 1], [9], np.array([1.0]), 5)
+
+    def test_fast_too_many_cols(self):
+        with pytest.raises(EngineError, match="lanes"):
+            convert_strip_fast([0, 0, 0], [], np.array([]), 4, n_lanes=1)
+
+
+class TestAgainstSoftwareOracle:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("width", [16, 64])
+    def test_matches_offline_conversion(self, seed, width):
+        dense = random_dense((100, 90), 0.05, seed=seed)
+        csc = CSCMatrix.from_dense(dense)
+        oracle = TiledDCSR.from_csc(csc, tile_width=width)
+        for sid in range(oracle.n_strips):
+            start = sid * width
+            end = min(start + width, csc.n_cols)
+            ptr, rows, vals = csc.strip_slice(start, end)
+            got, _ = convert_strip_stepwise(
+                ptr, rows, vals, csc.n_rows, n_lanes=width
+            )
+            want = oracle.strips[sid]
+            np.testing.assert_array_equal(got.row_idx, want.row_idx)
+            np.testing.assert_array_equal(got.row_ptr, want.row_ptr)
+            np.testing.assert_array_equal(got.col_idx, want.col_idx)
+            np.testing.assert_allclose(got.values, want.values)
+
+
+@st.composite
+def csc_strips(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=30))
+    n_cols = draw(st.integers(min_value=1, max_value=8))
+    lengths = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_rows),
+            min_size=n_cols,
+            max_size=n_cols,
+        )
+    )
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    col_ptr = [0]
+    rows = []
+    for L in lengths:
+        picked = np.sort(rng.choice(n_rows, size=L, replace=False))
+        rows.extend(picked.tolist())
+        col_ptr.append(len(rows))
+    values = rng.uniform(0.1, 1.0, size=len(rows)).astype(np.float32)
+    return col_ptr, rows, values, n_rows
+
+
+class TestStepwiseFastProperty:
+    @given(csc_strips())
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence(self, strip):
+        col_ptr, rows, values, n_rows = strip
+        d1, s1 = convert_strip_stepwise(col_ptr, rows, values, n_rows)
+        d2, s2 = convert_strip_fast(col_ptr, rows, values, n_rows)
+        np.testing.assert_array_equal(d1.row_idx, d2.row_idx)
+        np.testing.assert_array_equal(d1.row_ptr, d2.row_ptr)
+        np.testing.assert_array_equal(d1.col_idx, d2.col_idx)
+        np.testing.assert_allclose(d1.values, d2.values)
+        assert (s1.steps, s1.elements, s1.refill_requests) == (
+            s2.steps,
+            s2.elements,
+            s2.refill_requests,
+        )
+
+    @given(csc_strips())
+    @settings(max_examples=40, deadline=None)
+    def test_steps_equal_nonzero_rows(self, strip):
+        """One comparator step per non-empty row — the throughput invariant."""
+        col_ptr, rows, values, n_rows = strip
+        _, stats = convert_strip_fast(col_ptr, rows, values, n_rows)
+        assert stats.steps == len(set(rows))
+        assert stats.elements == len(rows)
+
+
+class TestByteAccounting:
+    def test_output_bytes_formula(self):
+        s = ConversionStats(steps=4, elements=8, rows_emitted=4)
+        assert engine_output_bytes(s) == 4 * 8 + 8 * 8 + 4
+
+    def test_input_bytes_formula(self):
+        s = ConversionStats(steps=4, elements=8, rows_emitted=4)
+        assert engine_input_bytes(s, 3) == 4 * 4 + 8 * 8
+
+    def test_fp64_larger(self):
+        s = ConversionStats(steps=4, elements=8, rows_emitted=4)
+        assert engine_output_bytes(s, value_bytes=8) > engine_output_bytes(s)

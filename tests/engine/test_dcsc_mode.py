@@ -1,0 +1,69 @@
+"""Tests for the engine's CSR→DCSC mode (Section 4.1's wide-matrix path)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import convert_rowstrip_to_dcsc
+from repro.errors import EngineError
+from repro.formats import CSRMatrix, DCSCMatrix
+
+from ..conftest import random_dense
+
+
+def csr_strip(dense, row_start, row_end):
+    """Extract a horizontal CSR strip (rows [start, end)) of a dense array."""
+    csr = CSRMatrix.from_dense(dense[row_start:row_end])
+    return csr.row_ptr, csr.col_idx, csr.values
+
+
+class TestRowStripConversion:
+    def test_matches_software_dcsc(self):
+        dense = random_dense((64, 300), 0.03, seed=5)
+        ptr, cols, vals = csr_strip(dense, 0, 64)
+        got, stats = convert_rowstrip_to_dcsc(ptr, cols, vals, 300)
+        want = DCSCMatrix.from_dense(dense[:64])
+        np.testing.assert_array_equal(got.col_idx, want.col_idx)
+        np.testing.assert_array_equal(got.col_ptr, want.col_ptr)
+        np.testing.assert_array_equal(got.row_idx, want.row_idx)
+        np.testing.assert_allclose(got.values, want.values)
+
+    def test_stepwise_agrees(self):
+        dense = random_dense((32, 100), 0.05, seed=6)
+        ptr, cols, vals = csr_strip(dense, 0, 32)
+        fast, s_fast = convert_rowstrip_to_dcsc(ptr, cols, vals, 100)
+        slow, s_slow = convert_rowstrip_to_dcsc(
+            ptr, cols, vals, 100, stepwise=True
+        )
+        np.testing.assert_array_equal(fast.col_idx, slow.col_idx)
+        np.testing.assert_allclose(fast.values, slow.values)
+        assert s_fast.steps == s_slow.steps
+
+    def test_steps_equal_nonzero_columns(self):
+        """Dual invariant: one comparator step per non-empty column."""
+        dense = random_dense((16, 200), 0.02, seed=7)
+        ptr, cols, vals = csr_strip(dense, 0, 16)
+        _, stats = convert_rowstrip_to_dcsc(ptr, cols, vals, 200)
+        assert stats.steps == len(set(cols.tolist()))
+
+    def test_strip_taller_than_lanes_rejected(self):
+        dense = random_dense((128, 50), 0.05, seed=8)
+        ptr, cols, vals = csr_strip(dense, 0, 128)
+        with pytest.raises(EngineError, match="lanes"):
+            convert_rowstrip_to_dcsc(ptr, cols, vals, 50, n_lanes=64)
+
+    def test_empty_strip(self):
+        got, stats = convert_rowstrip_to_dcsc([0, 0, 0], [], np.array([]), 10)
+        assert got.nnz == 0
+        assert stats.steps == 0
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_strips_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((24, 80)) < 0.08) * rng.random((24, 80))
+        dense = dense.astype(np.float32)
+        ptr, cols, vals = csr_strip(dense, 0, 24)
+        got, _ = convert_rowstrip_to_dcsc(ptr, cols, vals, 80)
+        np.testing.assert_allclose(got.to_dense(), dense, atol=1e-6)

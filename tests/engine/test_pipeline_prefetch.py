@@ -1,0 +1,141 @@
+"""Unit tests for engine pipeline timing and prefetch buffer (Section 5.3)."""
+
+import pytest
+
+from repro.engine import (
+    PipelineReport,
+    conversion_hidden,
+    conversion_time_s,
+    pipeline_report,
+    simulate_drain,
+    size_prefetch_buffer,
+)
+from repro.errors import ConfigError
+from repro.gpu import GV100, TU116
+
+
+class TestPipeline:
+    def test_meets_hbm2_budgets(self):
+        """Section 5.3: the pipeline beats 0.588 ns (FP32) and 0.882 ns."""
+        rep = pipeline_report(GV100)
+        assert rep.cycle_time_ns == pytest.approx(0.339)
+        assert rep.meets_fp32
+        assert rep.meets_fp64
+
+    def test_budgets_match_paper(self):
+        rep = pipeline_report(GV100)
+        assert rep.fp32_budget_ns == pytest.approx(0.588, abs=0.001)
+        assert rep.fp64_budget_ns == pytest.approx(0.882, abs=0.001)
+
+    def test_tu116_also_met(self):
+        """GDDR6 channels are slower per channel — budget is looser."""
+        rep = pipeline_report(TU116)
+        assert rep.meets_fp32
+
+    def test_stage_count_scales_with_lanes(self):
+        assert pipeline_report(GV100, n_lanes=64).n_stages > pipeline_report(
+            GV100, n_lanes=4
+        ).n_stages
+
+    def test_custom_slow_stage_fails_budget(self):
+        rep = pipeline_report(
+            GV100, stage_latencies_ns={"comparator_level": 0.7}
+        )
+        assert not rep.meets_fp32
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            pipeline_report(GV100, stage_latencies_ns={"dcsr_emit": 0.0})
+
+    def test_bad_lanes(self):
+        with pytest.raises(ConfigError):
+            pipeline_report(GV100, n_lanes=0)
+
+
+class TestConversionTime:
+    def test_zero_steps(self):
+        rep = pipeline_report(GV100)
+        assert conversion_time_s(0, rep) == 0.0
+
+    def test_linear_in_steps(self):
+        rep = pipeline_report(GV100)
+        t1 = conversion_time_s(1000, rep)
+        t2 = conversion_time_s(2000, rep)
+        assert t2 > t1
+        # Slope is one cycle per step.
+        assert (t2 - t1) == pytest.approx(1000 * rep.cycle_time_ns * 1e-9)
+
+    def test_head_tail_included(self):
+        rep = pipeline_report(GV100)
+        assert conversion_time_s(1, rep) == pytest.approx(
+            (1 + rep.n_stages) * rep.cycle_time_ns * 1e-9
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            conversion_time_s(-1, pipeline_report(GV100))
+
+    def test_hidden_check(self):
+        assert conversion_hidden(1e-6, 1e-3)
+        assert not conversion_hidden(1e-3, 1e-6)
+
+
+class TestPrefetchSizing:
+    def test_paper_numbers_fp32(self):
+        """256 B per column, 16 KiB per 64-wide engine."""
+        spec = size_prefetch_buffer(GV100)
+        assert spec.bytes_per_column == 256
+        assert spec.total_bytes == 16 * 1024
+        assert spec.entries_per_column == 32
+
+    def test_hides_paper_latency(self):
+        """32 entries x 0.588 ns = 18.8 ns hidden (the paper's figure)."""
+        spec = size_prefetch_buffer(GV100)
+        hidden = spec.entries_per_column * spec.cycle_time_ns
+        assert hidden == pytest.approx(18.8, abs=0.1)
+        assert hidden >= spec.hide_latency_ns
+
+    def test_fp64_also_covered(self):
+        spec = size_prefetch_buffer(GV100, precision="fp64")
+        assert (
+            spec.entries_per_column * spec.cycle_time_ns
+            >= spec.hide_latency_ns
+        )
+
+    def test_bad_precision(self):
+        with pytest.raises(ConfigError):
+            size_prefetch_buffer(GV100, precision="fp16")
+
+    def test_bad_columns(self):
+        with pytest.raises(ConfigError):
+            size_prefetch_buffer(GV100, n_columns=0)
+
+
+class TestDrainSimulation:
+    def test_paper_sizing_never_underruns(self):
+        """The 256 B/column buffer rides out worst-case drain."""
+        spec = size_prefetch_buffer(GV100)
+        result = simulate_drain(spec, n_cycles=2000)
+        assert result["underruns"] == 0
+        assert result["min_occupancy"] >= 0
+
+    def test_half_sized_buffer_underruns(self):
+        import dataclasses
+
+        spec = size_prefetch_buffer(GV100)
+        small = dataclasses.replace(spec, entries_per_column=8)
+        result = simulate_drain(small, n_cycles=2000)
+        assert result["underruns"] > 0
+
+    def test_slow_drain_needs_less(self):
+        import dataclasses
+
+        spec = size_prefetch_buffer(GV100)
+        small = dataclasses.replace(spec, entries_per_column=8)
+        result = simulate_drain(small, n_cycles=2000, drain_every_cycles=8)
+        assert result["underruns"] == 0
+
+    def test_bad_cycles(self):
+        spec = size_prefetch_buffer(GV100)
+        with pytest.raises(ConfigError):
+            simulate_drain(spec, n_cycles=0)

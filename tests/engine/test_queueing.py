@@ -1,0 +1,90 @@
+"""Unit tests for the conversion-unit FIFO queue timing model."""
+
+import numpy as np
+import pytest
+
+from repro.engine import pipeline_report, simulate_fifo, sm_demand_interval_s
+from repro.errors import ConfigError
+from repro.gpu import GV100
+
+
+@pytest.fixture(scope="module")
+def rep():
+    return pipeline_report(GV100)
+
+
+class TestFIFO:
+    def test_single_request(self, rep):
+        q = simulate_fifo([0.0], [100], rep)
+        r = q.requests[0]
+        assert r.wait_s == 0.0
+        assert r.service_s == pytest.approx(
+            (100 + rep.n_stages) * rep.cycle_time_ns * 1e-9
+        )
+        assert q.max_queue_depth == 1
+
+    def test_fifo_order_preserved(self, rep):
+        q = simulate_fifo([0.0, 1e-9, 2e-9], [1000, 10, 10], rep)
+        starts = [r.start_s for r in q.requests]
+        assert starts == sorted(starts)
+        # Later arrivals wait behind the long head-of-line request.
+        assert q.requests[1].wait_s > 0
+        assert q.requests[2].wait_s > q.requests[1].wait_s
+
+    def test_out_of_order_arrivals_sorted(self, rep):
+        q = simulate_fifo([5e-6, 0.0], [10, 10], rep)
+        assert q.requests[0].arrival_s == 0.0
+
+    def test_idle_gaps_reduce_utilization(self, rep):
+        busy = simulate_fifo([0.0, 0.0], [1000, 1000], rep)
+        sparse = simulate_fifo([0.0, 1.0], [1000, 1000], rep)
+        assert busy.utilization > 0.99
+        assert sparse.utilization < 0.01
+
+    def test_underloaded_queue_stays_empty(self, rep):
+        """Section 5.3's steady state: service faster than demand."""
+        service = (1000 + rep.n_stages) * rep.cycle_time_ns * 1e-9
+        arrivals = np.arange(20) * (service * 3)  # demand at 1/3 capacity
+        q = simulate_fifo(arrivals, [1000] * 20, rep)
+        assert q.mean_wait_s == 0.0
+        assert q.max_queue_depth == 1
+
+    def test_overloaded_queue_grows(self, rep):
+        service = (1000 + rep.n_stages) * rep.cycle_time_ns * 1e-9
+        arrivals = np.arange(20) * (service * 0.5)  # 2x overload
+        q = simulate_fifo(arrivals, [1000] * 20, rep)
+        assert q.max_queue_depth > 5
+        assert q.max_latency_s > 5 * service
+
+    def test_empty(self, rep):
+        q = simulate_fifo([], [], rep)
+        assert q.makespan_s == 0.0
+        assert q.utilization == 0.0
+
+    def test_validation(self, rep):
+        with pytest.raises(ConfigError):
+            simulate_fifo([0.0], [1, 2], rep)
+        with pytest.raises(ConfigError):
+            simulate_fifo([-1.0], [1], rep)
+
+
+class TestDemandModel:
+    def test_denser_tiles_take_longer(self):
+        a = sm_demand_interval_s(100, 64, GV100)
+        b = sm_demand_interval_s(1000, 64, GV100)
+        assert b > a
+
+    def test_engine_keeps_up_with_one_sm(self):
+        """A typical 64x64 tile: the SM chews on it far longer than the
+        engine needs to produce the next one."""
+        rep = pipeline_report(GV100)
+        tile_nnz = 200
+        demand = sm_demand_interval_s(tile_nnz, 64, GV100)
+        service = (tile_nnz + rep.n_stages) * rep.cycle_time_ns * 1e-9
+        assert service < demand
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sm_demand_interval_s(-1, 64, GV100)
+        with pytest.raises(ConfigError):
+            sm_demand_interval_s(1, 0, GV100)

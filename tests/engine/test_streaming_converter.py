@@ -1,0 +1,116 @@
+"""Tests for the incremental tile-streaming converter (Fig. 11 semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import StreamingStripConverter, convert_strip_stepwise
+from repro.errors import EngineError
+from repro.formats import CSCMatrix, TiledDCSR
+
+from ..conftest import random_dense
+from .test_conversion import csc_strips, fig13_strip
+
+
+def reassemble(tiles, n_rows, n_cols, dtype):
+    """Concatenate (row_start, tile) pairs back into one strip DCSR."""
+    row_idx, row_ptr, cols, vals = [], [0], [], []
+    for row_start, tile in tiles:
+        for k in range(tile.n_nonzero_rows):
+            row_idx.append(int(tile.row_idx[k]) + row_start)
+            lo, hi = int(tile.row_ptr[k]), int(tile.row_ptr[k + 1])
+            cols.extend(tile.col_idx[lo:hi].tolist())
+            vals.extend(tile.values[lo:hi].tolist())
+            row_ptr.append(len(cols))
+    from repro.formats import DCSRMatrix
+
+    return DCSRMatrix(
+        (n_rows, n_cols),
+        row_idx,
+        row_ptr,
+        cols,
+        np.asarray(vals, dtype=dtype),
+    )
+
+
+class TestStreaming:
+    def test_fig13_tile_by_tile(self):
+        col_ptr, row_idx, values = fig13_strip()
+        conv = StreamingStripConverter(col_ptr, row_idx, values, 5)
+        tiles = conv.drain(2)  # rows [0,2), [2,4), [4,5)
+        assert len(tiles) == 3
+        whole = reassemble(tiles, 5, 3, np.float32)
+        oracle, stats = convert_strip_stepwise(col_ptr, row_idx, values, 5)
+        np.testing.assert_array_equal(whole.row_idx, oracle.row_idx)
+        np.testing.assert_array_equal(whole.col_idx, oracle.col_idx)
+        np.testing.assert_allclose(whole.values, oracle.values)
+        assert conv.stats.steps == stats.steps
+        assert conv.stats.refill_requests == stats.refill_requests
+
+    def test_local_row_indices(self):
+        col_ptr, row_idx, values = fig13_strip()
+        conv = StreamingStripConverter(col_ptr, row_idx, values, 5)
+        conv.next_tile(2)  # rows 0-1
+        tile = conv.next_tile(2)  # rows 2-3: row 2 -> local 0
+        np.testing.assert_array_equal(tile.row_idx, [0])
+
+    def test_each_element_converted_once(self):
+        dense = random_dense((60, 16), 0.1, seed=91)
+        csc = CSCMatrix.from_dense(dense)
+        ptr, rows, vals = csc.strip_slice(0, 16)
+        conv = StreamingStripConverter(ptr, rows, vals, 60, n_lanes=16)
+        conv.drain(7)  # ragged tiles
+        assert conv.stats.elements == rows.size
+        assert conv.finished
+
+    def test_matches_offline_tiles(self):
+        dense = random_dense((100, 64), 0.05, seed=92)
+        csc = CSCMatrix.from_dense(dense)
+        oracle = TiledDCSR.from_csc(csc, tile_width=64)
+        ptr, rows, vals = csc.strip_slice(0, 64)
+        conv = StreamingStripConverter(ptr, rows, vals, 100)
+        for row_start, tile in conv.drain(64):
+            want = oracle.row_tile(0, row_start, 64)
+            np.testing.assert_array_equal(tile.row_idx, want.row_idx)
+            np.testing.assert_allclose(tile.values, want.values)
+
+    def test_over_drain_rejected(self):
+        col_ptr, row_idx, values = fig13_strip()
+        conv = StreamingStripConverter(col_ptr, row_idx, values, 5)
+        conv.drain(64)
+        with pytest.raises(EngineError, match="fully converted"):
+            conv.next_tile(64)
+
+    def test_bad_height(self):
+        col_ptr, row_idx, values = fig13_strip()
+        conv = StreamingStripConverter(col_ptr, row_idx, values, 5)
+        with pytest.raises(EngineError):
+            conv.next_tile(0)
+
+    def test_empty_strip(self):
+        conv = StreamingStripConverter([0, 0], [], np.array([]), 4)
+        tiles = conv.drain(2)
+        assert all(t.nnz == 0 for _, t in tiles)
+        assert conv.stats.steps == 0
+
+    @given(csc_strips(), st.integers(min_value=1, max_value=9))
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_equals_stepwise(self, strip, height):
+        col_ptr, rows, values, n_rows = strip
+        conv = StreamingStripConverter(col_ptr, rows, values, n_rows)
+        tiles = conv.drain(height)
+        whole = reassemble(
+            tiles,
+            n_rows,
+            len(col_ptr) - 1,
+            values.dtype if len(values) else np.float32,
+        )
+        oracle, stats = convert_strip_stepwise(col_ptr, rows, values, n_rows)
+        np.testing.assert_array_equal(whole.row_idx, oracle.row_idx)
+        np.testing.assert_array_equal(whole.row_ptr, oracle.row_ptr)
+        np.testing.assert_array_equal(whole.col_idx, oracle.col_idx)
+        np.testing.assert_allclose(whole.values, oracle.values)
+        assert conv.stats.steps == stats.steps
+        assert conv.stats.elements == stats.elements
+        assert conv.stats.refill_requests == stats.refill_requests

@@ -1,0 +1,128 @@
+"""Unit tests for format conversions and strip-extraction cost models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError
+from repro.formats import (
+    CSCMatrix,
+    CSRMatrix,
+    StatefulCSRExtractor,
+    csc_strip_extract,
+    csc_to_csr,
+    csr_to_csc,
+    csr_to_dcsr,
+    dcsr_to_csr,
+    stateless_csr_extract,
+    to_format,
+)
+
+from ..conftest import assert_same_matrix, random_dense
+
+
+class TestPairwise:
+    def test_csr_csc_roundtrip(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        back = csc_to_csr(csr_to_csc(csr))
+        np.testing.assert_array_equal(back.row_ptr, csr.row_ptr)
+        assert_same_matrix(back, small_dense)
+
+    def test_csr_dcsr_roundtrip(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        assert_same_matrix(dcsr_to_csr(csr_to_dcsr(csr)), small_dense)
+
+    @pytest.mark.parametrize(
+        "target",
+        ["coo", "csr", "csc", "dcsr", "dcsc", "ell", "tiled_csr", "tiled_dcsr"],
+    )
+    def test_to_format_all_targets(self, small_dense, target):
+        csr = CSRMatrix.from_dense(small_dense)
+        out = to_format(csr, target)
+        assert out.format_name == target
+        assert_same_matrix(out, small_dense)
+
+    def test_to_format_unknown(self, small_dense):
+        with pytest.raises(ConversionError, match="unknown"):
+            to_format(CSRMatrix.from_dense(small_dense), "ellpack")
+
+
+class TestStripExtractors:
+    """Section 4.1: the three strip-extraction strategies agree on output
+    but differ wildly in cost."""
+
+    @pytest.fixture
+    def dense(self):
+        return random_dense((64, 96), 0.05, seed=11)
+
+    def test_stateless_output_correct(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        strip, _ = stateless_csr_extract(csr, 1, 32)
+        assert_same_matrix(strip, dense[:, 32:64])
+
+    def test_stateless_cost_scales_with_rows(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        _, cost = stateless_csr_extract(csr, 0, 32)
+        # At least one probe pair per row: the O(n log nnz) lower bound.
+        assert cost.search_probes >= 2 * csr.n_rows
+        assert cost.state_words == 0
+
+    def test_stateful_sequential_correct(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        ext = StatefulCSRExtractor(csr)
+        for sid in range(3):
+            strip = ext.extract(sid, 32)
+            assert_same_matrix(strip, dense[:, sid * 32 : (sid + 1) * 32])
+
+    def test_stateful_holds_per_row_state(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        ext = StatefulCSRExtractor(csr)
+        assert ext.cost.state_words == csr.n_rows
+
+    def test_stateful_sequential_needs_no_search(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        ext = StatefulCSRExtractor(csr)
+        ext.extract(0, 32)
+        ext.extract(1, 32)
+        assert ext.cost.search_probes == 0
+
+    def test_stateful_random_access_costs_searches(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        ext = StatefulCSRExtractor(csr)
+        strip = ext.extract(2, 32)  # random jump
+        assert_same_matrix(strip, dense[:, 64:96])
+        assert ext.cost.search_probes > 0
+
+    def test_stateful_random_then_sequential(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        ext = StatefulCSRExtractor(csr)
+        ext.extract(1, 32)
+        strip = ext.extract(2, 32)  # now sequential again
+        assert_same_matrix(strip, dense[:, 64:96])
+
+    def test_csc_extract_correct_and_cheap(self, dense):
+        csc = CSCMatrix.from_dense(dense)
+        (ptr, rows, vals), cost = csc_strip_extract(csc, 1, 32)
+        rebuilt = np.zeros((64, 32), dtype=np.float32)
+        cols = np.repeat(np.arange(32), np.diff(ptr))
+        rebuilt[rows, cols] = vals
+        np.testing.assert_allclose(rebuilt, dense[:, 32:64])
+        assert cost.search_probes == 0
+        assert cost.pointer_reads == 33  # width + 1 col_ptr reads
+
+    def test_csc_cheaper_than_stateless_csr(self, dense):
+        """The paper's core Section 4.1 claim, as an executable assertion."""
+        csr = CSRMatrix.from_dense(dense)
+        csc = CSCMatrix.from_dense(dense)
+        _, csr_cost = stateless_csr_extract(csr, 1, 32)
+        _, csc_cost = csc_strip_extract(csc, 1, 32)
+        assert csc_cost.total_ops() < csr_cost.total_ops() / 2
+
+    def test_out_of_range_strip_rejected(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        csc = CSCMatrix.from_dense(dense)
+        with pytest.raises(ConversionError):
+            stateless_csr_extract(csr, 50, 32)
+        with pytest.raises(ConversionError):
+            csc_strip_extract(csc, 50, 32)
+        with pytest.raises(ConversionError):
+            StatefulCSRExtractor(csr).extract(50, 32)

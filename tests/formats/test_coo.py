@@ -1,0 +1,126 @@
+"""Unit tests for the COO container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix
+
+from ..conftest import assert_same_matrix, coo_from_triplets
+
+
+class TestConstruction:
+    def test_roundtrip_dense(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert_same_matrix(coo, small_dense)
+        assert coo.nnz == np.count_nonzero(small_dense)
+
+    def test_empty_matrix(self):
+        coo = COOMatrix((5, 5), [], [], [])
+        assert coo.nnz == 0
+        assert coo.to_dense().sum() == 0.0
+        assert coo.density == 0.0
+
+    def test_zero_shape(self):
+        coo = COOMatrix((0, 0), [], [], [])
+        assert coo.density == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FormatError, match="mismatch"):
+            COOMatrix((3, 3), [0, 1], [0], [1.0])
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(FormatError, match="rows"):
+            COOMatrix((3, 3), [3], [0], [1.0])
+
+    def test_out_of_range_col_rejected(self):
+        with pytest.raises(FormatError, match="cols"):
+            COOMatrix((3, 3), [0], [5], [1.0])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [-1], [0], [1.0])
+
+    def test_2d_values_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [0], [0], np.ones((1, 1)))
+
+    def test_non_integral_float_indices_rejected(self):
+        with pytest.raises(FormatError, match="non-integral"):
+            COOMatrix((3, 3), [0.5], [0], [1.0])
+
+    def test_integral_float_indices_accepted(self):
+        coo = COOMatrix((3, 3), [1.0], [2.0], [5.0])
+        assert coo.rows[0] == 1 and coo.cols[0] == 2
+
+
+class TestOperations:
+    def test_deduplicate_sums(self):
+        coo = coo_from_triplets((4, 4), [(1, 2, 1.5), (1, 2, 2.5), (0, 0, 1.0)])
+        d = coo.deduplicate()
+        assert d.nnz == 2
+        dense = d.to_dense()
+        assert dense[1, 2] == pytest.approx(4.0)
+        assert dense[0, 0] == pytest.approx(1.0)
+
+    def test_deduplicate_sorts_rowmajor(self):
+        coo = coo_from_triplets((4, 4), [(3, 1, 1.0), (0, 2, 2.0), (0, 1, 3.0)])
+        d = coo.deduplicate()
+        keys = d.rows * 4 + d.cols
+        assert np.all(np.diff(keys) > 0)
+
+    def test_deduplicate_empty(self):
+        d = COOMatrix((3, 3), [], [], []).deduplicate()
+        assert d.nnz == 0
+
+    def test_deduplicate_preserves_dense(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        # inject duplicates that cancel
+        dup = COOMatrix(
+            coo.shape,
+            np.concatenate([coo.rows, coo.rows[:3]]),
+            np.concatenate([coo.cols, coo.cols[:3]]),
+            np.concatenate([coo.values, np.zeros(3, dtype=coo.value_dtype)]),
+        )
+        assert_same_matrix(dup.deduplicate(), small_dense)
+
+    def test_sorted_rowmajor_keeps_duplicates(self):
+        coo = coo_from_triplets((4, 4), [(1, 1, 1.0), (1, 1, 2.0)])
+        s = coo.sorted_rowmajor()
+        assert s.nnz == 2
+
+    def test_transpose(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert_same_matrix(coo.transpose(), small_dense.T)
+
+    def test_transpose_shape(self):
+        coo = COOMatrix((3, 7), [0], [6], [1.0])
+        t = coo.transpose()
+        assert t.shape == (7, 3)
+        assert t.rows[0] == 6 and t.cols[0] == 0
+
+
+class TestFootprint:
+    def test_metadata_bytes_two_index_vectors(self):
+        coo = coo_from_triplets((10, 10), [(0, 0, 1.0), (1, 1, 2.0)])
+        # rows + cols, 4 modelled bytes each
+        assert coo.metadata_bytes() == 2 * 2 * 4
+
+    def test_value_bytes_fp32(self):
+        coo = coo_from_triplets((10, 10), [(0, 0, 1.0)])
+        assert coo.value_bytes() == 4
+
+    def test_value_bytes_fp64(self):
+        coo = COOMatrix((10, 10), [0], [0], np.array([1.0], dtype=np.float64))
+        assert coo.value_bytes() == 8
+
+    def test_footprint_is_sum(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert coo.footprint_bytes() == coo.metadata_bytes() + coo.value_bytes()
+
+
+class TestScipyInterop:
+    def test_to_from_scipy(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        again = COOMatrix.from_scipy(coo.to_scipy())
+        assert_same_matrix(again, small_dense)

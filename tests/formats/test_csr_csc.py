@@ -1,0 +1,156 @@
+"""Unit tests for the CSR and CSC containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, CSCMatrix, CSRMatrix
+
+from ..conftest import assert_same_matrix, random_dense
+
+
+class TestCSRFig1:
+    """The paper's Fig. 1 worked example."""
+
+    def test_fig1_layout(self, paper_fig1_matrix):
+        csr = CSRMatrix.from_dense(paper_fig1_matrix)
+        # value = [a b c x y], colidx = [0 1 2 1 3], rowptr = [0 3 3 5]
+        np.testing.assert_array_equal(csr.values, [1.0, 2.0, 3.0, 4.0, 5.0])
+        np.testing.assert_array_equal(csr.col_idx, [0, 1, 2, 1, 3])
+        np.testing.assert_array_equal(csr.row_ptr, [0, 3, 3, 5])
+
+    def test_fig1_empty_row_detected(self, paper_fig1_matrix):
+        csr = CSRMatrix.from_dense(paper_fig1_matrix)
+        np.testing.assert_array_equal(csr.empty_rows(), [False, True, False])
+
+
+class TestCSRInvariants:
+    def test_roundtrip(self, small_dense):
+        assert_same_matrix(CSRMatrix.from_dense(small_dense), small_dense)
+
+    def test_row_ptr_wrong_length(self):
+        with pytest.raises(FormatError, match="row_ptr length"):
+            CSRMatrix((3, 3), [0, 1], [0], [1.0])
+
+    def test_row_ptr_not_starting_at_zero(self):
+        with pytest.raises(FormatError, match="start at 0"):
+            CSRMatrix((2, 3), [1, 1, 1], [], np.array([], dtype=np.float32))
+
+    def test_row_ptr_decreasing(self):
+        with pytest.raises(FormatError, match="non-decreasing"):
+            CSRMatrix((2, 3), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_row_ptr_end_mismatch(self):
+        with pytest.raises(FormatError, match="row_ptr\\[-1\\]"):
+            CSRMatrix((2, 3), [0, 1, 3], [0, 1], [1.0, 2.0])
+
+    def test_col_idx_out_of_range(self):
+        with pytest.raises(FormatError, match="col_idx"):
+            CSRMatrix((2, 3), [0, 1, 1], [3], [1.0])
+
+    def test_row_lengths(self, paper_fig1_matrix):
+        csr = CSRMatrix.from_dense(paper_fig1_matrix)
+        np.testing.assert_array_equal(csr.row_lengths(), [3, 0, 2])
+
+    def test_row_slice(self, paper_fig1_matrix):
+        csr = CSRMatrix.from_dense(paper_fig1_matrix)
+        cols, vals = csr.row_slice(2)
+        np.testing.assert_array_equal(cols, [1, 3])
+        np.testing.assert_array_equal(vals, [4.0, 5.0])
+
+    def test_sorted_indices_detection(self):
+        unsorted = CSRMatrix((1, 4), [0, 2], [2, 0], [1.0, 2.0])
+        assert not unsorted.has_sorted_indices()
+        assert unsorted.sort_indices().has_sorted_indices()
+
+    def test_sorted_indices_ok_at_row_boundary(self):
+        # col indices drop across a row boundary — still "sorted".
+        m = CSRMatrix((2, 4), [0, 2, 4], [1, 3, 0, 2], [1.0, 2.0, 3.0, 4.0])
+        assert m.has_sorted_indices()
+
+    def test_sort_indices_preserves_contents(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        shuffled_cols = csr.col_idx.copy()
+        shuffled_vals = csr.values.copy()
+        # reverse each row
+        for i in range(csr.n_rows):
+            lo, hi = int(csr.row_ptr[i]), int(csr.row_ptr[i + 1])
+            shuffled_cols[lo:hi] = shuffled_cols[lo:hi][::-1]
+            shuffled_vals[lo:hi] = shuffled_vals[lo:hi][::-1]
+        messy = CSRMatrix(csr.shape, csr.row_ptr, shuffled_cols, shuffled_vals)
+        assert_same_matrix(messy.sort_indices(), small_dense)
+
+    def test_footprint_formula(self):
+        """Section 2: CSR costs 8*nnz + 4*(n_rows+1) bytes at FP32."""
+        csr = CSRMatrix.from_dense(random_dense((30, 30), 0.1, seed=1))
+        assert csr.footprint_bytes() == 8 * csr.nnz + 4 * (csr.n_rows + 1)
+
+
+class TestCSCInvariants:
+    def test_roundtrip(self, small_dense):
+        assert_same_matrix(CSCMatrix.from_dense(small_dense), small_dense)
+
+    def test_matches_csr_transpose_structure(self, small_dense):
+        csc = CSCMatrix.from_dense(small_dense)
+        csr_t = CSRMatrix.from_dense(small_dense.T)
+        np.testing.assert_array_equal(csc.col_ptr, csr_t.row_ptr)
+        np.testing.assert_array_equal(csc.row_idx, csr_t.col_idx)
+
+    def test_col_ptr_wrong_length(self):
+        with pytest.raises(FormatError, match="col_ptr length"):
+            CSCMatrix((3, 3), [0, 1], [0], [1.0])
+
+    def test_row_idx_out_of_range(self):
+        with pytest.raises(FormatError, match="row_idx"):
+            CSCMatrix((2, 2), [0, 1, 1], [2], [1.0])
+
+    def test_sorted_indices_true_from_coo(self, small_dense):
+        assert CSCMatrix.from_dense(small_dense).has_sorted_indices()
+
+    def test_sorted_indices_false(self):
+        csc = CSCMatrix((4, 1), [0, 2], [2, 0], [1.0, 2.0])
+        assert not csc.has_sorted_indices()
+
+    def test_col_slice(self, paper_fig1_matrix):
+        csc = CSCMatrix.from_dense(paper_fig1_matrix)
+        rows, vals = csc.col_slice(1)
+        np.testing.assert_array_equal(rows, [0, 2])
+        np.testing.assert_array_equal(vals, [2.0, 4.0])
+
+    def test_strip_slice_views(self, medium_csc):
+        ptr, rows, vals = medium_csc.strip_slice(32, 64)
+        assert ptr[0] == 0
+        assert ptr[-1] == rows.size == vals.size
+        # Strip contents equal the dense slice.
+        dense = medium_csc.to_dense()[:, 32:64]
+        rebuilt = np.zeros_like(dense)
+        cols = np.repeat(np.arange(32), np.diff(ptr))
+        rebuilt[rows, cols] = vals
+        np.testing.assert_allclose(rebuilt, dense)
+
+    def test_strip_slice_bounds_checked(self, medium_csc):
+        with pytest.raises(FormatError, match="strip"):
+            medium_csc.strip_slice(100, 200)
+        with pytest.raises(FormatError, match="strip"):
+            medium_csc.strip_slice(10, 5)
+
+    def test_strip_slice_full_range(self, medium_csc):
+        ptr, rows, vals = medium_csc.strip_slice(0, medium_csc.n_cols)
+        assert vals.size == medium_csc.nnz
+        np.testing.assert_array_equal(ptr, medium_csc.col_ptr)
+
+
+class TestSquareFootprints:
+    def test_csr_csc_same_size_for_square(self):
+        """Section 4.1: CSC ~ CSR in size for square matrices."""
+        dense = random_dense((64, 64), 0.05, seed=3)
+        csr = CSRMatrix.from_dense(dense)
+        csc = CSCMatrix.from_dense(dense)
+        assert csr.footprint_bytes() == csc.footprint_bytes()
+
+    def test_csc_larger_for_wide_matrix(self):
+        """Section 4.1: CSC grows for wide (more cols than rows) matrices."""
+        dense = random_dense((16, 256), 0.05, seed=3)
+        csr = CSRMatrix.from_dense(dense)
+        csc = CSCMatrix.from_dense(dense)
+        assert csc.footprint_bytes() > csr.footprint_bytes()

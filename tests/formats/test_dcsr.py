@@ -1,0 +1,104 @@
+"""Unit tests for the DCSR container (Fig. 6 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CSRMatrix, DCSRMatrix
+
+from ..conftest import assert_same_matrix, random_dense
+
+
+class TestDensify:
+    def test_fig6_style_strip(self):
+        """A 16-row strip where only rows 3, 9, 10, 12 are non-empty."""
+        dense = np.zeros((16, 4), dtype=np.float32)
+        dense[3, 0] = 1.0
+        dense[9, 1] = 2.0
+        dense[10, 2] = 3.0
+        dense[10, 3] = 3.5
+        dense[12, 0] = 4.0
+        dcsr = DCSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(dcsr.row_idx, [3, 9, 10, 12])
+        np.testing.assert_array_equal(dcsr.row_ptr, [0, 1, 2, 4, 5])
+        assert dcsr.n_nonzero_rows == 4
+        assert_same_matrix(dcsr, dense)
+
+    def test_roundtrip_csr(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        dcsr = DCSRMatrix.from_csr(csr)
+        back = dcsr.to_csr()
+        np.testing.assert_array_equal(back.row_ptr, csr.row_ptr)
+        np.testing.assert_array_equal(back.col_idx, csr.col_idx)
+        assert_same_matrix(back, small_dense)
+
+    def test_no_empty_rows_stored(self, small_dense):
+        dcsr = DCSRMatrix.from_dense(small_dense)
+        assert np.all(dcsr.row_lengths() > 0)
+
+    def test_all_empty_matrix(self):
+        dcsr = DCSRMatrix.from_dense(np.zeros((8, 8)))
+        assert dcsr.nnz == 0
+        assert dcsr.n_nonzero_rows == 0
+        assert dcsr.to_csr().nnz == 0
+
+    def test_fully_dense_matrix_row_idx_is_arange(self):
+        dcsr = DCSRMatrix.from_dense(np.ones((5, 3), dtype=np.float32))
+        np.testing.assert_array_equal(dcsr.row_idx, np.arange(5))
+
+
+class TestInvariants:
+    def test_row_idx_must_increase(self):
+        with pytest.raises(FormatError, match="strictly increasing"):
+            DCSRMatrix((5, 5), [2, 1], [0, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_duplicate_row_idx_rejected(self):
+        with pytest.raises(FormatError, match="strictly increasing"):
+            DCSRMatrix((5, 5), [1, 1], [0, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_empty_listed_row_rejected(self):
+        with pytest.raises(FormatError, match="empty rows"):
+            DCSRMatrix((5, 5), [0, 2], [0, 0, 1], [3], [1.0])
+
+    def test_row_ptr_length_must_match_row_idx(self):
+        with pytest.raises(FormatError, match="row_ptr length"):
+            DCSRMatrix((5, 5), [0], [0, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_row_idx_out_of_range(self):
+        with pytest.raises(FormatError, match="row_idx"):
+            DCSRMatrix((3, 3), [5], [0, 1], [0], [1.0])
+
+    def test_stored_row_slice(self):
+        dense = np.zeros((6, 4), dtype=np.float32)
+        dense[4, 1] = 7.0
+        dense[4, 3] = 8.0
+        dcsr = DCSRMatrix.from_dense(dense)
+        row, cols, vals = dcsr.stored_row_slice(0)
+        assert row == 4
+        np.testing.assert_array_equal(cols, [1, 3])
+        np.testing.assert_array_equal(vals, [7.0, 8.0])
+
+
+class TestFootprint:
+    def test_metadata_shrinks_for_sparse_rows(self):
+        """DCSR metadata < CSR metadata when most rows are empty."""
+        dense = np.zeros((1000, 8), dtype=np.float32)
+        dense[::100, 0] = 1.0  # 10 non-empty rows out of 1000
+        csr = CSRMatrix.from_dense(dense)
+        dcsr = DCSRMatrix.from_csr(csr)
+        assert dcsr.metadata_bytes() < csr.metadata_bytes() / 10
+
+    def test_metadata_grows_for_dense_rows(self):
+        """When every row is non-empty DCSR pays the extra row_idx vector."""
+        dense = random_dense((50, 50), 0.9, seed=2)
+        dense[dense == 0] = 0.5  # ensure fully non-empty
+        csr = CSRMatrix.from_dense(dense)
+        dcsr = DCSRMatrix.from_csr(csr)
+        assert dcsr.metadata_bytes() > csr.metadata_bytes()
+
+    def test_footprint_formula(self):
+        """DCSR = 4*(nnzrows) + 4*(nnzrows+1) + 8*nnz modelled bytes."""
+        dcsr = DCSRMatrix.from_dense(random_dense((40, 40), 0.05, seed=9))
+        k = dcsr.n_nonzero_rows
+        expected = 4 * k + 4 * (k + 1) + 8 * dcsr.nnz
+        assert dcsr.footprint_bytes() == expected

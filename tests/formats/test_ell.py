@@ -1,0 +1,90 @@
+"""Unit tests for the ELLPACK comparison format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CSRMatrix, ELLMatrix, to_format
+from repro.matrices import powerlaw_rows, uniform_random
+
+from ..conftest import assert_same_matrix, random_dense
+
+
+class TestConstruction:
+    def test_roundtrip(self, small_dense):
+        ell = ELLMatrix.from_dense(small_dense)
+        assert_same_matrix(ell, small_dense)
+
+    def test_roundtrip_via_csr(self, small_dense):
+        ell = ELLMatrix.from_dense(small_dense)
+        assert_same_matrix(ell.to_csr(), small_dense)
+
+    def test_width_is_max_row(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        ell = ELLMatrix.from_csr(csr)
+        assert ell.width == int(csr.row_lengths().max())
+
+    def test_to_format(self, small_dense):
+        out = to_format(CSRMatrix.from_dense(small_dense), "ell")
+        assert out.format_name == "ell"
+        assert_same_matrix(out, small_dense)
+
+    def test_empty_matrix(self):
+        ell = ELLMatrix.from_dense(np.zeros((4, 4)))
+        assert ell.nnz == 0
+        assert ell.width == 0
+        assert ell.padding_ratio == 0.0
+
+    def test_nnz_excludes_padding(self, small_dense):
+        ell = ELLMatrix.from_dense(small_dense)
+        assert ell.nnz == np.count_nonzero(small_dense)
+
+
+class TestInvariants:
+    def test_plane_mismatch(self):
+        with pytest.raises(FormatError, match="mismatch"):
+            ELLMatrix((2, 4), np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_wrong_row_count(self):
+        with pytest.raises(FormatError, match="rows"):
+            ELLMatrix((3, 4), np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_out_of_range_col(self):
+        col = np.array([[5]])
+        with pytest.raises(FormatError, match="range"):
+            ELLMatrix((1, 4), col, np.ones((1, 1)))
+
+    def test_nonzero_padding_rejected(self):
+        col = np.array([[-1]])
+        with pytest.raises(FormatError, match="zero"):
+            ELLMatrix((1, 4), col, np.ones((1, 1)))
+
+    def test_1d_planes_rejected(self):
+        with pytest.raises(FormatError, match="2-D"):
+            ELLMatrix((1, 4), np.zeros(3), np.zeros(3))
+
+
+class TestRowSkewTax:
+    def test_uniform_low_padding(self):
+        m = uniform_random(256, 256, 0.02, seed=81)
+        ell = to_format(m, "ell")
+        assert ell.padding_ratio < 0.9
+
+    def test_powerlaw_pathological_padding(self):
+        """One heavy row pads the whole matrix — why ELL lost to CSR."""
+        m = powerlaw_rows(256, 256, 0.02, alpha=2.0, seed=81)
+        ell = to_format(m, "ell")
+        u = to_format(uniform_random(256, 256, 0.02, seed=81), "ell")
+        assert ell.padding_ratio > u.padding_ratio
+
+    def test_footprint_counts_padding(self):
+        m = powerlaw_rows(256, 256, 0.01, alpha=2.0, seed=82)
+        ell = to_format(m, "ell")
+        csr = to_format(m, "csr")
+        # Padded slots move; for skewed matrices ELL dwarfs CSR.
+        assert ell.footprint_bytes() > 2 * csr.footprint_bytes()
+
+    def test_footprint_formula(self, small_dense):
+        ell = ELLMatrix.from_dense(small_dense)
+        slots = ell.n_rows * ell.width
+        assert ell.footprint_bytes() == slots * (4 + 4)

@@ -1,0 +1,160 @@
+"""Unit tests for tiled CSR/DCSR containers and row-tile extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (
+    CSCMatrix,
+    CSRMatrix,
+    TiledCSR,
+    TiledDCSR,
+    n_strips,
+    strip_bounds,
+)
+
+from ..conftest import assert_same_matrix, random_dense
+
+
+class TestStripGeometry:
+    def test_strip_bounds_exact(self):
+        assert strip_bounds(128, 64) == [(0, 64), (64, 128)]
+
+    def test_strip_bounds_ragged(self):
+        assert strip_bounds(100, 64) == [(0, 64), (64, 100)]
+
+    def test_strip_bounds_single(self):
+        assert strip_bounds(10, 64) == [(0, 10)]
+
+    def test_strip_bounds_zero_cols(self):
+        assert strip_bounds(0, 64) == []
+
+    def test_strip_bounds_bad_width(self):
+        with pytest.raises(FormatError):
+            strip_bounds(10, 0)
+
+    def test_n_strips(self):
+        assert n_strips(129, 64) == 3
+        assert n_strips(0, 64) == 0
+
+
+class TestTiledCSR:
+    def test_roundtrip(self, small_dense):
+        csc = CSCMatrix.from_dense(small_dense)
+        tiled = TiledCSR.from_csc(csc, tile_width=4)
+        assert_same_matrix(tiled, small_dense)
+
+    def test_from_csr_equals_from_csc(self, small_dense):
+        a = TiledCSR.from_csc(CSCMatrix.from_dense(small_dense), tile_width=4)
+        b = TiledCSR.from_csr(CSRMatrix.from_dense(small_dense), tile_width=4)
+        assert_same_matrix(a, b)
+
+    def test_strip_count(self, small_dense):
+        tiled = TiledCSR.from_csc(CSCMatrix.from_dense(small_dense), tile_width=4)
+        assert tiled.n_strips == n_strips(small_dense.shape[1], 4)
+
+    def test_every_strip_has_full_row_ptr(self, small_dense):
+        """The CSR strips keep a pointer per matrix row — the inefficiency."""
+        tiled = TiledCSR.from_csc(CSCMatrix.from_dense(small_dense), tile_width=4)
+        for strip in tiled.strips:
+            assert strip.row_ptr.size == small_dense.shape[0] + 1
+
+    def test_nnz_preserved(self, medium_csc):
+        tiled = TiledCSR.from_csc(medium_csc, tile_width=64)
+        assert tiled.nnz == medium_csc.nnz
+        assert tiled.strip_nnz().sum() == medium_csc.nnz
+
+    def test_nonzero_rows_per_strip(self):
+        dense = np.zeros((10, 8), dtype=np.float32)
+        dense[0, 0] = 1.0
+        dense[5, 1] = 2.0
+        dense[5, 6] = 3.0
+        tiled = TiledCSR.from_csc(CSCMatrix.from_dense(dense), tile_width=4)
+        np.testing.assert_array_equal(tiled.nonzero_rows_per_strip(), [2, 1])
+
+
+class TestTiledDCSR:
+    def test_roundtrip(self, small_dense):
+        tiled = TiledDCSR.from_csc(CSCMatrix.from_dense(small_dense), tile_width=4)
+        assert_same_matrix(tiled, small_dense)
+
+    def test_metadata_below_tiled_csr(self):
+        """Fig. 8: tiled DCSR metadata far below tiled CSR for sparse strips."""
+        dense = np.zeros((512, 128), dtype=np.float32)
+        rng = np.random.default_rng(0)
+        rows = rng.choice(512, size=20, replace=False)
+        cols = rng.integers(0, 128, size=20)
+        dense[rows, cols] = 1.0
+        csc = CSCMatrix.from_dense(dense)
+        tc = TiledCSR.from_csc(csc, tile_width=64)
+        td = TiledDCSR.from_tiled_csr(tc)
+        assert td.metadata_bytes() < tc.metadata_bytes() / 10
+
+    def test_strip_shapes_validated(self, small_dense):
+        tiled = TiledDCSR.from_csc(CSCMatrix.from_dense(small_dense), tile_width=4)
+        tiled.validate()  # should not raise
+
+    def test_wrong_strip_count_rejected(self, small_dense):
+        csc = CSCMatrix.from_dense(small_dense)
+        tiled = TiledDCSR.from_csc(csc, tile_width=4)
+        with pytest.raises(FormatError, match="strips"):
+            TiledDCSR(csc.shape, tiled.strips[:-1], 4)
+
+
+class TestRowTiles:
+    def test_row_tile_contents(self, medium_csc):
+        tiled = TiledDCSR.from_csc(medium_csc, tile_width=64)
+        dense = medium_csc.to_dense()
+        tile = tiled.row_tile(1, 64, 64)
+        assert_same_matrix(tile, dense[64:128, 64:128])
+
+    def test_row_tile_local_indices(self, medium_csc):
+        tiled = TiledDCSR.from_csc(medium_csc, tile_width=64)
+        tile = tiled.row_tile(0, 128, 64)
+        if tile.n_nonzero_rows:
+            assert tile.row_idx.max() < 64
+            assert tile.row_idx.min() >= 0
+
+    def test_ragged_last_tile(self, medium_csc):
+        tiled = TiledDCSR.from_csc(medium_csc, tile_width=64)
+        # 200 rows, tile height 64 -> last tile has 8 rows
+        tile = tiled.row_tile(0, 192, 64)
+        assert tile.shape[0] == 8
+
+    def test_iter_row_tiles_covers_matrix(self, medium_csc):
+        tiled = TiledDCSR.from_csc(medium_csc, tile_width=64)
+        dense = medium_csc.to_dense()
+        for sid in range(tiled.n_strips):
+            info = tiled.strip_info(sid)
+            rebuilt = np.zeros((tiled.n_rows, info.width), dtype=np.float32)
+            for row_start, tile in tiled.iter_row_tiles(sid, 64):
+                rebuilt[row_start : row_start + tile.shape[0]] += tile.to_dense()
+            np.testing.assert_allclose(
+                rebuilt, dense[:, info.col_start : info.col_end]
+            )
+
+    def test_n_row_tiles(self, medium_csc):
+        tiled = TiledDCSR.from_csc(medium_csc, tile_width=64)
+        assert tiled.n_row_tiles(64) == 4  # ceil(200/64)
+
+    def test_bad_tile_height(self, medium_csc):
+        tiled = TiledDCSR.from_csc(medium_csc, tile_width=64)
+        with pytest.raises(FormatError):
+            tiled.n_row_tiles(0)
+
+
+class TestFootprintScaling:
+    def test_tiled_dcsr_overhead_modest(self):
+        """Fig. 9: tiled DCSR costs ~1.2-2x untiled CSR for typical matrices."""
+        dense = random_dense((512, 512), 0.01, seed=5)
+        csr = CSRMatrix.from_dense(dense)
+        td = TiledDCSR.from_csc(CSCMatrix.from_dense(dense), tile_width=64)
+        ratio = td.footprint_bytes() / csr.footprint_bytes()
+        assert 1.0 < ratio < 2.5
+
+    def test_narrower_tiles_cost_more(self):
+        dense = random_dense((256, 256), 0.02, seed=6)
+        csc = CSCMatrix.from_dense(dense)
+        wide = TiledDCSR.from_csc(csc, tile_width=128)
+        narrow = TiledDCSR.from_csc(csc, tile_width=16)
+        assert narrow.metadata_bytes() > wide.metadata_bytes()

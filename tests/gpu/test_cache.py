@@ -1,0 +1,146 @@
+"""Unit + property tests for the LRU cache model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.gpu import LRUCache, dense_reuse_fraction
+
+
+class TestGeometry:
+    def test_zero_capacity_always_misses(self):
+        c = LRUCache(0)
+        assert not c.access_line(0)
+        assert not c.access_line(0)
+        assert c.stats.misses == 2 and c.stats.hits == 0
+
+    def test_capacity_below_line_rejected(self):
+        with pytest.raises(ConfigError):
+            LRUCache(16, line_bytes=32)
+
+    def test_non_divisible_ways_rejected(self):
+        with pytest.raises(ConfigError):
+            LRUCache(32 * 6, line_bytes=32, ways=4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            LRUCache(-1)
+
+
+class TestBehaviour:
+    def test_hit_after_fill(self):
+        c = LRUCache(1024, line_bytes=32, ways=4)
+        assert not c.access_line(5)
+        assert c.access_line(5)
+
+    def test_lru_eviction_order(self):
+        # Direct construction: 2 sets x 2 ways, line 32B -> 128B capacity.
+        c = LRUCache(128, line_bytes=32, ways=2)
+        # All these map to set 0 (even line addrs with 2 sets).
+        c.access_line(0)
+        c.access_line(2)
+        c.access_line(0)  # refresh 0; LRU is now 2
+        c.access_line(4)  # evicts 2
+        assert c.access_line(0)  # still resident
+        assert not c.access_line(2)  # was evicted
+
+    def test_working_set_fits(self):
+        c = LRUCache(4096, line_bytes=32, ways=8)  # 128 lines
+        for rep in range(3):
+            for line in range(100):
+                c.access_line(line)
+        # First pass misses, later passes hit.
+        assert c.stats.hits == 200
+        assert c.stats.misses == 100
+
+    def test_working_set_thrashes(self):
+        c = LRUCache(1024, line_bytes=32, ways=32)  # 32 lines, 1 set
+        for rep in range(3):
+            for line in range(64):  # 2x capacity, cyclic -> pure thrash
+                c.access_line(line)
+        assert c.stats.hits == 0
+
+    def test_access_bytes_counts_lines(self):
+        c = LRUCache(4096, line_bytes=32, ways=8)
+        misses = c.access_bytes(0, 100)  # lines 0..3
+        assert misses == 4
+        assert c.access_bytes(0, 100) == 0  # all hits now
+
+    def test_access_bytes_straddles_lines(self):
+        c = LRUCache(4096, line_bytes=32, ways=8)
+        assert c.access_bytes(30, 4) == 2  # crosses the 32B boundary
+
+    def test_access_bytes_zero(self):
+        c = LRUCache(4096)
+        assert c.access_bytes(0, 0) == 0
+        assert c.stats.accesses == 0
+
+    def test_flush(self):
+        c = LRUCache(1024, line_bytes=32, ways=4)
+        c.access_line(1)
+        c.flush()
+        assert not c.access_line(1)
+
+    def test_reset_stats(self):
+        c = LRUCache(1024, line_bytes=32, ways=4)
+        c.access_line(1)
+        c.reset_stats()
+        assert c.stats.accesses == 0
+
+    def test_lines_for(self):
+        c = LRUCache(1024, line_bytes=32, ways=4)
+        assert c.lines_for(1) == 1
+        assert c.lines_for(32) == 1
+        assert c.lines_for(33) == 2
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=400)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, lines):
+        c = LRUCache(2048, line_bytes=32, ways=4)
+        for line in lines:
+            c.access_line(line)
+        assert c.stats.hits + c.stats.misses == c.stats.accesses == len(lines)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fitting_working_set_never_remisses(self, lines):
+        """With capacity >= footprint, each distinct line misses exactly once."""
+        c = LRUCache(32 * 64, line_bytes=32, ways=64)  # fully assoc, 64 lines
+        for line in lines:
+            c.access_line(line)
+        assert c.stats.misses == len(set(lines))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=300)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bigger_cache_never_more_misses_fully_assoc(self, lines):
+        """LRU inclusion property for fully-associative caches."""
+        small = LRUCache(32 * 16, line_bytes=32, ways=16)
+        big = LRUCache(32 * 64, line_bytes=32, ways=64)
+        for line in lines:
+            small.access_line(line)
+            big.access_line(line)
+        assert big.stats.misses <= small.stats.misses
+
+
+class TestReuseFraction:
+    def test_fits_fully(self):
+        assert dense_reuse_fraction(1000, 2000) == 1.0
+
+    def test_no_cache(self):
+        assert dense_reuse_fraction(1000, 0) == 0.0
+
+    def test_proportional(self):
+        assert dense_reuse_fraction(4000, 1000) == pytest.approx(0.25)
+
+    def test_empty_working_set(self):
+        assert dense_reuse_fraction(0, 100) == 1.0

@@ -1,0 +1,94 @@
+"""Unit tests for GPU configuration presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import GV100, TU116, GPUConfig, get_config
+from repro.gpu.config import scaled_config
+
+
+class TestPresets:
+    def test_gv100_matches_section51(self):
+        """Section 5.1's platform description."""
+        assert GV100.cuda_cores == 5120
+        assert GV100.clock_ghz == pytest.approx(1.53)
+        assert GV100.shared_mem_per_sm_kb == 96
+        assert GV100.l2_cache_kb == 6144
+        assert GV100.die_area_mm2 == pytest.approx(815.0)
+        assert GV100.peak_bandwidth_gbps == pytest.approx(870.4, rel=1e-3)
+        assert GV100.mem_channels == 64  # HBM2 pseudo channels
+
+    def test_tu116_matches_section53(self):
+        """Section 5.3's scaling point: 284 mm^2, 24 channels, 288 GB/s."""
+        assert TU116.die_area_mm2 == pytest.approx(284.0)
+        assert TU116.mem_channels == 24
+        assert TU116.peak_bandwidth_gbps == pytest.approx(288.0)
+
+    def test_gv100_channel_cycle_times(self):
+        """Section 5.3: 8 B every 0.588 ns, 12 B every 0.882 ns."""
+        assert GV100.channel_cycle_time_ns_fp32 == pytest.approx(0.588, abs=0.001)
+        assert GV100.channel_cycle_time_ns_fp64 == pytest.approx(0.882, abs=0.001)
+
+    def test_fp32_peak(self):
+        assert GV100.peak_fp32_gflops == pytest.approx(15_667, rel=1e-3)
+
+    def test_lookup(self):
+        assert get_config("GV100") is GV100
+        assert get_config("tu116") is TU116
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigError, match="unknown GPU"):
+            get_config("h100")
+
+    def test_effective_below_peak(self):
+        assert GV100.effective_bandwidth_gbps < GV100.peak_bandwidth_gbps
+
+    def test_xbar_above_dram(self):
+        assert GV100.xbar_bandwidth_gbps > GV100.peak_bandwidth_gbps
+
+
+class TestValidation:
+    def test_negative_field_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(GV100, clock_ghz=-1.0)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(GV100, bandwidth_efficiency=0.0)
+
+    def test_scaled_config_divides_llc(self):
+        s = scaled_config(GV100, 10)
+        assert s.l2_cache_kb == pytest.approx(GV100.l2_cache_kb / 10, abs=1)
+        # Compute and bandwidth peaks untouched (they cancel in speedups).
+        assert s.peak_bandwidth_gbps == GV100.peak_bandwidth_gbps
+        assert s.cuda_cores == GV100.cuda_cores
+
+    def test_scaled_config_floor(self):
+        s = scaled_config(GV100, 1e6)
+        assert s.l2_cache_kb == 64
+
+    def test_scaled_config_identity(self):
+        s = scaled_config(GV100, 1)
+        assert s.l2_cache_kb == GV100.l2_cache_kb
+
+    def test_scaled_config_bad_factor(self):
+        with pytest.raises(ConfigError):
+            scaled_config(GV100, 0.5)
+
+    def test_custom_config(self):
+        cfg = GPUConfig(
+            name="toy",
+            n_sms=2,
+            cuda_cores=128,
+            clock_ghz=1.0,
+            shared_mem_per_sm_kb=48,
+            l2_cache_kb=512,
+            mem_channels=4,
+            channel_bandwidth_gbps=10.0,
+            die_area_mm2=100.0,
+            tdp_w=50.0,
+            idle_power_w=5.0,
+        )
+        assert cfg.peak_bandwidth_gbps == pytest.approx(40.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the DRAM channel timing model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import (
+    DRAMChannel,
+    DRAMTiming,
+    effective_bandwidth,
+    streaming_advantage,
+)
+
+
+class TestTiming:
+    def test_defaults_match_paper_inputs(self):
+        t = DRAMTiming()
+        assert t.peak_gbps == pytest.approx(13.6)  # HBM2 pseudo channel
+        assert t.cl_ns == pytest.approx(15.0)  # Section 5.3's CL
+
+    def test_burst_time(self):
+        t = DRAMTiming()
+        assert t.burst_time_ns == pytest.approx(32 / 13.6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DRAMTiming(peak_gbps=0)
+        with pytest.raises(ConfigError):
+            DRAMTiming(t_rc_ns=0)
+
+
+class TestChannelReplay:
+    def test_sequential_stream_mostly_hits(self):
+        ch = DRAMChannel()
+        addrs = np.arange(0, 64 * 1024, 32)
+        ch.replay(addrs)
+        # One miss per 1 KiB row -> 31/32 hit rate.
+        assert ch.hit_rate == pytest.approx(31 / 32, abs=0.01)
+
+    def test_random_stream_mostly_misses(self):
+        rng = np.random.default_rng(0)
+        ch = DRAMChannel()
+        addrs = rng.integers(0, 1 << 30, size=4000) * 32
+        ch.replay(addrs)
+        assert ch.hit_rate < 0.05
+
+    def test_sequential_near_peak(self):
+        ch = DRAMChannel()
+        ch.replay(np.arange(0, 256 * 1024, 32))
+        t = DRAMTiming()
+        assert ch.achieved_gbps > 0.9 * t.peak_gbps
+
+    def test_random_well_below_peak(self):
+        rng = np.random.default_rng(1)
+        ch = DRAMChannel()
+        ch.replay(rng.integers(0, 1 << 30, size=4000) * 32)
+        assert ch.achieved_gbps < 0.7 * DRAMTiming().peak_gbps
+
+    def test_same_row_rehit(self):
+        ch = DRAMChannel()
+        assert not ch.access(0)
+        assert ch.access(64)  # same 1 KiB row
+        assert not ch.access(1024)  # next row, same bank ring
+
+    def test_bytes_accounted(self):
+        ch = DRAMChannel()
+        ch.access(0, 128)
+        assert ch.bytes_moved == 128
+
+    def test_bad_access(self):
+        with pytest.raises(ConfigError):
+            DRAMChannel().access(0, 0)
+
+
+class TestClosedForm:
+    def test_matches_replay_sequential(self):
+        t = DRAMTiming()
+        ch = DRAMChannel(t)
+        ch.replay(np.arange(0, 512 * 1024, 32))
+        assert effective_bandwidth(t, pattern="sequential") == pytest.approx(
+            ch.achieved_gbps, rel=0.02
+        )
+
+    def test_matches_replay_random(self):
+        t = DRAMTiming()
+        rng = np.random.default_rng(2)
+        ch = DRAMChannel(t)
+        # Unique random rows -> every access misses.
+        rows = rng.permutation(1 << 16)[:5000]
+        ch.replay(rows * t.row_bytes)
+        assert effective_bandwidth(t, pattern="random") == pytest.approx(
+            ch.achieved_gbps, rel=0.05
+        )
+
+    def test_streaming_advantage_positive(self):
+        """The engine's linear CSC walk beats gathered reads — the
+        access-pattern edge behind near-memory conversion."""
+        adv = streaming_advantage()
+        assert adv > 1.05
+
+    def test_bad_pattern(self):
+        with pytest.raises(ConfigError):
+            effective_bandwidth(DRAMTiming(), pattern="zigzag")

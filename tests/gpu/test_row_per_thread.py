@@ -1,0 +1,63 @@
+"""Tests for the row-per-thread mapping (Section 3.1.1's alternative)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import row_per_thread_activity, row_per_warp_activity
+from repro.matrices import nnz_per_row, powerlaw_rows, uniform_random
+
+
+class TestRowPerThread:
+    def test_fp_work_conserved(self):
+        """Both mappings do the same FMAs — only the idling differs."""
+        lens = [3, 7, 0, 2, 5]
+        rpt = row_per_thread_activity(lens, 64)
+        rpw = row_per_warp_activity([l for l in lens if l], 1, 64)
+        assert rpt.fp == rpw.fp == sum(lens) * 64
+
+    def test_uniform_rows_no_divergence(self):
+        """Equal-length rows: every lane finishes together."""
+        mix = row_per_thread_activity([4] * 32, 64)
+        assert mix.inactive == 0
+
+    def test_skewed_rows_idle_lanes(self):
+        """One long row keeps 31 lanes idle for its tail iterations."""
+        mix = row_per_thread_activity([100] + [1] * 31, 64)
+        # 31 lanes idle for 99 iterations each, across 64 dense columns.
+        assert mix.inactive == 31 * 99 * 64
+
+    def test_no_last_slice_imbalance(self):
+        """K % 32 != 0 does not idle lanes here (unlike row-per-warp)."""
+        rpt = row_per_thread_activity([4] * 32, 48)
+        rpw = row_per_warp_activity([4] * 32, 0, 48)
+        assert rpt.inactive == 0
+        assert rpw.inactive > 0
+
+    def test_paper_choice_on_skewed_matrices(self):
+        """Section 3.1.1: nnz-variation imbalance 'generally is more
+        common' — on a skewed matrix row-per-thread idles more lane slots
+        than row-per-warp's remainder columns."""
+        lens = nnz_per_row(powerlaw_rows(1024, 1024, 5e-3, alpha=1.8, seed=99))
+        nz = lens[lens > 0]
+        rpt = row_per_thread_activity(nz, 48)  # 48: both penalties active
+        rpw = row_per_warp_activity(nz, 0, 48)
+        assert rpt.inactive > rpw.inactive
+
+    def test_uniform_matrix_prefers_row_per_thread_at_ragged_k(self):
+        """With near-equal rows the remainder-column penalty dominates."""
+        lens = nnz_per_row(uniform_random(1024, 1024, 5e-2, seed=99))
+        nz = np.sort(lens[lens > 0])  # sorted rows: minimal intra-warp CV
+        rpt = row_per_thread_activity(nz, 48)
+        rpw = row_per_warp_activity(nz, 0, 48)
+        assert rpt.inactive < rpw.inactive
+
+    def test_empty(self):
+        mix = row_per_thread_activity([], 64)
+        assert mix.total == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            row_per_thread_activity([1], 0)
+        with pytest.raises(ConfigError):
+            row_per_thread_activity([-1], 64)

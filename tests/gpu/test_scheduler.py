@@ -1,0 +1,86 @@
+"""Unit + property tests for the SM work scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.gpu import compare_policies, row_block_costs, schedule
+from repro.matrices import nnz_per_row, powerlaw_rows, uniform_random
+
+
+class TestPolicies:
+    def test_round_robin_assignment(self):
+        r = schedule([1, 2, 3, 4], 2, policy="round_robin")
+        np.testing.assert_allclose(np.sort(r.loads), [4.0, 6.0])
+
+    def test_lpt_beats_round_robin_on_skew(self):
+        costs = [100, 1, 1, 1, 1, 1, 1, 1]
+        rr = schedule(costs, 4, policy="round_robin")
+        lpt = schedule(costs, 4, policy="greedy_lpt")
+        assert lpt.makespan <= rr.makespan
+
+    def test_lpt_total_conserved(self):
+        costs = np.arange(1, 20, dtype=float)
+        r = schedule(costs, 5, policy="greedy_lpt")
+        assert r.loads.sum() == pytest.approx(costs.sum())
+
+    def test_merge_path_near_ideal(self):
+        costs = [1000, 1, 1, 1]
+        mp = schedule(costs, 4, policy="merge_path")
+        assert mp.inflation < 1.6
+        lpt = schedule(costs, 4, policy="greedy_lpt")
+        assert mp.makespan <= lpt.makespan
+
+    def test_empty_workload(self):
+        r = schedule([], 4)
+        assert r.makespan == 0.0
+        assert r.inflation == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            schedule([1], 0)
+        with pytest.raises(ConfigError):
+            schedule([-1], 2)
+        with pytest.raises(ConfigError):
+            schedule([1], 2, policy="random")
+
+    def test_compare_runs_all(self):
+        out = compare_policies([3, 1, 2], 2)
+        assert set(out) == {"round_robin", "greedy_lpt", "merge_path"}
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lpt_bounds(self, costs, n_sms):
+        """LPT makespan is within the classic (4/3 - 1/3m) bound of ideal,
+        floored at the largest single item."""
+        r = schedule(costs, n_sms, policy="greedy_lpt")
+        lower = max(max(costs), sum(costs) / n_sms)
+        assert r.makespan <= (4 / 3) * lower + 1e-6
+        assert r.makespan >= lower - 1e-6
+
+
+class TestRowBlocks:
+    def test_block_count(self):
+        costs = row_block_costs(np.ones(200), 64, block_rows=64)
+        assert costs.size == 4  # ceil(200/64)
+
+    def test_skewed_matrix_inflates_round_robin(self):
+        """Section 5.2's imbalance, at thread-block granularity."""
+        skewed = nnz_per_row(powerlaw_rows(2048, 2048, 2e-3, alpha=2.0, seed=97))
+        uniform = nnz_per_row(uniform_random(2048, 2048, 2e-3, seed=97))
+        inf_s = schedule(row_block_costs(skewed, 64), 16, policy="round_robin")
+        inf_u = schedule(row_block_costs(uniform, 64), 16, policy="round_robin")
+        assert inf_s.inflation > inf_u.inflation
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            row_block_costs([1], 0)

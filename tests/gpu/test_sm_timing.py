@@ -1,0 +1,162 @@
+"""Unit tests for warp activity accounting and the timing model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.gpu import (
+    GV100,
+    InstructionMix,
+    KernelResult,
+    TrafficCounters,
+    dcsr_tile_overhead,
+    inactive_reduction,
+    row_per_warp_activity,
+    speedup,
+    time_kernel,
+)
+from repro.gpu.timing import TimingResult
+
+
+class TestRowPerWarp:
+    def test_empty_rows_dominate_inactive(self):
+        """Fig. 6: one active lane per empty row, 31 idle."""
+        mix = row_per_warp_activity([], 100, 64)
+        assert mix.inactive == 100 * 31
+        assert mix.control_flow == 100
+        assert mix.fp == 0
+
+    def test_k64_has_no_fp_slack(self):
+        """K=64 is a multiple of the warp: FP sweeps are fully active."""
+        mix = row_per_warp_activity([5, 3], 0, 64)
+        assert mix.fp == 8 * 64
+        assert mix.inactive == 0
+
+    def test_k48_pays_last_slice_imbalance(self):
+        """Section 3.1.1: non-multiple-of-32 K imbalances the last slice."""
+        mix = row_per_warp_activity([5, 3], 0, 48)
+        assert mix.inactive == 8 * (64 - 48)
+
+    def test_cf_and_int_counts(self):
+        mix = row_per_warp_activity([4], 0, 64)
+        assert mix.control_flow == (4 + 1) * 32
+        assert mix.integer == (2 + 2 * 4) * 32
+
+    def test_total_consistency(self):
+        mix = row_per_warp_activity([2, 7, 1], 5, 64)
+        assert mix.total == mix.active + mix.inactive
+
+    def test_zero_rows(self):
+        mix = row_per_warp_activity([], 0, 64)
+        assert mix.total == 0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            row_per_warp_activity([1], 0, 0)
+        with pytest.raises(ConfigError):
+            row_per_warp_activity([1], -1, 64)
+        with pytest.raises(ConfigError):
+            row_per_warp_activity([-1], 0, 64)
+
+    def test_dcsr_removes_empty_row_work(self):
+        """The Fig. 7 comparison in miniature: a strip with 99% empty rows."""
+        lens = [3] * 10  # 10 non-empty rows
+        csr_mix = row_per_warp_activity(lens, 990, 64)
+        dcsr_mix = row_per_warp_activity(lens, 0, 64)
+        dcsr_mix.add(dcsr_tile_overhead(10))
+        red = inactive_reduction(csr_mix, dcsr_mix)
+        assert red > 0.9
+
+    def test_inactive_reduction_zero_when_none(self):
+        mix = row_per_warp_activity([2], 0, 64)
+        assert inactive_reduction(mix, mix) == 0.0
+
+    def test_tile_overhead_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            dcsr_tile_overhead(-1)
+
+
+class TestInstructionMix:
+    def test_add(self):
+        a = InstructionMix(fp=1, integer=2, control_flow=3, inactive=4)
+        b = InstructionMix(fp=10, integer=20, control_flow=30, inactive=40)
+        a.add(b)
+        assert (a.fp, a.integer, a.control_flow, a.inactive) == (11, 22, 33, 44)
+
+    def test_fraction(self):
+        m = InstructionMix(fp=50, integer=25, control_flow=15, inactive=10)
+        assert m.fraction("inactive") == pytest.approx(0.1)
+
+    def test_fraction_empty(self):
+        assert InstructionMix().fraction("fp") == 0.0
+
+    def test_validate_negative(self):
+        m = InstructionMix(fp=-1)
+        with pytest.raises(SimulationError):
+            m.validate()
+
+
+class TestTiming:
+    def _result(self, total_bytes=1e6, executions=1_000_000):
+        return KernelResult(
+            output=None,
+            traffic=TrafficCounters(a_bytes=total_bytes),
+            mix=InstructionMix(fp=executions),
+            flops=executions,
+        )
+
+    def test_memory_bound_case(self):
+        r = self._result(total_bytes=1e9, executions=1000)
+        t = time_kernel(r, GV100)
+        assert t.memory_bound
+        assert t.t_mem_s > t.t_sm_s
+
+    def test_compute_bound_case(self):
+        r = self._result(total_bytes=100, executions=10_000_000)
+        t = time_kernel(r, GV100)
+        assert not t.memory_bound
+
+    def test_total_is_max_plus_other(self):
+        r = self._result()
+        t = time_kernel(r, GV100)
+        assert t.total_s == pytest.approx(
+            max(t.t_mem_s, t.t_sm_s) + t.t_other_s
+        )
+
+    def test_stall_fractions_sum_to_one(self):
+        t = time_kernel(self._result(), GV100)
+        sb = t.stall_breakdown()
+        sb.validate()
+        assert sb.memory + sb.sm + sb.other == pytest.approx(1.0)
+
+    def test_memory_bound_stalls_mostly_memory(self):
+        r = self._result(total_bytes=1e9, executions=1_000_000)
+        sb = time_kernel(r, GV100).stall_breakdown()
+        assert sb.memory > 0.5
+
+    def test_launch_overhead_scales_with_launches(self):
+        r = self._result()
+        r.extras["n_kernel_launches"] = 10
+        t1 = time_kernel(self._result(), GV100)
+        t10 = time_kernel(r, GV100)
+        assert t10.t_other_s == pytest.approx(10 * t1.t_other_s)
+
+    def test_speedup(self):
+        a = TimingResult(t_mem_s=2.0, t_sm_s=0.1, t_other_s=0.0)
+        b = TimingResult(t_mem_s=1.0, t_sm_s=0.1, t_other_s=0.0)
+        assert speedup(a, b) == pytest.approx(2.0)
+
+    def test_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            time_kernel(self._result(), GV100, sm_issue_efficiency=0.0)
+
+    def test_negative_traffic_caught(self):
+        r = self._result()
+        r.traffic.b_bytes = -5.0
+        with pytest.raises(SimulationError):
+            time_kernel(r, GV100)
+
+    def test_zero_time_stall_breakdown(self):
+        t = TimingResult(t_mem_s=0.0, t_sm_s=0.0, t_other_s=0.0)
+        sb = t.stall_breakdown()
+        assert sb.other == 1.0

@@ -1,0 +1,136 @@
+"""Unit tests for the Section 5.3 area/energy models."""
+
+import pytest
+
+from repro.engine import pipeline_report, size_prefetch_buffer
+from repro.errors import ConfigError
+from repro.gpu import GV100, TU116
+from repro.hw import (
+    chip_overhead,
+    conversion_energy_j,
+    engine_area,
+    engine_power,
+    meets_cycle_time,
+    speedup_amortizes_power,
+    sram_estimate,
+)
+
+
+class TestSRAM:
+    def test_prefetch_buffer_meets_cycle(self):
+        """Section 5.3: the 16 KiB buffer reads under the 0.588 ns cycle."""
+        est = sram_estimate(16 * 1024)
+        rep = pipeline_report(GV100)
+        assert meets_cycle_time(est, rep.fp32_budget_ns)
+
+    def test_area_grows_with_capacity(self):
+        assert sram_estimate(64 * 1024).area_mm2 > sram_estimate(
+            16 * 1024
+        ).area_mm2
+
+    def test_latency_grows_with_capacity(self):
+        assert (
+            sram_estimate(1024 * 1024).access_latency_ns
+            > sram_estimate(16 * 1024).access_latency_ns
+        )
+
+    def test_energy_grows_with_access_width(self):
+        assert (
+            sram_estimate(16 * 1024, access_bytes=12).access_energy_pj
+            > sram_estimate(16 * 1024, access_bytes=8).access_energy_pj
+        )
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            sram_estimate(0)
+        with pytest.raises(ConfigError):
+            sram_estimate(1024, access_bytes=0)
+        with pytest.raises(ConfigError):
+            meets_cycle_time(sram_estimate(1024), 0)
+
+
+class TestEngineArea:
+    def test_unit_area_matches_paper(self):
+        """One 64-lane unit: 0.077 mm^2 in 16 nm."""
+        assert engine_area().total_mm2 == pytest.approx(0.077, rel=0.02)
+
+    def test_breakdown_sums(self):
+        a = engine_area()
+        assert a.total_mm2 == pytest.approx(
+            a.comparator_mm2 + a.registers_mm2 + a.buffer_mm2 + a.control_mm2
+        )
+
+    def test_fewer_lanes_smaller(self):
+        assert engine_area(n_lanes=16).total_mm2 < engine_area().total_mm2
+
+    def test_bad_lanes(self):
+        with pytest.raises(ConfigError):
+            engine_area(n_lanes=0)
+        with pytest.raises(ConfigError):
+            engine_area(buffer_bytes=0)
+
+
+class TestChipOverhead:
+    def test_gv100_matches_paper(self):
+        """64 engines, 4.9 mm^2, 0.6% of the 815 mm^2 die."""
+        o = chip_overhead(GV100)
+        assert o.n_engines == 64
+        assert o.total_mm2 == pytest.approx(4.9, rel=0.03)
+        assert o.fraction == pytest.approx(0.006, rel=0.05)
+
+    def test_tu116_matches_paper(self):
+        """24 engines, 1.85 mm^2, 0.65% of the 284 mm^2 die."""
+        o = chip_overhead(TU116)
+        assert o.n_engines == 24
+        assert o.total_mm2 == pytest.approx(1.85, rel=0.03)
+        assert o.fraction == pytest.approx(0.0065, rel=0.05)
+
+    def test_per_sm_roughly_double(self):
+        """Section 6.1: engines in SMs cost ~2x the per-channel total."""
+        per_channel = chip_overhead(GV100)
+        per_sm = chip_overhead(GV100, per_sm=True)
+        assert per_sm.n_engines == GV100.n_sms
+        assert 1.5 < per_sm.total_mm2 / per_channel.total_mm2 < 3.0
+
+
+class TestPower:
+    def test_fp32_matches_paper(self):
+        """6.29 pJ / 0.588 ns x 64 engines = 0.68 W; 0.27% TDP; ~3% idle."""
+        p = engine_power(GV100, precision="fp32")
+        assert p.total_w == pytest.approx(0.68, abs=0.01)
+        assert p.tdp_fraction == pytest.approx(0.0027, abs=0.0002)
+        assert p.idle_fraction == pytest.approx(0.0296, abs=0.002)
+
+    def test_fp64_matches_paper(self):
+        p = engine_power(GV100, precision="fp64")
+        assert p.total_w == pytest.approx(0.51, abs=0.01)
+
+    def test_clock_gated_idle_is_free(self):
+        p = engine_power(GV100, active=False)
+        assert p.total_w == 0.0
+
+    def test_bad_precision(self):
+        with pytest.raises(ConfigError):
+            engine_power(GV100, precision="int8")
+
+    def test_conversion_energy(self):
+        assert conversion_energy_j(1000) == pytest.approx(6.29e-9)
+        assert conversion_energy_j(0) == 0.0
+        with pytest.raises(ConfigError):
+            conversion_energy_j(-1)
+
+    def test_speedup_amortizes(self):
+        """2.26x speedup vs 0.27% power: trivially amortized."""
+        p = engine_power(GV100)
+        assert speedup_amortizes_power(2.26, p)
+        assert not speedup_amortizes_power(1.0, p)
+        with pytest.raises(ConfigError):
+            speedup_amortizes_power(0.0, p)
+
+
+class TestPrefetchBufferCrossCheck:
+    def test_sized_buffer_is_the_16kib_macro(self):
+        spec = size_prefetch_buffer(GV100)
+        est = sram_estimate(spec.total_bytes)
+        assert spec.total_bytes == 16 * 1024
+        assert est.area_mm2 < 0.03  # small next to the 0.077 mm^2 unit

@@ -1,0 +1,79 @@
+"""Unit tests for system-level kernel energy accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import GV100, TU116, time_kernel
+from repro.hw import (
+    EnergyComparison,
+    compare_energy,
+    dram_pj_per_byte,
+    kernel_energy,
+)
+from repro.kernels import random_dense_operand, run_all_variants
+from repro.matrices import block_diagonal
+
+
+@pytest.fixture(scope="module")
+def skewed_runs():
+    m = block_diagonal(2048, 2048, 0.02, block_size=64, seed=95)
+    b = random_dense_operand(2048, 1024, seed=1)
+    return run_all_variants(m, b, GV100)
+
+
+class TestComponents:
+    def test_dram_pj_by_memory_type(self):
+        assert dram_pj_per_byte(GV100) < dram_pj_per_byte(TU116)
+
+    def test_components_positive(self, skewed_runs):
+        run = skewed_runs["baseline_csr"]
+        e = kernel_energy(run.result, run.timing, GV100)
+        assert e.dram_j > 0 and e.sm_j > 0 and e.static_j > 0
+        assert e.engine_j == 0.0  # no online conversion in the baseline
+        assert e.total_j == pytest.approx(
+            e.dram_j + e.sm_j + e.static_j + e.engine_j + e.xbar_j
+        )
+
+    def test_online_kernel_charges_engine(self, skewed_runs):
+        run = skewed_runs["online_tiled_dcsr"]
+        e = kernel_energy(run.result, run.timing, GV100)
+        assert e.engine_j > 0
+        assert e.xbar_j > 0
+
+    def test_edp_definition(self, skewed_runs):
+        run = skewed_runs["baseline_csr"]
+        e = kernel_energy(run.result, run.timing, GV100)
+        assert e.edp == pytest.approx(e.total_j * e.time_s)
+
+
+class TestComparison:
+    def test_proposal_wins_energy_and_edp_on_skewed(self, skewed_runs):
+        """The paper's closing claim: the speedup amortizes the engine."""
+        base = skewed_runs["baseline_csr"]
+        cand = skewed_runs["online_tiled_dcsr"]
+        cmp = compare_energy(
+            base.result, base.timing, cand.result, cand.timing, GV100
+        )
+        assert cmp.energy_ratio > 1.0  # less DRAM traffic -> less energy
+        assert cmp.edp_ratio > 1.5  # and it is faster too
+
+    def test_engine_share_is_trivial(self, skewed_runs):
+        """Engine energy is noise next to DRAM+SM (Section 5.3)."""
+        base = skewed_runs["baseline_csr"]
+        cand = skewed_runs["online_tiled_dcsr"]
+        cmp = compare_energy(
+            base.result, base.timing, cand.result, cand.timing, GV100
+        )
+        assert cmp.engine_share < 0.02
+
+    def test_zero_candidate_rejected(self, skewed_runs):
+        from repro.hw.system_energy import EnergyEstimate
+
+        base = skewed_runs["baseline_csr"]
+        e = kernel_energy(base.result, base.timing, GV100)
+        zero = EnergyEstimate(0, 0, 0, 0, 0, 0)
+        cmp = EnergyComparison(baseline=e, candidate=zero)
+        with pytest.raises(ConfigError):
+            cmp.energy_ratio
+        with pytest.raises(ConfigError):
+            cmp.edp_ratio

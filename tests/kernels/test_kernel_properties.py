@@ -1,0 +1,124 @@
+"""Property-based tests for kernel counters and the timing model."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, to_format
+from repro.gpu import GV100, time_kernel
+from repro.kernels import (
+    b_stationary_spmm,
+    csr_spmm,
+    dcsr_spmm,
+    random_dense_operand,
+    scipy_spmm,
+    spmm_flops,
+)
+
+
+@st.composite
+def small_matrices(draw):
+    n_rows = draw(st.integers(min_value=4, max_value=60))
+    n_cols = draw(st.integers(min_value=4, max_value=60))
+    nnz = draw(st.integers(min_value=0, max_value=150))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    rows = rng.integers(0, n_rows, size=nnz)
+    cols = rng.integers(0, n_cols, size=nnz)
+    vals = rng.uniform(0.1, 1.0, size=nnz).astype(np.float32)
+    return COOMatrix((n_rows, n_cols), rows, cols, vals).deduplicate()
+
+
+@given(small_matrices(), st.integers(min_value=1, max_value=96))
+@settings(max_examples=30, deadline=None)
+def test_all_kernels_numerically_agree(coo, k):
+    b = random_dense_operand(coo.n_cols, k, seed=1)
+    expected = scipy_spmm(coo, b)
+    for result in (
+        csr_spmm(to_format(coo, "csr"), b, GV100),
+        dcsr_spmm(to_format(coo, "dcsr"), b, GV100),
+        b_stationary_spmm(to_format(coo, "tiled_dcsr"), b, GV100),
+    ):
+        np.testing.assert_allclose(
+            np.asarray(result.output), expected, rtol=1e-4, atol=1e-4
+        )
+
+
+@given(small_matrices(), st.integers(min_value=1, max_value=96))
+@settings(max_examples=30, deadline=None)
+def test_flops_invariant_across_kernels(coo, k):
+    b = random_dense_operand(coo.n_cols, k, seed=2)
+    expected = spmm_flops(coo.nnz, k)
+    for result in (
+        csr_spmm(to_format(coo, "csr"), b, GV100),
+        dcsr_spmm(to_format(coo, "dcsr"), b, GV100),
+        b_stationary_spmm(to_format(coo, "tiled_dcsr"), b, GV100),
+    ):
+        assert result.flops == expected
+
+
+@given(small_matrices())
+@settings(max_examples=30, deadline=None)
+def test_fp_work_conserved_under_row_split(coo):
+    """Splitting A into top/bottom halves conserves total FP executions
+    (work is per-nonzero, partitioning must neither create nor lose it)."""
+    if coo.n_rows < 2:
+        return
+    k = 64
+    b = random_dense_operand(coo.n_cols, k, seed=3)
+    cut = coo.n_rows // 2
+    rows, cols, vals = coo.to_coo_arrays()
+    top_mask = rows < cut
+    top = COOMatrix((cut, coo.n_cols), rows[top_mask], cols[top_mask], vals[top_mask])
+    bot = COOMatrix(
+        (coo.n_rows - cut, coo.n_cols),
+        rows[~top_mask] - cut,
+        cols[~top_mask],
+        vals[~top_mask],
+    )
+    whole = dcsr_spmm(to_format(coo, "dcsr"), b, GV100)
+    parts = [
+        dcsr_spmm(to_format(p, "dcsr"), b, GV100) for p in (top, bot)
+    ]
+    assert whole.mix.fp == sum(p.mix.fp for p in parts)
+    assert whole.flops == sum(p.flops for p in parts)
+
+
+@given(small_matrices(), st.integers(min_value=1, max_value=96))
+@settings(max_examples=30, deadline=None)
+def test_timing_monotone_in_traffic(coo, k):
+    """Inflating any traffic component never reduces the simulated time."""
+    b = random_dense_operand(coo.n_cols, k, seed=4)
+    result = csr_spmm(to_format(coo, "csr"), b, GV100)
+    base = time_kernel(result, GV100).total_s
+    inflated = dataclasses.replace(result)
+    inflated.traffic.b_bytes += 1e6
+    assert time_kernel(inflated, GV100).total_s >= base
+
+
+@given(small_matrices())
+@settings(max_examples=30, deadline=None)
+def test_dcsr_never_more_inactive_than_csr(coo):
+    """The Fig. 7 direction holds for *every* matrix, not just the corpus."""
+    b = random_dense_operand(coo.n_cols, 64, seed=5)
+    r_csr = csr_spmm(to_format(coo, "csr"), b, GV100)
+    r_dcsr = dcsr_spmm(to_format(coo, "dcsr"), b, GV100)
+    assert r_dcsr.mix.inactive <= r_csr.mix.inactive
+
+
+@given(small_matrices())
+@settings(max_examples=30, deadline=None)
+def test_b_stationary_compulsory_floor(coo):
+    """B-stationary's B traffic never undercuts the useful-rows floor and
+    never exceeds the whole-operand fetch."""
+    k = 64
+    b = random_dense_operand(coo.n_cols, k, seed=6)
+    tiled = to_format(coo, "tiled_dcsr")
+    result = b_stationary_spmm(tiled, b, GV100)
+    _, cols, _ = coo.to_coo_arrays()
+    unique_cols = np.unique(cols).size if len(cols) else 0
+    assert result.traffic.b_bytes >= unique_cols * k * 4 - 1e-9
+    # Upper bound: every strip refetches its columns independently.
+    assert result.traffic.b_bytes <= max(coo.nnz, unique_cols) * k * 4 + 1e-9

@@ -1,0 +1,73 @@
+"""Unit tests for the SpMM numeric oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.formats import CSRMatrix
+from repro.kernels import (
+    check_operands,
+    random_dense_operand,
+    reference_spmm,
+    scipy_spmm,
+)
+
+from ..conftest import random_dense
+
+
+class TestOracle:
+    def test_reference_matches_dense_matmul(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        b = random_dense_operand(csr.n_cols, 5, seed=1)
+        expected = small_dense.astype(np.float64) @ b.astype(np.float64)
+        np.testing.assert_allclose(reference_spmm(csr, b), expected, rtol=1e-5)
+
+    def test_scipy_matches_reference(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        b = random_dense_operand(csr.n_cols, 7, seed=2)
+        np.testing.assert_allclose(
+            scipy_spmm(csr, b), reference_spmm(csr, b), rtol=1e-6
+        )
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.from_dense(np.zeros((4, 6)))
+        b = random_dense_operand(6, 3)
+        assert np.all(reference_spmm(csr, b) == 0.0)
+        assert np.all(scipy_spmm(csr, b) == 0.0)
+
+    def test_identity(self):
+        csr = CSRMatrix.from_dense(np.eye(5, dtype=np.float32))
+        b = random_dense_operand(5, 4, seed=3)
+        np.testing.assert_allclose(scipy_spmm(csr, b), b, rtol=1e-6)
+
+    def test_single_column_b(self, small_dense):
+        """SpMV is the K=1 special case."""
+        csr = CSRMatrix.from_dense(small_dense)
+        b = random_dense_operand(csr.n_cols, 1, seed=4)
+        np.testing.assert_allclose(
+            scipy_spmm(csr, b).ravel(),
+            small_dense.astype(np.float64) @ b.astype(np.float64).ravel(),
+            rtol=1e-5,
+        )
+
+
+class TestValidation:
+    def test_dimension_mismatch(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        with pytest.raises(ConfigError, match="mismatch"):
+            check_operands(csr, np.ones((3, 3)))
+
+    def test_non_2d(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        with pytest.raises(ConfigError, match="2-D"):
+            check_operands(csr, np.ones(10))
+
+    def test_operand_deterministic(self):
+        a = random_dense_operand(10, 4, seed=5)
+        b = random_dense_operand(10, 4, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_operand_range(self):
+        b = random_dense_operand(100, 8, seed=6)
+        assert b.min() >= 0.1 and b.max() <= 1.0
+        assert b.dtype == np.float32

@@ -1,0 +1,196 @@
+"""Unit tests for the simulated SpMM kernels (CSR/DCSR/tiled/A-stationary)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.formats import CSRMatrix, DCSRMatrix, TiledCSR, TiledDCSR, to_format
+from repro.gpu import GV100, time_kernel
+from repro.kernels import (
+    a_stationary_spmm,
+    b_stationary_spmm,
+    csr_spmm,
+    dcsr_spmm,
+    random_dense_operand,
+    scipy_spmm,
+    spmm_flops,
+)
+from repro.matrices import block_diagonal, powerlaw_rows, uniform_random
+
+from ..conftest import random_dense
+
+K = 128
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return uniform_random(400, 320, 0.01, seed=7)
+
+
+@pytest.fixture(scope="module")
+def operand(matrix):
+    return random_dense_operand(matrix.n_cols, K, seed=1)
+
+
+def _all_kernels(matrix, operand):
+    csr = to_format(matrix, "csr")
+    dcsr = to_format(matrix, "dcsr")
+    t_csr = to_format(matrix, "tiled_csr")
+    t_dcsr = to_format(matrix, "tiled_dcsr")
+    return {
+        "csr": csr_spmm(csr, operand, GV100),
+        "dcsr": dcsr_spmm(dcsr, operand, GV100),
+        "b_stat_csr": b_stationary_spmm(t_csr, operand, GV100),
+        "b_stat_dcsr": b_stationary_spmm(t_dcsr, operand, GV100),
+        "a_stat": a_stationary_spmm(t_dcsr, operand, GV100),
+    }
+
+
+class TestNumericCorrectness:
+    def test_all_kernels_match_scipy(self, matrix, operand):
+        expected = scipy_spmm(matrix, operand)
+        for name, result in _all_kernels(matrix, operand).items():
+            np.testing.assert_allclose(
+                result.output, expected, rtol=1e-5, err_msg=name
+            )
+
+    def test_empty_matrix_all_kernels(self):
+        from repro.formats import COOMatrix
+
+        empty = COOMatrix((70, 66), [], [], [])
+        b = random_dense_operand(66, 16)
+        for name, result in _all_kernels(empty, b).items():
+            assert np.all(np.asarray(result.output) == 0.0), name
+
+    def test_flops_counted(self, matrix, operand):
+        for name, result in _all_kernels(matrix, operand).items():
+            assert result.flops == spmm_flops(matrix.nnz, K), name
+
+
+class TestCountersSanity:
+    def test_traffic_positive_and_valid(self, matrix, operand):
+        for name, result in _all_kernels(matrix, operand).items():
+            result.traffic.validate()
+            assert result.traffic.total_bytes > 0, name
+
+    def test_mix_valid(self, matrix, operand):
+        for name, result in _all_kernels(matrix, operand).items():
+            result.mix.validate()
+            assert result.mix.fp > 0, name
+
+    def test_fp_executions_equal_nnz_times_k(self, matrix, operand):
+        """FP work is invariant across formats (same math)."""
+        fps = {
+            name: r.mix.fp for name, r in _all_kernels(matrix, operand).items()
+        }
+        assert len(set(fps.values())) == 1
+        assert fps["csr"] == matrix.nnz * K
+
+    def test_timing_runs_for_all(self, matrix, operand):
+        for name, result in _all_kernels(matrix, operand).items():
+            t = time_kernel(result, GV100)
+            assert t.total_s > 0, name
+
+
+class TestFormatEffects:
+    def test_dcsr_reads_less_a_for_empty_row_matrix(self):
+        """Mostly-empty-row matrix: DCSR's A stream beats CSR's."""
+        m = powerlaw_rows(1000, 1000, 5e-4, alpha=2.0, seed=3)
+        b = random_dense_operand(1000, 128, seed=1)
+        r_csr = csr_spmm(to_format(m, "csr"), b, GV100)
+        r_dcsr = dcsr_spmm(to_format(m, "dcsr"), b, GV100)
+        assert r_dcsr.traffic.a_bytes < r_csr.traffic.a_bytes
+
+    def test_dcsr_no_empty_row_scans(self, matrix, operand):
+        r_csr = csr_spmm(to_format(matrix, "csr"), operand, GV100)
+        r_dcsr = dcsr_spmm(to_format(matrix, "dcsr"), operand, GV100)
+        assert r_csr.extras["n_empty_rows_scanned"] > 0
+        assert r_dcsr.extras["n_empty_rows_scanned"] == 0
+        assert r_dcsr.mix.inactive < r_csr.mix.inactive
+
+    def test_b_stationary_fetches_b_once(self, matrix, operand):
+        """B traffic is the compulsory single fetch (Table 1)."""
+        t_dcsr = to_format(matrix, "tiled_dcsr")
+        r = b_stationary_spmm(t_dcsr, operand, GV100)
+        # Upper bound: every strip column non-empty.
+        assert r.traffic.b_bytes <= t_dcsr.n_strips * 64 * K * 4
+
+    def test_b_stationary_pays_atomics(self, matrix, operand):
+        rb = b_stationary_spmm(to_format(matrix, "tiled_dcsr"), operand, GV100)
+        rc = dcsr_spmm(to_format(matrix, "dcsr"), operand, GV100)
+        # Compulsory C traffic doubles (read-modify-write vs plain write).
+        assert rb.traffic.c_bytes == pytest.approx(2 * rc.traffic.c_bytes)
+
+    def test_tiled_csr_scans_empty_rows_per_strip(self, matrix, operand):
+        r_csr = b_stationary_spmm(to_format(matrix, "tiled_csr"), operand, GV100)
+        r_dcsr = b_stationary_spmm(to_format(matrix, "tiled_dcsr"), operand, GV100)
+        assert r_csr.mix.inactive > 10 * max(r_dcsr.mix.inactive, 1)
+
+    def test_a_stationary_reads_a_once(self, matrix, operand):
+        t_dcsr = to_format(matrix, "tiled_dcsr")
+        r_a = a_stationary_spmm(t_dcsr, operand, GV100)
+        r_b = b_stationary_spmm(t_dcsr, operand, GV100)
+        # A-stationary reads A once; B-stationary once per column group (2).
+        assert r_a.traffic.a_bytes < r_b.traffic.a_bytes
+
+    def test_a_stationary_worst_total(self):
+        """Section 3.1.1: A-stationary loses overall (B and C both revisit)."""
+        m = uniform_random(1024, 1024, 5e-3, seed=5)
+        b = random_dense_operand(1024, 512, seed=2)
+        t_dcsr = to_format(m, "tiled_dcsr")
+        r_a = a_stationary_spmm(t_dcsr, b, GV100)
+        r_b = b_stationary_spmm(t_dcsr, b, GV100)
+        r_c = dcsr_spmm(to_format(m, "dcsr"), b, GV100)
+        assert r_a.traffic.total_bytes >= min(
+            r_b.traffic.total_bytes, r_c.traffic.total_bytes
+        )
+
+
+class TestTraversal:
+    def test_column_major_caches_c(self, matrix, operand):
+        t = to_format(matrix, "tiled_dcsr")
+        col = b_stationary_spmm(t, operand, GV100, traversal="column_major")
+        row = b_stationary_spmm(t, operand, GV100, traversal="row_major")
+        assert col.traffic.atomic_bytes <= row.traffic.atomic_bytes
+
+    def test_row_major_caches_a(self):
+        m = uniform_random(600, 600, 0.01, seed=8)
+        b = random_dense_operand(600, 256, seed=1)  # 4 column groups
+        t = to_format(m, "tiled_dcsr")
+        col = b_stationary_spmm(t, b, GV100, traversal="column_major")
+        row = b_stationary_spmm(t, b, GV100, traversal="row_major")
+        assert row.traffic.a_bytes <= col.traffic.a_bytes
+
+    def test_bad_traversal(self, matrix, operand):
+        with pytest.raises(ConfigError, match="traversal"):
+            b_stationary_spmm(
+                to_format(matrix, "tiled_dcsr"),
+                operand,
+                GV100,
+                traversal="diagonal",
+            )
+
+
+class TestValidation:
+    def test_b_stationary_requires_tiled(self, matrix, operand):
+        with pytest.raises(ConfigError, match="tiled container"):
+            b_stationary_spmm(to_format(matrix, "csr"), operand, GV100)
+
+    def test_a_stationary_requires_tiled(self, matrix, operand):
+        with pytest.raises(ConfigError, match="tiled container"):
+            a_stationary_spmm(to_format(matrix, "dcsr"), operand, GV100)
+
+    def test_negative_stream_bytes(self, matrix, operand):
+        with pytest.raises(ConfigError, match="a_stream_bytes"):
+            b_stationary_spmm(
+                to_format(matrix, "tiled_dcsr"),
+                operand,
+                GV100,
+                a_stream_bytes=-1.0,
+            )
+
+    def test_bad_tile_height(self, matrix, operand):
+        with pytest.raises(ConfigError, match="tile_height"):
+            b_stationary_spmm(
+                to_format(matrix, "tiled_dcsr"), operand, GV100, tile_height=0
+            )

@@ -1,0 +1,145 @@
+"""Unit tests for the synthetic pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.matrices import (
+    GENERATORS,
+    banded,
+    bipartite_graph,
+    block_diagonal,
+    clustered,
+    kronecker_graph,
+    matrix_stats,
+    powerlaw_cols,
+    powerlaw_rows,
+    pruned_dnn_layer,
+    tall_skinny,
+    uniform_random,
+)
+
+
+@pytest.mark.parametrize("name,fn", sorted(GENERATORS.items()))
+class TestAllGenerators:
+    def _make(self, name, fn, seed=0):
+        if name == "tall_skinny":
+            return fn(512, 64, 0.02, seed=seed)
+        return fn(300, 240, 0.02, seed=seed)
+
+    def test_deterministic(self, name, fn):
+        a = self._make(name, fn, seed=5)
+        b = self._make(name, fn, seed=5)
+        np.testing.assert_array_equal(a.rows, b.rows)
+        np.testing.assert_array_equal(a.cols, b.cols)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_seed_changes_pattern(self, name, fn):
+        a = self._make(name, fn, seed=1)
+        b = self._make(name, fn, seed=2)
+        same = a.nnz == b.nnz and np.array_equal(a.rows, b.rows) and np.array_equal(
+            a.cols, b.cols
+        )
+        assert not same
+
+    def test_density_near_target(self, name, fn):
+        m = self._make(name, fn)
+        # Dedup can drop a few collisions; allow 25% shortfall.
+        assert 0.015 <= m.density <= 0.021
+
+    def test_validates(self, name, fn):
+        self._make(name, fn).validate()
+
+    def test_values_nonzero(self, name, fn):
+        m = self._make(name, fn)
+        assert np.all(m.values != 0.0)
+
+    def test_zero_density(self, name, fn):
+        if name == "tall_skinny":
+            m = fn(512, 64, 0.0, seed=0)
+        else:
+            m = fn(100, 100, 0.0, seed=0)
+        assert m.nnz == 0
+
+
+class TestShapes:
+    def test_uniform_full_density(self):
+        m = uniform_random(10, 10, 1.0, seed=0)
+        assert m.nnz == 100
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(FormatError, match="density"):
+            uniform_random(10, 10, 1.5)
+        with pytest.raises(FormatError, match="density"):
+            uniform_random(10, 10, -0.1)
+
+    def test_tall_skinny_guard(self):
+        with pytest.raises(FormatError, match="tall_skinny"):
+            tall_skinny(100, 100, 0.01)
+
+
+class TestSkewCharacter:
+    """Each family must land in its intended region of the skew space."""
+
+    def test_powerlaw_rows_row_skewed(self):
+        m = powerlaw_rows(400, 400, 0.01, alpha=1.5, seed=3)
+        s = matrix_stats(m)
+        assert s.row_nnz_cv > 2.0
+        assert s.col_nnz_cv < 1.5
+
+    def test_powerlaw_cols_col_skewed(self):
+        m = powerlaw_cols(400, 400, 0.01, alpha=1.5, seed=3)
+        s = matrix_stats(m)
+        assert s.col_nnz_cv > 2.0
+        assert s.row_nnz_cv < 1.5
+
+    def test_uniform_low_skew(self):
+        m = uniform_random(400, 400, 0.01, seed=3)
+        s = matrix_stats(m)
+        assert s.row_nnz_cv < 1.0 and s.col_nnz_cv < 1.0
+
+    def test_banded_confined(self):
+        m = banded(300, 300, 0.01, bandwidth=10, seed=3)
+        assert np.all(np.abs(m.rows - m.cols) <= 10)
+
+    def test_block_diagonal_confined(self):
+        m = block_diagonal(256, 256, 0.01, block_size=64, seed=3)
+        assert np.all(m.rows // 64 == m.cols // 64)
+
+    def test_clustered_more_concentrated_than_uniform(self):
+        mc = clustered(400, 400, 0.01, seed=4)
+        mu = uniform_random(400, 400, 0.01, seed=4)
+        sc = matrix_stats(mc)
+        su = matrix_stats(mu)
+        assert (
+            sc.mean_nonzero_rows_per_strip < su.mean_nonzero_rows_per_strip
+        )
+
+    def test_bipartite_heavy_tails_both_axes(self):
+        m = bipartite_graph(400, 400, 0.01, seed=5)
+        s = matrix_stats(m)
+        assert s.row_nnz_cv > 0.8 and s.col_nnz_cv > 0.8
+
+    def test_pruned_dnn_exact_nnz(self):
+        m = pruned_dnn_layer(100, 100, 0.05, seed=6)
+        assert m.nnz == 500
+
+    def test_pruned_dnn_signed_values(self):
+        m = pruned_dnn_layer(100, 100, 0.1, seed=6)
+        assert np.any(m.values < 0) and np.any(m.values > 0)
+
+
+class TestKronecker:
+    def test_shape_is_power_of_two(self):
+        m = kronecker_graph(7, 0.01, seed=1)
+        assert m.shape == (128, 128)
+
+    def test_skewed_structure(self):
+        m = kronecker_graph(9, 0.005, seed=1)
+        s = matrix_stats(m)
+        assert s.row_nnz_cv > 0.9  # self-similar graphs are heavy-tailed
+
+    def test_custom_initiator_normalized(self):
+        m = kronecker_graph(6, 0.02, seed=1, initiator=(1.0, 1.0, 1.0, 1.0))
+        s = matrix_stats(m)
+        assert s.row_nnz_cv < 1.0  # uniform initiator → near-uniform

@@ -1,0 +1,121 @@
+"""Unit tests for sparsity statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, CSRMatrix
+from repro.matrices import (
+    matrix_stats,
+    nnz_per_col,
+    nnz_per_row,
+    nonzero_rows_per_strip,
+    row_segment_nnz,
+    strip_density_histogram,
+    uniform_random,
+)
+
+from ..conftest import coo_from_triplets
+
+
+@pytest.fixture
+def tiny():
+    # 4x8, strips of width 4: row 0 spans both strips, row 2 only strip 1.
+    return coo_from_triplets(
+        (4, 8),
+        [(0, 0, 1.0), (0, 1, 1.0), (0, 5, 1.0), (2, 6, 1.0), (2, 7, 1.0)],
+    )
+
+
+class TestCounts:
+    def test_nnz_per_row(self, tiny):
+        np.testing.assert_array_equal(nnz_per_row(tiny), [3, 0, 2, 0])
+
+    def test_nnz_per_col(self, tiny):
+        np.testing.assert_array_equal(
+            nnz_per_col(tiny), [1, 1, 0, 0, 0, 1, 1, 1]
+        )
+
+    def test_works_on_csr_too(self, tiny):
+        csr = CSRMatrix.from_coo(tiny)
+        np.testing.assert_array_equal(nnz_per_row(csr), [3, 0, 2, 0])
+
+    def test_empty_matrix(self):
+        m = COOMatrix((3, 3), [], [], [])
+        assert nnz_per_row(m).sum() == 0
+        assert row_segment_nnz(m).size == 0
+        assert nonzero_rows_per_strip(m, 2).sum() == 0
+
+
+class TestSegments:
+    def test_row_segments(self, tiny):
+        segs = np.sort(row_segment_nnz(tiny, tile_width=4))
+        # segments: row0/strip0 -> 2, row0/strip1 -> 1, row2/strip1 -> 2
+        np.testing.assert_array_equal(segs, [1, 2, 2])
+
+    def test_segments_sum_to_nnz(self, tiny):
+        assert row_segment_nnz(tiny, 4).sum() == tiny.nnz
+
+    def test_full_width_one_segment_per_nonzero_row(self, tiny):
+        segs = row_segment_nnz(tiny, tile_width=8)
+        assert segs.size == 2  # two non-empty rows
+
+    def test_width_one_every_entry_own_segment(self, tiny):
+        segs = row_segment_nnz(tiny, tile_width=1)
+        assert segs.size == tiny.nnz
+        assert np.all(segs == 1)
+
+    def test_bad_width(self, tiny):
+        with pytest.raises(FormatError):
+            row_segment_nnz(tiny, 0)
+
+
+class TestStrips:
+    def test_nonzero_rows_per_strip(self, tiny):
+        np.testing.assert_array_equal(nonzero_rows_per_strip(tiny, 4), [1, 2])
+
+    def test_matches_tiled_container(self):
+        from repro.formats import CSCMatrix, TiledDCSR
+
+        m = uniform_random(100, 96, 0.02, seed=9)
+        via_stats = nonzero_rows_per_strip(m, 16)
+        tiled = TiledDCSR.from_csc(CSCMatrix.from_coo(m), tile_width=16)
+        np.testing.assert_array_equal(via_stats, tiled.nonzero_rows_per_strip())
+
+    def test_histogram_counts_all_strips(self):
+        m = uniform_random(200, 256, 0.005, seed=10)
+        counts, edges = strip_density_histogram(m, 64)
+        assert counts.sum() == 4  # 256/64 strips
+        assert edges[0] == 0.0
+
+    def test_histogram_custom_bins(self, tiny):
+        counts, _ = strip_density_histogram(tiny, 4, bins=[0.0, 0.5, 1.01])
+        assert counts.sum() == 2
+
+
+class TestMatrixStats:
+    def test_basic_fields(self, tiny):
+        s = matrix_stats(tiny, tile_width=4)
+        assert s.n_rows == 4 and s.n_cols == 8
+        assert s.nnz == 5
+        assert s.n_nonzero_rows == 2
+        assert s.n_nonzero_cols == 5
+        assert s.mean_nnz_per_nonzero_row == pytest.approx(2.5)
+        assert s.mean_nonzero_rows_per_strip == pytest.approx(1.5)
+        assert s.tile_width == 4
+
+    def test_aspect_ratio(self, tiny):
+        assert matrix_stats(tiny).aspect_ratio == pytest.approx(0.5)
+
+    def test_empty_matrix_safe(self):
+        s = matrix_stats(COOMatrix((10, 10), [], [], []))
+        assert s.nnz == 0
+        assert s.mean_nnz_per_nonzero_row == 0.0
+        assert s.row_nnz_cv == 0.0
+
+    def test_uniform_cv_below_powerlaw(self):
+        from repro.matrices import powerlaw_rows
+
+        u = matrix_stats(uniform_random(300, 300, 0.01, seed=1))
+        p = matrix_stats(powerlaw_rows(300, 300, 0.01, alpha=1.5, seed=1))
+        assert u.row_nnz_cv < p.row_nnz_cv

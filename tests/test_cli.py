@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.formats import CSRMatrix, write_matrix_market
+
+from .conftest import random_dense
+
+GEN = "block_diagonal:256:256:0.02:7"
+
+
+@pytest.fixture
+def mtx_file(tmp_path):
+    dense = random_dense((40, 30), 0.1, seed=1)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(CSRMatrix.from_dense(dense), path)
+    return str(path)
+
+
+class TestProfile:
+    def test_generate(self, capsys):
+        assert main(["profile", "--generate", GEN]) == 0
+        out = capsys.readouterr().out
+        assert "SSF" in out and "heuristic choice" in out
+        assert "256 x 256" in out
+
+    def test_mtx(self, mtx_file, capsys):
+        assert main(["profile", "--mtx", mtx_file]) == 0
+        assert "40 x 30" in capsys.readouterr().out
+
+    def test_threshold_flag_changes_choice(self, capsys):
+        main(["profile", "--generate", GEN, "--ssf-threshold", "0"])
+        out1 = capsys.readouterr().out
+        main(["profile", "--generate", GEN, "--ssf-threshold", "1e18"])
+        out2 = capsys.readouterr().out
+        assert "B-stationary" in out1
+        assert "C-stationary" in out2
+
+    def test_missing_matrix(self, capsys):
+        assert main(["profile"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_both_sources_rejected(self, mtx_file, capsys):
+        assert main(["profile", "--mtx", mtx_file, "--generate", GEN]) == 2
+
+    def test_bad_family(self, capsys):
+        assert main(["profile", "--generate", "magic:10:10:0.1"]) == 2
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_bad_spec(self, capsys):
+        assert main(["profile", "--generate", "uniform:10"]) == 2
+
+
+class TestFootprint:
+    def test_lists_all_formats(self, capsys):
+        assert main(["footprint", "--generate", GEN]) == 0
+        out = capsys.readouterr().out
+        for fmt in ("coo", "csr", "csc", "dcsr", "dcsc", "tiled_dcsr"):
+            assert fmt in out
+
+    def test_csr_normalized_to_one(self, capsys):
+        main(["footprint", "--generate", GEN])
+        out = capsys.readouterr().out
+        csr_line = next(l for l in out.splitlines() if l.strip().startswith("csr"))
+        assert "1.00x" in csr_line
+
+
+class TestSimulate:
+    def test_runs_all_variants(self, capsys):
+        assert main(["simulate", "--generate", GEN, "--k", "64"]) == 0
+        out = capsys.readouterr().out
+        for v in ("baseline_csr", "online_tiled_dcsr", "hybrid choice"):
+            assert v in out
+        assert "verified" in out
+
+    def test_tu116(self, capsys):
+        assert main(
+            ["simulate", "--generate", GEN, "--k", "64", "--gpu", "tu116"]
+        ) == 0
+        assert "TU116" in capsys.readouterr().out
+
+
+class TestEngine:
+    def test_gv100_report(self, capsys):
+        assert main(["engine"]) == 0
+        out = capsys.readouterr().out
+        assert "0.077" in out
+        assert "0.68 W" in out
+
+    def test_tu116_report(self, capsys):
+        assert main(["engine", "--gpu", "tu116"]) == 0
+        assert "TU116" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Unit tests for the Matrix Market collection profiler."""
+
+import numpy as np
+import pytest
+
+from repro.collection import (
+    collection_summary,
+    format_report,
+    profile_matrix,
+    scan_collection,
+)
+from repro.errors import FormatError, ReproError
+from repro.formats import CSRMatrix, write_matrix_market
+from repro.matrices import block_diagonal, uniform_random
+
+from .conftest import random_dense
+
+
+@pytest.fixture
+def collection_dir(tmp_path):
+    for name, dense in [
+        ("small_uniform", random_dense((40, 40), 0.1, seed=1)),
+        ("bigger_uniform", random_dense((120, 100), 0.05, seed=2)),
+        ("tall", random_dense((200, 20), 0.05, seed=3)),
+    ]:
+        write_matrix_market(
+            CSRMatrix.from_dense(dense), tmp_path / f"{name}.mtx"
+        )
+    (tmp_path / "broken.mtx").write_text("not a matrix market file\n1 2 3\n")
+    (tmp_path / "notes.txt").write_text("ignore me")
+    return tmp_path
+
+
+class TestScan:
+    def test_profiles_all_mtx(self, collection_dir):
+        profiles, skipped = scan_collection(collection_dir)
+        assert {p.name for p in profiles} == {
+            "small_uniform",
+            "bigger_uniform",
+            "tall",
+        }
+        assert skipped == [("broken.mtx", pytest.approx)] or any(
+            n == "broken.mtx" for n, _ in skipped
+        )
+
+    def test_dimension_filter(self, collection_dir):
+        profiles, skipped = scan_collection(
+            collection_dir, min_rows=100, max_rows=150
+        )
+        assert {p.name for p in profiles} == {"bigger_uniform"}
+        reasons = dict(skipped)
+        assert "below 100 rows" in reasons["small_uniform.mtx"]
+        assert "above 150 rows" in reasons["tall.mtx"]
+
+    def test_strict_raises_on_broken(self, collection_dir):
+        with pytest.raises(FormatError):
+            scan_collection(collection_dir, strict=True)
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(ReproError, match="not a directory"):
+            scan_collection(tmp_path / "nope")
+
+    def test_profiles_deterministic(self, collection_dir):
+        a, _ = scan_collection(collection_dir)
+        b, _ = scan_collection(collection_dir)
+        assert [p.to_dict() for p in a] == [p.to_dict() for p in b]
+
+
+class TestProfile:
+    def test_fields(self):
+        m = uniform_random(256, 256, 0.01, seed=4)
+        p = profile_matrix("u", m)
+        assert p.nnz == m.nnz
+        assert p.density == pytest.approx(m.density)
+        assert 0 <= p.entropy <= 1
+        assert p.recommendation in ("b_stationary_online", "c_stationary")
+
+    def test_threshold_routes(self):
+        m = block_diagonal(512, 512, 0.02, block_size=64, seed=5)
+        lo = profile_matrix("b", m, ssf_threshold=0.0)
+        hi = profile_matrix("b", m, ssf_threshold=1e18)
+        assert lo.recommendation == "b_stationary_online"
+        assert hi.recommendation == "c_stationary"
+
+
+class TestReporting:
+    def test_summary(self):
+        mats = [
+            profile_matrix("u", uniform_random(128, 128, 0.01, seed=6),
+                           ssf_threshold=1e18),
+            profile_matrix("b", block_diagonal(128, 128, 0.05, seed=6),
+                           ssf_threshold=0.0),
+        ]
+        s = collection_summary(mats)
+        assert s["count"] == 2
+        assert s["recommend_b_stationary"] == 1
+        assert s["recommend_c_stationary"] == 1
+
+    def test_summary_empty(self):
+        assert collection_summary([]) == {"count": 0}
+
+    def test_format_report_lines(self):
+        mats = [profile_matrix("u", uniform_random(64, 64, 0.05, seed=7))]
+        text = format_report(mats)
+        assert "u" in text and "SSF" in text
+
+    def test_cli_command(self, collection_dir, capsys):
+        from repro.cli import main
+
+        assert main(["collection", str(collection_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "small_uniform" in out
+        assert "matrices profiled" in out

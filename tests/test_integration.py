@@ -1,0 +1,142 @@
+"""End-to-end integration: the paper's full pipeline at test scale.
+
+Runs the complete flow — corpus → profile/SSF → per-variant simulation →
+threshold learning → hybrid routing → verification — on a miniature corpus
+and asserts the cross-module contracts the benchmarks rely on.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import learn_threshold, sampled_ssf, ssf
+from repro.formats import CSCMatrix, to_format
+from repro.engine import convert_matrix_online
+from repro.gpu import GV100
+from repro.gpu.config import scaled_config
+from repro.kernels import (
+    hybrid_spmm,
+    random_dense_operand,
+    run_all_variants,
+    scipy_spmm,
+)
+from repro.matrices import (
+    banded,
+    block_diagonal,
+    powerlaw_rows,
+    uniform_random,
+)
+from repro.util import geometric_mean
+
+GPU = scaled_config(GV100, 10)
+N = 1536
+K = 768
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    mats = {
+        "uniform_lo": uniform_random(N, N, 5e-4, seed=71),
+        "uniform_hi": uniform_random(N, N, 5e-3, seed=71),
+        "banded": banded(N, N, 5e-3, bandwidth=48, seed=71),
+        "blockdiag": block_diagonal(N, N, 2e-2, block_size=64, seed=71),
+        "powerlaw": powerlaw_rows(N, N, 2e-3, alpha=1.6, seed=71),
+    }
+    out = {}
+    for name, m in mats.items():
+        b = random_dense_operand(m.n_cols, K, seed=1)
+        out[name] = (m, b, run_all_variants(m, b, GPU))
+    return out
+
+
+class TestEndToEnd:
+    def test_every_variant_numerically_correct(self, sweep):
+        for name, (m, b, variants) in sweep.items():
+            expected = scipy_spmm(m, b)
+            for vname, run in variants.items():
+                np.testing.assert_allclose(
+                    np.asarray(run.result.output),
+                    expected,
+                    rtol=1e-4,
+                    atol=1e-3,
+                    err_msg=f"{name}/{vname}",
+                )
+
+    def test_learned_threshold_separates_and_routes(self, sweep):
+        ssfs, ratios = [], []
+        for name, (m, b, variants) in sweep.items():
+            ssfs.append(ssf(m))
+            ratios.append(
+                variants["c_stationary_best"].time_s
+                / variants["online_tiled_dcsr"].time_s
+            )
+        fit = learn_threshold(ssfs, ratios)
+        assert fit.accuracy >= 0.8
+        # Hybrid with the learned threshold never aggregates worse than
+        # either fixed strategy.
+        hybrid, blind, cbest = [], [], []
+        for (m, b, variants), s in zip(sweep.values(), ssfs):
+            base = variants["baseline_csr"].time_s
+            arm = (
+                "online_tiled_dcsr"
+                if s > fit.threshold
+                else "c_stationary_best"
+            )
+            hybrid.append(base / variants[arm].time_s)
+            blind.append(base / variants["online_tiled_dcsr"].time_s)
+            cbest.append(base / variants["c_stationary_best"].time_s)
+        assert geometric_mean(hybrid) >= geometric_mean(blind) - 1e-9
+        assert geometric_mean(hybrid) >= geometric_mean(cbest) - 1e-9
+
+    def test_high_ssf_case_wins_decisively(self, sweep):
+        m, b, variants = sweep["blockdiag"]
+        speedup = (
+            variants["baseline_csr"].time_s
+            / variants["online_tiled_dcsr"].time_s
+        )
+        assert speedup > 1.5
+
+    def test_low_ssf_case_keeps_c_stationary(self, sweep):
+        m, b, variants = sweep["uniform_hi"]
+        assert (
+            variants["c_stationary_best"].time_s
+            <= variants["online_tiled_dcsr"].time_s
+        )
+
+    def test_online_conversion_consistent_with_kernel(self, sweep):
+        """The engine's byte accounting is what the kernel charged for A."""
+        m, b, variants = sweep["blockdiag"]
+        online = convert_matrix_online(CSCMatrix.from_coo(m), config=GPU)
+        run = variants["online_tiled_dcsr"]
+        groups = -(-K // 64)
+        assert run.result.traffic.a_bytes == pytest.approx(
+            online.dram_bytes * groups
+        )
+
+    def test_sampled_ssf_routes_like_full(self, sweep):
+        for name, (m, b, variants) in sweep.items():
+            full = ssf(m)
+            est = sampled_ssf(m, fraction=0.25, seed=3).ssf
+            # Same side of the default threshold for these well-separated
+            # cases (uniform_lo sits at tiny SSF, blockdiag at huge).
+            if full < 1e3 or full > 1e5:
+                from repro.kernels import SSF_TH_DEFAULT
+
+                assert (est > SSF_TH_DEFAULT) == (full > SSF_TH_DEFAULT), name
+
+    def test_hybrid_api_matches_manual_routing(self, sweep):
+        m, b, variants = sweep["blockdiag"]
+        run = hybrid_spmm(m, b, GPU)
+        assert run.name in ("csr", "dcsr", "online_tiled_dcsr")
+        if run.name == "online_tiled_dcsr":
+            assert run.time_s == pytest.approx(
+                variants["online_tiled_dcsr"].time_s, rel=1e-6
+            )
+
+    def test_conversion_time_hidden_for_all(self, sweep):
+        """Section 5.3's hiding claim across the integration corpus."""
+        for name, (m, b, variants) in sweep.items():
+            online = convert_matrix_online(CSCMatrix.from_coo(m), config=GPU)
+            kernel_t = variants["online_tiled_dcsr"].time_s
+            assert online.conversion_time_s() < kernel_t, name

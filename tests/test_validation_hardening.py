@@ -1,0 +1,160 @@
+"""Failure injection: every container detects structural corruption.
+
+These tests mutate internal arrays of validated containers and assert the
+``validate()`` contract catches each corruption class — the invariant the
+property-based tests rely on when asserting "validate() never raises for
+engine output".
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (
+    CSCMatrix,
+    CSRMatrix,
+    DCSCMatrix,
+    DCSRMatrix,
+    TiledDCSR,
+    to_format,
+)
+
+from .conftest import random_dense
+
+
+@pytest.fixture
+def dense():
+    return random_dense((30, 24), 0.15, seed=99)
+
+
+def corrupt_and_check(container, mutate, match=None):
+    """Apply ``mutate(container)`` and assert validate() now raises."""
+    mutate(container)
+    with pytest.raises(FormatError, match=match):
+        container.validate()
+
+
+class TestCSRCorruption:
+    def test_pointer_overflow(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        corrupt_and_check(
+            csr, lambda c: c.row_ptr.__setitem__(-1, c.nnz + 5), "row_ptr"
+        )
+
+    def test_pointer_regression(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+
+        def mutate(c):
+            c.row_ptr[1] = c.row_ptr[2] + 1
+
+        corrupt_and_check(csr, mutate, "non-decreasing")
+
+    def test_column_out_of_range(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        corrupt_and_check(
+            csr, lambda c: c.col_idx.__setitem__(0, c.n_cols), "col_idx"
+        )
+
+    def test_negative_column(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        corrupt_and_check(csr, lambda c: c.col_idx.__setitem__(0, -1))
+
+
+class TestCSCCorruption:
+    def test_row_out_of_range(self, dense):
+        csc = CSCMatrix.from_dense(dense)
+        corrupt_and_check(
+            csc, lambda c: c.row_idx.__setitem__(0, c.n_rows), "row_idx"
+        )
+
+    def test_first_pointer_nonzero(self, dense):
+        csc = CSCMatrix.from_dense(dense)
+        corrupt_and_check(csc, lambda c: c.col_ptr.__setitem__(0, 1), "start")
+
+
+class TestDCSRCorruption:
+    def test_row_idx_disorder(self, dense):
+        dcsr = DCSRMatrix.from_dense(dense)
+
+        def mutate(c):
+            c.row_idx[0], c.row_idx[1] = c.row_idx[1], c.row_idx[0]
+
+        corrupt_and_check(dcsr, mutate, "strictly increasing")
+
+    def test_injected_empty_row(self, dense):
+        dcsr = DCSRMatrix.from_dense(dense)
+
+        def mutate(c):
+            c.row_ptr[1] = c.row_ptr[0]
+
+        corrupt_and_check(dcsr, mutate)
+
+    def test_row_beyond_shape(self, dense):
+        dcsr = DCSRMatrix.from_dense(dense)
+        corrupt_and_check(
+            dcsr, lambda c: c.row_idx.__setitem__(-1, c.n_rows + 3), "row_idx"
+        )
+
+
+class TestDCSCCorruption:
+    def test_col_idx_disorder(self, dense):
+        dcsc = DCSCMatrix.from_dense(dense)
+
+        def mutate(c):
+            c.col_idx[0], c.col_idx[1] = c.col_idx[1], c.col_idx[0]
+
+        corrupt_and_check(dcsc, mutate, "strictly increasing")
+
+    def test_injected_empty_col(self, dense):
+        dcsc = DCSCMatrix.from_dense(dense)
+
+        def mutate(c):
+            c.col_ptr[1] = c.col_ptr[0]
+
+        corrupt_and_check(dcsc, mutate)
+
+
+class TestTiledCorruption:
+    def test_strip_corruption_surfaces(self, dense):
+        tiled = to_format(CSRMatrix.from_dense(dense), "tiled_dcsr")
+        strip = next(s for s in tiled.strips if s.nnz)
+        strip.col_idx[0] = strip.n_cols + 7
+        with pytest.raises(FormatError):
+            tiled.validate()
+
+    def test_shape_mismatch_detected(self, dense):
+        tiled = to_format(CSRMatrix.from_dense(dense), "tiled_dcsr")
+        # Replace a strip with one of the wrong height.
+        bad = DCSRMatrix.from_dense(np.zeros((tiled.n_rows + 1, 8)))
+        tiled.strips[0] = bad
+        with pytest.raises(FormatError, match="shape"):
+            tiled.validate()
+
+
+class TestEngineRejectsCorruptInput:
+    def test_unsorted_column_rejected_by_lane_math(self, dense):
+        """The engine requires sorted CSC columns; feeding it unsorted rows
+        still produces *a* DCSR, but the strict stepwise model never
+        advances an exhausted lane and never loses elements — the oracle
+        comparison in the engine tests covers semantics, this covers
+        robustness of the bound checks."""
+        from repro.engine import convert_strip_stepwise
+        from repro.errors import EngineError
+
+        # Coordinates outside the declared row count must be rejected.
+        with pytest.raises(EngineError):
+            convert_strip_stepwise([0, 2], [0, 50], np.ones(2), 10)
+
+    def test_overrunning_col_ptr_rejected(self):
+        from repro.engine import LaneState
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError, match="overruns"):
+            LaneState([0, 5], [0, 1], 4)
+
+    def test_decreasing_col_ptr_rejected(self):
+        from repro.engine import LaneState
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError, match="non-decreasing"):
+            LaneState([0, 3, 1], [0, 1, 2], 4)
