@@ -29,6 +29,9 @@ hw
     Area / energy models for the engine (Section 5.3).
 multigpu
     Large-scale, multi-GPU SpMM partitioning (Section 6.2).
+resilience
+    Fault injection, detection/recovery, and graceful degradation for the
+    engine path (``python -m repro faults``).
 """
 
 __version__ = "1.0.0"
@@ -43,14 +46,19 @@ from . import (
     kernels,
     matrices,
     multigpu,
+    resilience,
 )
 from .errors import (
     ConfigError,
     ConversionError,
+    DeadlineExceededError,
     EngineError,
     FormatError,
     ReproError,
+    RetryExhaustedError,
     SimulationError,
+    StreamIntegrityError,
+    UnitFailedError,
 )
 
 __all__ = [
@@ -63,11 +71,16 @@ __all__ = [
     "kernels",
     "matrices",
     "multigpu",
+    "resilience",
     "ReproError",
     "FormatError",
     "ConversionError",
     "ConfigError",
     "SimulationError",
     "EngineError",
+    "StreamIntegrityError",
+    "UnitFailedError",
+    "DeadlineExceededError",
+    "RetryExhaustedError",
     "__version__",
 ]

@@ -138,6 +138,122 @@ def run_all_variants(
     return out
 
 
+#: Graceful-degradation ladder, most- to least-capable (Section 5.3 made
+#: failure-aware): engine-converted online tiles, then the offline tiled
+#: path the paper also evaluates, then untiled CSR merge-style SpMM.
+DEGRADATION_LADDER = ("online_tiled_dcsr", "offline_tiled_dcsr", "untiled_csr")
+
+
+@dataclass(frozen=True)
+class EngineHealth:
+    """Aggregate conversion-engine capacity after faults.
+
+    ``n_failed`` counts units that cannot complete requests (dead or
+    stuck); ``mean_slowdown`` is the average service-time multiplier of
+    the *surviving* units (1.0 = full speed).
+    """
+
+    n_units: int
+    n_failed: int = 0
+    mean_slowdown: float = 1.0
+
+    def __post_init__(self):
+        if self.n_units <= 0:
+            raise ConfigError("n_units must be positive")
+        if not 0 <= self.n_failed <= self.n_units:
+            raise ConfigError("n_failed outside [0, n_units]")
+        if self.mean_slowdown < 1.0:
+            raise ConfigError("mean_slowdown must be >= 1.0")
+
+    @property
+    def capacity(self) -> float:
+        """Surviving conversion throughput as a fraction of design (0..1)."""
+        alive = self.n_units - self.n_failed
+        return (alive / self.n_units) / self.mean_slowdown
+
+    def to_dict(self) -> dict:
+        return {
+            "n_units": self.n_units,
+            "n_failed": self.n_failed,
+            "mean_slowdown": float(self.mean_slowdown),
+            "capacity": float(self.capacity),
+        }
+
+
+def degraded_spmm(
+    matrix,
+    dense,
+    config: GPUConfig,
+    *,
+    health: EngineHealth,
+    ssf_threshold: float = SSF_TH_DEFAULT,
+    tile_width: int = 64,
+    offline_available: bool = True,
+) -> VariantRun:
+    """Hybrid SpMM that walks the degradation ladder under engine faults.
+
+    The online rung stays chosen while the degraded engine still hides
+    conversion under the kernel (Section 5.3's criterion with conversion
+    time scaled by ``1 / capacity``); otherwise the policy falls back to
+    offline tiled DCSR (when a pre-converted copy exists) and finally to
+    untiled CSR.  The decision, the capacity it saw, and each considered
+    rung's modeled cost are reported in ``result.extras["degradation"]``.
+    """
+    if ssf_threshold < 0:
+        raise ConfigError("ssf_threshold must be non-negative")
+    s = ssf_value(matrix, tile_width)
+    ladder_costs: dict[str, float] = {}
+
+    if s <= ssf_threshold:
+        run = run_c_stationary_best(matrix, dense, config)
+        decision = {
+            "path": "c_stationary",
+            "reason": "SSF below threshold — engine path not selected",
+            "engine": health.to_dict(),
+            "ladder_costs_s": ladder_costs,
+            "degraded": False,
+        }
+    else:
+        capacity = health.capacity
+        run = None
+        if capacity > 0:
+            online = run_online_tiled(matrix, dense, config, tile_width=tile_width)
+            conv_s = online.result.extras["conversion"]["conversion_time_s"]
+            degraded_conv_s = conv_s / capacity
+            # Conversion the surviving units cannot hide is exposed time.
+            ladder_costs["online_tiled_dcsr"] = online.time_s + max(
+                0.0, degraded_conv_s - online.time_s
+            )
+            if degraded_conv_s <= online.time_s:
+                run = online
+                reason = (
+                    f"conversion still hidden at {capacity:.2f} capacity"
+                )
+        if run is None and offline_available:
+            run = run_offline_tiled(matrix, dense, config, tile_width=tile_width)
+            ladder_costs["offline_tiled_dcsr"] = run.time_s
+            reason = (
+                "engine capacity insufficient — offline tiled DCSR fallback"
+            )
+        if run is None:
+            csr = to_format(matrix, "csr")
+            result = csr_spmm(csr, dense, config)
+            run = VariantRun("untiled_csr", result, time_kernel(result, config))
+            ladder_costs["untiled_csr"] = run.time_s
+            reason = "engine unavailable and no offline copy — untiled CSR"
+        decision = {
+            "path": run.name,
+            "reason": reason,
+            "engine": health.to_dict(),
+            "ladder_costs_s": ladder_costs,
+            "degraded": run.name != "online_tiled_dcsr",
+        }
+    run.result.extras["ssf"] = s
+    run.result.extras["ssf_threshold"] = ssf_threshold
+    run.result.extras["degradation"] = decision
+    return run
+
+
 def oracle_choice(variants: dict[str, VariantRun]) -> VariantRun:
     """Perfect classifier: the faster of the two hybrid arms (2.30x row)."""
     return min(

@@ -5,6 +5,7 @@ from .partition import (
     MultiGPUPlan,
     partition_coverage,
     plan_multi_gpu,
+    replan_without_gpus,
 )
 from .streaming import StreamingEstimate, compare_a_formats, stream_strip
 
@@ -13,6 +14,7 @@ __all__ = [
     "MultiGPUPlan",
     "plan_multi_gpu",
     "partition_coverage",
+    "replan_without_gpus",
     "StreamingEstimate",
     "stream_strip",
     "compare_a_formats",

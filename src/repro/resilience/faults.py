@@ -1,0 +1,386 @@
+"""Deterministic fault models and integrity checks for the engine path.
+
+Four fault classes cover the failure modes a near-memory engine deployed
+at production scale actually sees:
+
+* **unit faults** — a conversion unit is ``dead`` (never answers), ``stuck``
+  (accepts requests, never completes them), or ``slow`` (completes at a
+  fraction of its design throughput, e.g. a thermally-throttled partition);
+* **stream bit flips** — a single bit of a strip's CSC ``row_idx`` or
+  ``col_ptr`` stream corrupts between DRAM and the engine's prefetch
+  buffer;
+* **dropped responses** — a converted tile is produced but its response
+  beat never reaches the requesting SM (crossbar arbitration loss), so the
+  requester times out and retries.
+
+Everything is drawn from one :func:`numpy.random.default_rng` seeded
+stream, so a campaign is exactly reproducible from ``(matrix spec, fault
+seed, rates)``.
+
+Detection mirrors the structural-validation argument of Koza et al.
+(compressed formats carry enough invariants to self-check) plus a
+CRC-per-strip computed when the matrix is written to memory:
+:func:`verify_stream` raises :class:`~repro.errors.StreamIntegrityError`
+when either the CRC or a structural invariant fails, and campaigns count
+corruptions that pass both checks as **undetected**.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError, StreamIntegrityError
+
+#: fault-class tags used in plans and reports
+UNIT_DEAD = "unit_dead"
+UNIT_STUCK = "unit_stuck"
+UNIT_SLOW = "unit_slow"
+STREAM_BIT_FLIP = "stream_bit_flip"
+DROPPED_RESPONSE = "dropped_response"
+
+FAULT_CLASSES = (
+    UNIT_DEAD,
+    UNIT_STUCK,
+    UNIT_SLOW,
+    STREAM_BIT_FLIP,
+    DROPPED_RESPONSE,
+)
+
+
+@dataclass(frozen=True)
+class UnitFault:
+    """One conversion unit's failure mode."""
+
+    unit_id: int
+    mode: str  # UNIT_DEAD | UNIT_STUCK | UNIT_SLOW
+    #: service-time multiplier for UNIT_SLOW (ignored otherwise)
+    slowdown: float = 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.mode,
+            "unit_id": self.unit_id,
+            "slowdown": float(self.slowdown),
+        }
+
+
+@dataclass(frozen=True)
+class StreamBitFlip:
+    """A single-bit corruption in one strip's CSC stream."""
+
+    strip_id: int
+    array: str  # "row_idx" | "col_ptr"
+    index: int  # element index within that array
+    bit: int  # bit position within the low 32 bits
+
+    def to_dict(self) -> dict:
+        return {
+            "class": STREAM_BIT_FLIP,
+            "strip_id": self.strip_id,
+            "array": self.array,
+            "index": self.index,
+            "bit": self.bit,
+        }
+
+
+@dataclass(frozen=True)
+class DroppedResponse:
+    """The ``attempt``-th response for one tile request is lost in flight."""
+
+    strip_id: int
+    tile_index: int
+    attempt: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "class": DROPPED_RESPONSE,
+            "strip_id": self.strip_id,
+            "tile_index": self.tile_index,
+            "attempt": self.attempt,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full, deterministic set of faults one campaign injects."""
+
+    seed: int
+    n_units: int
+    unit_faults: tuple[UnitFault, ...] = ()
+    bit_flips: tuple[StreamBitFlip, ...] = ()
+    drops: tuple[DroppedResponse, ...] = ()
+
+    # ------------------------------------------------------------- queries
+    @property
+    def dead_units(self) -> frozenset[int]:
+        return frozenset(
+            f.unit_id for f in self.unit_faults if f.mode == UNIT_DEAD
+        )
+
+    @property
+    def stuck_units(self) -> frozenset[int]:
+        return frozenset(
+            f.unit_id for f in self.unit_faults if f.mode == UNIT_STUCK
+        )
+
+    @property
+    def unavailable_units(self) -> frozenset[int]:
+        """Units that can never complete a request (dead or stuck)."""
+        return self.dead_units | self.stuck_units
+
+    def slowdown(self, unit_id: int) -> float:
+        for f in self.unit_faults:
+            if f.unit_id == unit_id and f.mode == UNIT_SLOW:
+                return f.slowdown
+        return 1.0
+
+    def flips_for_strip(self, strip_id: int) -> tuple[StreamBitFlip, ...]:
+        return tuple(f for f in self.bit_flips if f.strip_id == strip_id)
+
+    def is_dropped(self, strip_id: int, tile_index: int, attempt: int) -> bool:
+        return any(
+            d.strip_id == strip_id
+            and d.tile_index == tile_index
+            and d.attempt == attempt
+            for d in self.drops
+        )
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.unit_faults) + len(self.bit_flips) + len(self.drops)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_units": self.n_units,
+            "unit_faults": [f.to_dict() for f in self.unit_faults],
+            "bit_flips": [f.to_dict() for f in self.bit_flips],
+            "drops": [d.to_dict() for d in self.drops],
+        }
+
+
+def draw_fault_plan(
+    n_units: int,
+    n_strips: int,
+    tiles_per_strip: int,
+    *,
+    seed: int = 0,
+    kill: int = 0,
+    stuck: int = 0,
+    slow: int = 0,
+    slow_factor: float = 4.0,
+    n_bit_flips: int = 0,
+    n_drops: int = 0,
+    strip_nnz=None,
+) -> FaultPlan:
+    """Draw a reproducible fault plan from one seeded stream.
+
+    ``kill``/``stuck``/``slow`` units are sampled without replacement (a
+    unit has at most one fault); bit flips land in a uniformly-chosen
+    non-empty strip's ``row_idx`` (80 %) or ``col_ptr`` (20 %) stream;
+    drops pick (strip, tile, attempt=0) coordinates.  ``strip_nnz`` (when
+    given) restricts flip targets to strips that actually hold elements.
+    """
+    if n_units <= 0:
+        raise ConfigError("n_units must be positive")
+    if min(kill, stuck, slow, n_bit_flips, n_drops) < 0:
+        raise ConfigError("fault counts must be non-negative")
+    if kill + stuck + slow > n_units:
+        raise ConfigError(
+            f"{kill + stuck + slow} unit faults exceed {n_units} units"
+        )
+    if slow_factor < 1.0:
+        raise ConfigError("slow_factor must be >= 1.0")
+    rng = np.random.default_rng(seed)
+    faulty = rng.choice(n_units, size=kill + stuck + slow, replace=False)
+    unit_faults = [
+        UnitFault(int(u), UNIT_DEAD) for u in faulty[:kill]
+    ] + [
+        UnitFault(int(u), UNIT_STUCK) for u in faulty[kill : kill + stuck]
+    ] + [
+        UnitFault(int(u), UNIT_SLOW, slowdown=float(slow_factor))
+        for u in faulty[kill + stuck :]
+    ]
+
+    flips: list[StreamBitFlip] = []
+    if n_bit_flips and n_strips:
+        if strip_nnz is not None:
+            candidates = [s for s in range(n_strips) if int(strip_nnz[s]) > 0]
+        else:
+            candidates = list(range(n_strips))
+        for _ in range(n_bit_flips):
+            if not candidates:
+                break
+            sid = int(candidates[int(rng.integers(len(candidates)))])
+            array = "row_idx" if rng.random() < 0.8 else "col_ptr"
+            # Element index is drawn as a fraction and resolved against the
+            # actual array length at injection time (apply_bit_flips), so
+            # the plan does not need the stream contents.
+            flips.append(
+                StreamBitFlip(
+                    strip_id=sid,
+                    array=array,
+                    index=int(rng.integers(2**31 - 1)),
+                    bit=int(rng.integers(0, 20)),
+                )
+            )
+
+    drops: list[DroppedResponse] = []
+    if n_drops and n_strips and tiles_per_strip:
+        for _ in range(n_drops):
+            drops.append(
+                DroppedResponse(
+                    strip_id=int(rng.integers(n_strips)),
+                    tile_index=int(rng.integers(tiles_per_strip)),
+                    attempt=0,
+                )
+            )
+    return FaultPlan(
+        seed=seed,
+        n_units=n_units,
+        unit_faults=tuple(unit_faults),
+        bit_flips=tuple(flips),
+        drops=tuple(drops),
+    )
+
+
+# ---------------------------------------------------------------- injection
+def apply_bit_flips(col_ptr, row_idx, values, flips):
+    """Return copies of a strip's CSC arrays with ``flips`` applied.
+
+    A flip's ``index`` is reduced modulo the target array's length, so one
+    plan applies to any matrix.  Flips into zero-length arrays are no-ops
+    (returned count tells the caller how many landed).
+    """
+    ptr = np.array(col_ptr, dtype=np.int64, copy=True)
+    rows = np.array(row_idx, dtype=np.int64, copy=True)
+    landed = 0
+    for f in flips:
+        target = rows if f.array == "row_idx" else ptr
+        if target.size == 0:
+            continue
+        i = f.index % target.size
+        target[i] ^= np.int64(1) << np.int64(f.bit)
+        landed += 1
+    return ptr, rows, values, landed
+
+
+# ---------------------------------------------------------------- detection
+def stream_crc(col_ptr, row_idx, values) -> int:
+    """CRC32 of a strip's CSC beat stream, as written by the host.
+
+    Computed over the raw little-endian bytes of the pointer, coordinate,
+    and value arrays — the checksum a production engine would store next to
+    each strip and verify on every read.
+    """
+    crc = 0
+    for arr in (col_ptr, row_idx, values):
+        a = np.ascontiguousarray(arr)
+        if a.dtype.byteorder == ">":
+            a = a.astype(a.dtype.newbyteorder("<"))
+        crc = zlib.crc32(a.tobytes(), crc)
+    return crc
+
+
+def verify_stream(
+    col_ptr,
+    row_idx,
+    values,
+    n_rows: int,
+    *,
+    expected_crc: int | None = None,
+    strip_id: int | None = None,
+) -> None:
+    """Validate one strip's CSC stream at the engine boundary.
+
+    Raises :class:`StreamIntegrityError` on CRC mismatch or on violation of
+    the structural invariants the conversion engine's frontier walk relies
+    on: non-negative monotone ``col_ptr`` ending at ``len(row_idx)``, row
+    coordinates in ``[0, n_rows)``, and strictly increasing rows within
+    each column.
+    """
+    where = f"strip {strip_id}" if strip_id is not None else "strip"
+    if expected_crc is not None:
+        actual = stream_crc(col_ptr, row_idx, values)
+        if actual != expected_crc:
+            raise StreamIntegrityError(
+                f"{where}: stream CRC mismatch "
+                f"(expected {expected_crc:#010x}, got {actual:#010x})"
+            )
+    ptr = np.asarray(col_ptr)
+    rows = np.asarray(row_idx)
+    if ptr.size == 0 or ptr[0] != 0:
+        raise StreamIntegrityError(f"{where}: col_ptr must start at 0")
+    if np.any(np.diff(ptr) < 0):
+        raise StreamIntegrityError(f"{where}: col_ptr not monotone")
+    if int(ptr[-1]) != rows.size:
+        raise StreamIntegrityError(
+            f"{where}: col_ptr[-1]={int(ptr[-1])} != len(row_idx)={rows.size}"
+        )
+    if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+        raise StreamIntegrityError(
+            f"{where}: row coordinate outside [0, {n_rows})"
+        )
+    for j in range(ptr.size - 1):
+        seg = rows[int(ptr[j]) : int(ptr[j + 1])]
+        if seg.size > 1 and np.any(np.diff(seg) <= 0):
+            raise StreamIntegrityError(
+                f"{where}: column {j} rows not strictly increasing"
+            )
+
+
+@dataclass
+class StripFaultInjector:
+    """Injects a :class:`FaultPlan`'s stream faults into strip reads.
+
+    Plugged into :class:`~repro.engine.api.ConversionUnit`; with
+    ``plan=None`` (the default everywhere) the engine never calls into this
+    module, preserving the zero-overhead-when-off guarantee.
+    """
+
+    plan: FaultPlan
+    #: strip_id -> golden CRC computed before injection (host-side write)
+    golden_crc: dict[int, int] = field(default_factory=dict)
+    #: verify CRC + structure on every strip read
+    check: bool = True
+    #: flips that actually landed in a non-empty array, per strip
+    landed_flips: dict[int, int] = field(default_factory=dict)
+    #: strips whose in-flight faults were consumed by a detected re-read
+    cleared: set = field(default_factory=set)
+
+    def clear_strip(self, strip_id: int) -> None:
+        """Stop corrupting a strip: its fault was transient and the
+        requester's re-read now delivers clean beats."""
+        self.cleared.add(strip_id)
+
+    def transform(self, strip_id: int, col_ptr, row_idx, values):
+        """Apply this strip's stream faults; returns possibly-new arrays."""
+        if strip_id in self.cleared:
+            return col_ptr, row_idx, values
+        flips = self.plan.flips_for_strip(strip_id)
+        if not flips:
+            return col_ptr, row_idx, values
+        ptr, rows, vals, landed = apply_bit_flips(
+            col_ptr, row_idx, values, flips
+        )
+        if landed:
+            self.landed_flips[strip_id] = (
+                self.landed_flips.get(strip_id, 0) + landed
+            )
+        return ptr, rows, vals
+
+    def verify(self, strip_id: int, col_ptr, row_idx, values, n_rows: int):
+        """Run the engine-boundary integrity check for one strip."""
+        if not self.check:
+            return
+        verify_stream(
+            col_ptr,
+            row_idx,
+            values,
+            n_rows,
+            expected_crc=self.golden_crc.get(strip_id),
+            strip_id=strip_id,
+        )

@@ -60,11 +60,19 @@ class TestPolicies:
     )
     @settings(max_examples=50, deadline=None)
     def test_lpt_bounds(self, costs, n_sms):
-        """LPT makespan is within the classic (4/3 - 1/3m) bound of ideal,
-        floored at the largest single item."""
+        """LPT respects Graham's list-scheduling bound and the trivial
+        lower bound.
+
+        The provable guarantee against *computable* quantities is
+        ``makespan <= sum/m + (1 - 1/m) * max`` (Graham 1966); the classic
+        (4/3 - 1/3m) factor is relative to OPT, which the old version of
+        this test wrongly replaced with the lower bound ``max(max, sum/m)``
+        — 5 unit jobs on 4 machines falsify that (OPT = 2, bound = 5/3).
+        """
         r = schedule(costs, n_sms, policy="greedy_lpt")
         lower = max(max(costs), sum(costs) / n_sms)
-        assert r.makespan <= (4 / 3) * lower + 1e-6
+        upper = sum(costs) / n_sms + (1 - 1 / n_sms) * max(costs)
+        assert r.makespan <= upper + 1e-6
         assert r.makespan >= lower - 1e-6
 
 

@@ -1,0 +1,124 @@
+"""Tests for the graceful-degradation ladder around the hybrid system."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import GV100
+from repro.kernels import (
+    DEGRADATION_LADDER,
+    EngineHealth,
+    degraded_spmm,
+    random_dense_operand,
+    verify_against_reference,
+)
+from repro.matrices import block_diagonal, uniform_random
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    """High-SSF case that routes to the engine when healthy."""
+    return block_diagonal(2048, 2048, 2e-2, block_size=64, seed=11)
+
+
+@pytest.fixture(scope="module")
+def operand(skewed):
+    return random_dense_operand(skewed.shape[1], 256, seed=3)
+
+
+class TestEngineHealth:
+    def test_capacity_full(self):
+        assert EngineHealth(n_units=32).capacity == 1.0
+
+    def test_capacity_combines_failures_and_slowdown(self):
+        h = EngineHealth(n_units=8, n_failed=2, mean_slowdown=1.5)
+        assert h.capacity == pytest.approx((6 / 8) / 1.5)
+
+    def test_all_dead_is_zero(self):
+        assert EngineHealth(n_units=4, n_failed=4).capacity == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EngineHealth(n_units=0)
+        with pytest.raises(ConfigError):
+            EngineHealth(n_units=4, n_failed=5)
+        with pytest.raises(ConfigError):
+            EngineHealth(n_units=4, mean_slowdown=0.5)
+
+
+class TestLadder:
+    def test_ladder_order(self):
+        assert DEGRADATION_LADDER == (
+            "online_tiled_dcsr",
+            "offline_tiled_dcsr",
+            "untiled_csr",
+        )
+
+    def test_healthy_engine_stays_online(self, skewed, operand):
+        run = degraded_spmm(
+            skewed, operand, GV100, health=EngineHealth(n_units=32)
+        )
+        d = run.result.extras["degradation"]
+        assert run.name == "online_tiled_dcsr"
+        assert not d["degraded"]
+        assert verify_against_reference(run, skewed, operand)
+
+    def test_crippled_engine_falls_back_offline(self, skewed, operand):
+        """Near-zero capacity can no longer hide conversion."""
+        health = EngineHealth(n_units=32, n_failed=31, mean_slowdown=100.0)
+        run = degraded_spmm(skewed, operand, GV100, health=health)
+        d = run.result.extras["degradation"]
+        assert run.name == "offline_tiled_dcsr"
+        assert d["degraded"]
+        assert "online_tiled_dcsr" in d["ladder_costs_s"]
+        assert verify_against_reference(run, skewed, operand)
+
+    def test_dead_engine_no_offline_hits_bottom_rung(self, skewed, operand):
+        health = EngineHealth(n_units=32, n_failed=32)
+        run = degraded_spmm(
+            skewed, operand, GV100, health=health, offline_available=False
+        )
+        d = run.result.extras["degradation"]
+        assert run.name == "untiled_csr"
+        assert d["degraded"]
+        # Dead engine: the online rung was never costed.
+        assert "online_tiled_dcsr" not in d["ladder_costs_s"]
+        assert verify_against_reference(run, skewed, operand)
+
+    def test_low_ssf_ignores_engine_health(self):
+        """C-stationary input never needed the engine, so faults in it
+        cannot degrade the chosen path."""
+        matrix = uniform_random(1024, 1024, 1e-3, seed=11)
+        operand = random_dense_operand(1024, 128, seed=3)
+        run = degraded_spmm(
+            matrix, operand, GV100, health=EngineHealth(n_units=4, n_failed=4)
+        )
+        d = run.result.extras["degradation"]
+        assert d["path"] == "c_stationary"
+        assert not d["degraded"]
+        assert verify_against_reference(run, matrix, operand)
+
+    def test_exposed_conversion_charged_to_online_cost(self, skewed, operand):
+        """At reduced capacity the online rung's modeled cost includes the
+        conversion time the engine can no longer hide."""
+        healthy = degraded_spmm(
+            skewed, operand, GV100, health=EngineHealth(n_units=32)
+        )
+        degraded = degraded_spmm(
+            skewed,
+            operand,
+            GV100,
+            health=EngineHealth(n_units=32, n_failed=31, mean_slowdown=1000.0),
+        )
+        h = healthy.result.extras["degradation"]["ladder_costs_s"]
+        d = degraded.result.extras["degradation"]["ladder_costs_s"]
+        assert d["online_tiled_dcsr"] > h["online_tiled_dcsr"]
+
+    def test_validation(self, skewed, operand):
+        with pytest.raises(ConfigError):
+            degraded_spmm(
+                skewed,
+                operand,
+                GV100,
+                health=EngineHealth(n_units=4),
+                ssf_threshold=-1.0,
+            )

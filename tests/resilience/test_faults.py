@@ -1,0 +1,150 @@
+"""Unit tests for the fault models and integrity checks."""
+
+import numpy as np
+import pytest
+
+from repro.engine.api import ConversionUnit, TileRequest
+from repro.engine.placement import strip_unit_failover
+from repro.errors import ConfigError, StreamIntegrityError, UnitFailedError
+from repro.formats import CSCMatrix
+from repro.resilience import (
+    FaultPlan,
+    StreamBitFlip,
+    apply_bit_flips,
+    draw_fault_plan,
+    stream_crc,
+    verify_stream,
+)
+from repro.resilience.faults import (
+    UNIT_DEAD,
+    UNIT_SLOW,
+    UNIT_STUCK,
+    StripFaultInjector,
+    UnitFault,
+)
+
+from ..conftest import random_dense
+
+
+class TestDrawFaultPlan:
+    def test_deterministic(self):
+        a = draw_fault_plan(32, 16, 8, seed=3, kill=2, stuck=1, slow=1,
+                            n_bit_flips=4, n_drops=3)
+        b = draw_fault_plan(32, 16, 8, seed=3, kill=2, stuck=1, slow=1,
+                            n_bit_flips=4, n_drops=3)
+        assert a == b
+
+    def test_seed_changes_plan(self):
+        a = draw_fault_plan(32, 16, 8, seed=3, kill=2, n_bit_flips=4)
+        b = draw_fault_plan(32, 16, 8, seed=4, kill=2, n_bit_flips=4)
+        assert a != b
+
+    def test_unit_faults_disjoint(self):
+        p = draw_fault_plan(8, 4, 4, seed=0, kill=2, stuck=2, slow=2)
+        ids = [f.unit_id for f in p.unit_faults]
+        assert len(ids) == len(set(ids)) == 6
+        assert len(p.dead_units) == 2
+        assert len(p.stuck_units) == 2
+
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(ConfigError):
+            draw_fault_plan(4, 4, 4, kill=3, stuck=2)
+
+    def test_slowdown_lookup(self):
+        p = FaultPlan(0, 4, unit_faults=(UnitFault(2, UNIT_SLOW, 3.0),))
+        assert p.slowdown(2) == 3.0
+        assert p.slowdown(0) == 1.0
+
+
+class TestIntegrity:
+    def _strip(self):
+        dense = random_dense((64, 8), 0.2, seed=5)
+        csc = CSCMatrix.from_dense(dense)
+        return csc.strip_slice(0, 8), csc.n_rows
+
+    def test_crc_detects_any_flip(self):
+        (ptr, rows, vals), n_rows = self._strip()
+        crc = stream_crc(ptr, rows, vals)
+        flip = StreamBitFlip(0, "row_idx", 2, 1)
+        p2, r2, v2, landed = apply_bit_flips(ptr, rows, vals, [flip])
+        assert landed == 1
+        with pytest.raises(StreamIntegrityError):
+            verify_stream(p2, r2, v2, n_rows, expected_crc=crc)
+
+    def test_clean_stream_passes(self):
+        (ptr, rows, vals), n_rows = self._strip()
+        crc = stream_crc(ptr, rows, vals)
+        verify_stream(ptr, rows, vals, n_rows, expected_crc=crc)
+
+    def test_structural_detects_out_of_range(self):
+        (ptr, rows, vals), n_rows = self._strip()
+        rows = np.array(rows, copy=True)
+        rows[0] = n_rows + 100
+        with pytest.raises(StreamIntegrityError):
+            verify_stream(ptr, rows, vals, n_rows)
+
+    def test_structural_detects_broken_pointer(self):
+        (ptr, rows, vals), n_rows = self._strip()
+        ptr = np.array(ptr, copy=True)
+        ptr[-1] += 5
+        with pytest.raises(StreamIntegrityError):
+            verify_stream(ptr, rows, vals, n_rows)
+
+    def test_crc_is_order_sensitive(self):
+        (ptr, rows, vals), _ = self._strip()
+        assert stream_crc(ptr, rows, vals) != stream_crc(rows, ptr, vals)
+
+
+class TestFailover:
+    def test_healthy_is_naive(self):
+        for sid in range(10):
+            assert strip_unit_failover(sid, 4) == sid % 4
+
+    def test_skips_dead(self):
+        assert strip_unit_failover(1, 4, dead_units={1}) == 2
+        assert strip_unit_failover(3, 4, dead_units={3, 0}) == 1
+
+    def test_all_dead_rejected(self):
+        with pytest.raises(ConfigError):
+            strip_unit_failover(0, 2, dead_units={0, 1})
+
+
+class TestConversionUnitFaults:
+    def _csc(self):
+        return CSCMatrix.from_dense(random_dense((128, 64), 0.1, seed=9))
+
+    def test_failed_unit_rejects_requests(self):
+        unit = ConversionUnit(0, self._csc())
+        unit.fail()
+        with pytest.raises(UnitFailedError):
+            unit.submit(TileRequest(strip_id=0, row_start=0))
+
+    def test_injector_corruption_detected_at_boundary(self):
+        csc = self._csc()
+        crc = {0: stream_crc(*csc.strip_slice(0, 64))}
+        plan = FaultPlan(
+            0, 1, bit_flips=(StreamBitFlip(0, "row_idx", 5, 3),)
+        )
+        unit = ConversionUnit(
+            0, csc, injector=StripFaultInjector(plan, golden_crc=crc)
+        )
+        unit.submit(TileRequest(strip_id=0, row_start=0))
+        with pytest.raises(StreamIntegrityError):
+            unit.process_one()
+
+    def test_no_injector_identical_stream(self):
+        """Zero overhead when off: same tiles as an uninstrumented unit."""
+        csc = self._csc()
+        plain = ConversionUnit(0, csc)
+        clean = ConversionUnit(
+            0, csc, injector=StripFaultInjector(FaultPlan(0, 1), check=False)
+        )
+        for unit in (plain, clean):
+            for row in range(0, csc.n_rows, 64):
+                unit.submit(TileRequest(strip_id=0, row_start=row))
+        for a, b in zip(plain.process_all(), clean.process_all()):
+            np.testing.assert_array_equal(a.tile.row_idx, b.tile.row_idx)
+            np.testing.assert_array_equal(a.tile.row_ptr, b.tile.row_ptr)
+            np.testing.assert_array_equal(a.tile.col_idx, b.tile.col_idx)
+            np.testing.assert_array_equal(a.tile.values, b.tile.values)
+            assert a.steps == b.steps

@@ -1,0 +1,94 @@
+"""Failover paths: placement re-routing and multi-GPU re-planning."""
+
+import numpy as np
+import pytest
+
+from repro.engine.placement import (
+    PlacementResult,
+    reroute_failed_partitions,
+)
+from repro.errors import ConfigError
+from repro.multigpu import plan_multi_gpu, replan_without_gpus
+from repro.multigpu.partition import partition_coverage
+
+
+def make_result(loads=(100.0, 200.0, 300.0, 400.0)):
+    return PlacementResult(
+        layout="split",
+        loads_bytes=np.array(loads, dtype=np.float64),
+        overhead_bytes=0.0,
+    )
+
+
+class TestReroutePartitions:
+    def test_load_conserved(self):
+        before = make_result()
+        after = reroute_failed_partitions(before, [1])
+        assert after.loads_bytes.sum() == pytest.approx(
+            before.loads_bytes.sum()
+        )
+        assert after.loads_bytes[1] == 0.0
+
+    def test_scatter_is_even(self):
+        after = reroute_failed_partitions(make_result(), [3])
+        np.testing.assert_allclose(
+            after.loads_bytes, [100 + 400 / 3, 200 + 400 / 3, 300 + 400 / 3, 0]
+        )
+
+    def test_overhead_charged_per_migration(self):
+        before = make_result()
+        after = reroute_failed_partitions(before, [0, 1])
+        assert after.overhead_bytes > before.overhead_bytes
+        assert after.layout == "split+failover"
+
+    def test_no_dead_is_identity(self):
+        before = make_result()
+        assert reroute_failed_partitions(before, []) is before
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            reroute_failed_partitions(make_result(), [7])
+        with pytest.raises(ConfigError):
+            reroute_failed_partitions(make_result(), [0, 1, 2, 3])
+
+
+class TestReplanMultiGPU:
+    def make_plan(self, n_gpus=4):
+        return plan_multi_gpu(
+            50_000, 50_000, 1.0 * 1024**3, n_gpus=n_gpus, gpu_memory_gb=16.0
+        )
+
+    def test_survivors_cover_all_columns(self):
+        plan = self.make_plan()
+        replan = replan_without_gpus(plan, [1])
+        assert replan.n_gpus == 3
+        assert partition_coverage(replan)
+        assert {i.gpu_id for i in replan.items} == {0, 2, 3}
+
+    def test_no_failures_is_identity(self):
+        plan = self.make_plan()
+        assert replan_without_gpus(plan, []) is plan
+
+    def test_survivor_spans_grow(self):
+        plan = self.make_plan()
+        replan = replan_without_gpus(plan, [0, 1])
+        assert all(
+            i.n_cols >= plan.items[0].n_cols for i in replan.items
+        )
+
+    def test_all_failed_rejected(self):
+        plan = self.make_plan()
+        with pytest.raises(ConfigError):
+            replan_without_gpus(plan, [0, 1, 2, 3])
+
+    def test_infeasible_shrink_rejected(self):
+        """Survivors that can no longer hold A + streaming buffers raise."""
+        plan = plan_multi_gpu(
+            2_000_000,
+            2_000_000,
+            2.0 * 1024**3,
+            n_gpus=8,
+            gpu_memory_gb=16.0,
+        )
+        with pytest.raises(ConfigError):
+            replan_without_gpus(plan, list(range(7)))
