@@ -29,6 +29,8 @@ hw
     Area / energy models for the engine (Section 5.3).
 multigpu
     Large-scale, multi-GPU SpMM partitioning (Section 6.2).
+runtime
+    Unified planner/executor front door: plans, plan cache, run records.
 resilience
     Fault injection, detection/recovery, and graceful degradation for the
     engine path (``python -m repro faults``).
@@ -47,6 +49,7 @@ from . import (
     matrices,
     multigpu,
     resilience,
+    runtime,
 )
 from .errors import (
     ConfigError,
@@ -72,6 +75,7 @@ __all__ = [
     "matrices",
     "multigpu",
     "resilience",
+    "runtime",
     "ReproError",
     "FormatError",
     "ConversionError",

@@ -123,6 +123,11 @@ def learn_threshold(ssf_values, time_ratios) -> ThresholdFit:
         threshold = float(np.sqrt(lo * hi)) if lo > 0 and hi > 0 else float(
             (lo + hi) / 2.0
         )
+        # Adjacent floats (or overflow) can round the midpoint onto an
+        # endpoint, which mis-realizes the split; lo itself always works
+        # because classification is the strict ``ssf > threshold``.
+        if not lo <= threshold < hi:
+            threshold = float(lo)
     return ThresholdFit(
         threshold=threshold,
         accuracy=float(correct[best] / n),

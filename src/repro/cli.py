@@ -121,11 +121,22 @@ def cmd_footprint(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    from .runtime import SpmmRequest, SpmmRuntime
+
     m = _load_matrix(args)
     config = gpu.get_config(args.gpu)
     k = args.k if args.k else min(m.n_cols, 2048)
-    b = kernels.random_dense_operand(m.n_cols, k, seed=args.seed)
-    variants = kernels.run_all_variants(m, b, config)
+    runtime = SpmmRuntime(config, ssf_threshold=args.ssf_threshold)
+    request = SpmmRequest(
+        m, k=k, seed=args.seed, tile_width=args.tile_width
+    )
+    variants = runtime.run_all_variants(request)
+    outcome = runtime.run(request)
+    hybrid = outcome.execution.run
+    b = request.resolve_dense()
+    if args.json:
+        print(outcome.record.to_json())
+        return 0
     base = variants["baseline_csr"].time_s
     print(f"simulated GPU: {config.name}; K = {k}; "
           f"SSF = {analysis.ssf(m):.4g}")
@@ -137,15 +148,88 @@ def cmd_simulate(args) -> int:
               f"{base / run.time_s:8.2f} "
               f"{run.result.traffic.total_bytes / 1e6:8.2f} "
               f"{str(t.memory_bound):>9}")
-    hybrid = kernels.hybrid_spmm(
-        m, b, config, ssf_threshold=args.ssf_threshold
-    )
     print(f"\nhybrid choice: {hybrid.name} "
           f"({base / hybrid.time_s:.2f}x over baseline)")
     if not kernels.verify_against_reference(hybrid, m, b):
         print("ERROR: numeric verification failed", file=sys.stderr)
         return 1
     print("numeric output verified against scipy.")
+    return 0
+
+
+def _run_once(runtime, request, args, index, records):
+    """One ``repro run`` execution: report plan, cache status, digest."""
+    outcome = runtime.run(request)
+    record = outcome.record
+    records.append(record)
+    if args.json:
+        print(record.to_json())
+        return
+    plan = outcome.plan
+    prov = plan.provenance
+    cache = "hit" if outcome.cache_hit else "miss"
+    print(f"run {index}: variant={outcome.execution.run.name} "
+          f"algorithm={plan.algorithm} "
+          f"time={record.time_s * 1e6:.1f}us "
+          f"ssf={prov['ssf']:.4g} cache={cache} "
+          f"digest={record.digest()[:16]}")
+
+
+def cmd_run(args) -> int:
+    """Planner/executor front door: plan, cache, execute, record."""
+    from .runtime import SpmmRequest, SpmmRuntime
+
+    config = gpu.get_config(args.gpu)
+    runtime = SpmmRuntime(config, ssf_threshold=args.ssf_threshold)
+    if args.repeat < 1:
+        raise ReproError("--repeat must be at least 1")
+
+    matrices_in = []
+    if args.batch:
+        try:
+            with open(args.batch) as fh:
+                specs = [
+                    line.strip() for line in fh
+                    if line.strip() and not line.strip().startswith("#")
+                ]
+        except OSError as exc:
+            raise ReproError(f"cannot read batch file: {exc}") from None
+        if not specs:
+            raise ReproError(f"batch file {args.batch} lists no matrices")
+        for spec in specs:
+            ns = argparse.Namespace(
+                mtx=spec if spec.endswith(".mtx") else None,
+                generate=None if spec.endswith(".mtx") else spec,
+            )
+            matrices_in.append((spec, _load_matrix(ns)))
+    else:
+        m = _load_matrix(args)
+        matrices_in.append((args.mtx or args.generate, m))
+
+    records: list = []
+    index = 0
+    for label, m in matrices_in:
+        k = args.k if args.k else min(m.n_cols, 2048)
+        request = SpmmRequest(
+            m, k=k, seed=args.seed, tile_width=args.tile_width
+        )
+        if not args.json and len(matrices_in) > 1:
+            print(f"# {label}")
+        for _ in range(args.repeat):
+            index += 1
+            _run_once(runtime, request, args, index, records)
+
+    if args.record_out:
+        import json as _json
+
+        payload = "[\n" + ",\n".join(r.to_json() for r in records) + "\n]\n"
+        _json.loads(payload)  # sanity: the bundle must itself be valid JSON
+        with open(args.record_out, "w") as fh:
+            fh.write(payload)
+    if not args.json:
+        stats = runtime.cache.stats
+        print(f"plan cache: {stats['entries']} entries, "
+              f"{stats['hits']} hits, {stats['misses']} misses")
     return 0
 
 
@@ -262,7 +346,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--ssf-threshold", type=float, default=kernels.SSF_TH_DEFAULT
     )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the hybrid run's RunRecord as canonical JSON",
+    )
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "run",
+        help="plan + execute one SpMM through the runtime "
+        "(plan cache, run records)",
+    )
+    _add_matrix_args(p)
+    p.add_argument("--gpu", default="gv100", help="gv100 or tu116")
+    p.add_argument("--k", type=int, default=0, help="dense columns (0=auto)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--ssf-threshold", type=float, default=kernels.SSF_TH_DEFAULT
+    )
+    p.add_argument(
+        "--repeat", type=int, default=2,
+        help="times to run each matrix (repeats hit the plan cache)",
+    )
+    p.add_argument(
+        "--batch",
+        help="file listing one matrix per line (generator spec or .mtx "
+        "path); runs all of them through one shared plan cache",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print one canonical RunRecord JSON document per run",
+    )
+    p.add_argument(
+        "--record-out", help="write all RunRecords to this JSON file"
+    )
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("engine", help="Section 5.3 engine report")
     p.add_argument("--gpu", default="gv100", help="gv100 or tu116")

@@ -81,6 +81,33 @@ def to_format(matrix, target: str):
     raise ConversionError(f"unknown target format {target!r}")
 
 
+class FormatStore:
+    """Memoizing conversion store for one logical matrix.
+
+    Kernels and the runtime executor ask it for containers instead of
+    calling :func:`to_format` directly, so repeated runs over the same
+    matrix (plan-cache hits, batch mode, multi-GPU shards that replicate A)
+    pay each conversion exactly once.  ``artifacts`` holds non-format
+    derived objects under caller-chosen keys — e.g. the engine's
+    :class:`~repro.engine.api.OnlineConversion` keyed by tile width.
+    """
+
+    def __init__(self, matrix):
+        self.matrix = matrix
+        self._formats: dict[str, object] = {}
+        self.artifacts: dict = {}
+
+    def get(self, target: str):
+        """The matrix in ``target`` format, converting on first request."""
+        if target not in self._formats:
+            self._formats[target] = to_format(self.matrix, target)
+        return self._formats[target]
+
+    @property
+    def cached_formats(self) -> tuple[str, ...]:
+        return tuple(sorted(self._formats))
+
+
 # --------------------------------------------- strip extraction cost models
 @dataclass
 class ExtractionCost:

@@ -8,9 +8,14 @@ paper's NVPROF pie (Fig. 2).
 
 from __future__ import annotations
 
+import base64
+import json
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import SimulationError
+from ..util import canonical_json, to_plain
 
 
 @dataclass
@@ -38,6 +43,23 @@ class TrafficCounters:
         for name in ("a_bytes", "b_bytes", "c_bytes", "atomic_bytes"):
             if getattr(self, name) < 0:
                 raise SimulationError(f"negative traffic counter {name}")
+
+    def to_dict(self) -> dict:
+        return {
+            "a_bytes": float(self.a_bytes),
+            "b_bytes": float(self.b_bytes),
+            "c_bytes": float(self.c_bytes),
+            "atomic_bytes": float(self.atomic_bytes),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TrafficCounters":
+        return cls(
+            a_bytes=float(d["a_bytes"]),
+            b_bytes=float(d["b_bytes"]),
+            c_bytes=float(d["c_bytes"]),
+            atomic_bytes=float(d["atomic_bytes"]),
+        )
 
 
 @dataclass
@@ -81,6 +103,23 @@ class InstructionMix:
             if getattr(self, name) < 0:
                 raise SimulationError(f"negative instruction counter {name}")
 
+    def to_dict(self) -> dict:
+        return {
+            "fp": int(self.fp),
+            "integer": int(self.integer),
+            "control_flow": int(self.control_flow),
+            "inactive": int(self.inactive),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "InstructionMix":
+        return cls(
+            fp=int(d["fp"]),
+            integer=int(d["integer"]),
+            control_flow=int(d["control_flow"]),
+            inactive=int(d["inactive"]),
+        )
+
 
 @dataclass
 class StallBreakdown:
@@ -97,6 +136,26 @@ class StallBreakdown:
         if min(self.memory, self.sm, self.other) < 0:
             raise SimulationError("negative stall fraction")
 
+    def to_dict(self) -> dict:
+        return {
+            "memory": float(self.memory),
+            "sm": float(self.sm),
+            "other": float(self.other),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StallBreakdown":
+        return cls(
+            memory=float(d["memory"]), sm=float(d["sm"]), other=float(d["other"])
+        )
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "StallBreakdown":
+        return cls.from_dict(json.loads(text))
+
 
 @dataclass
 class KernelResult:
@@ -111,3 +170,48 @@ class KernelResult:
     algorithm: str = ""
     #: free-form per-kernel extras (tile counts, conversion stats, ...)
     extras: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering, full fidelity including the output array."""
+        return {
+            "output": encode_array(np.asarray(self.output)),
+            "traffic": self.traffic.to_dict(),
+            "mix": self.mix.to_dict(),
+            "flops": float(self.flops),
+            "algorithm": self.algorithm,
+            "extras": to_plain(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "KernelResult":
+        return cls(
+            output=decode_array(d["output"]),
+            traffic=TrafficCounters.from_dict(d["traffic"]),
+            mix=InstructionMix.from_dict(d["mix"]),
+            flops=float(d["flops"]),
+            algorithm=d.get("algorithm", ""),
+            extras=dict(d.get("extras", {})),
+        )
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "KernelResult":
+        return cls.from_dict(json.loads(text))
+
+
+def encode_array(a: np.ndarray) -> dict:
+    """Lossless JSON encoding of a numeric array (base64 of raw bytes)."""
+    a = np.ascontiguousarray(a)
+    return {
+        "shape": [int(s) for s in a.shape],
+        "dtype": str(a.dtype),
+        "data_b64": base64.b64encode(a.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(d: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    raw = base64.b64decode(d["data_b64"].encode("ascii"))
+    return np.frombuffer(raw, dtype=np.dtype(d["dtype"])).reshape(d["shape"]).copy()

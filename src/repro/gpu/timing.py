@@ -68,6 +68,32 @@ class TimingResult:
         other = self.t_other_s / total
         return StallBreakdown(memory=mem, sm=sm, other=other)
 
+    def to_dict(self) -> dict:
+        return {
+            "t_mem_s": float(self.t_mem_s),
+            "t_sm_s": float(self.t_sm_s),
+            "t_other_s": float(self.t_other_s),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TimingResult":
+        return cls(
+            t_mem_s=float(d["t_mem_s"]),
+            t_sm_s=float(d["t_sm_s"]),
+            t_other_s=float(d["t_other_s"]),
+        )
+
+    def to_json(self) -> str:
+        from ..util import canonical_json
+
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "TimingResult":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
 
 def time_kernel(
     result: KernelResult,

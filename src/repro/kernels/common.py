@@ -26,7 +26,10 @@ import numpy as np
 from ..errors import ConfigError
 from ..gpu.cache import dense_reuse_fraction
 from ..gpu.config import GPUConfig
+from ..gpu.counters import InstructionMix, KernelResult, TrafficCounters
+from ..gpu.sm import dcsr_tile_overhead, row_per_warp_activity
 from ..util import MODEL_VALUE_BYTES, ceil_div
+from .reference import check_operands, scipy_spmm
 
 #: Shared-memory B tile edge (the paper uses 64x64 to fill a 96 KB SM).
 TILE_EDGE = 64
@@ -151,3 +154,76 @@ def llc_bytes(config: GPUConfig) -> float:
 def spmm_flops(nnz: int, dense_cols: int) -> float:
     """Section 2: one multiply + one add per nonzero per dense column."""
     return 2.0 * nnz * dense_cols
+
+
+# ------------------------------------------------------- kernel boilerplate
+# Every simulated kernel does the same three chores around its cost model:
+# validate/execute the numeric product, sweep the warp-activity model once
+# per B column group, and assemble a KernelResult.  The helpers below hold
+# that boilerplate so a kernel body is mostly its traffic/activity model.
+
+
+def prepare_spmm(matrix, dense) -> tuple[np.ndarray, int, np.ndarray]:
+    """Validate operands and run the numeric product.
+
+    Returns ``(b, k, out)``: the checked dense operand, its column count,
+    and the exact scipy result the kernel will report.
+    """
+    b = check_operands(matrix, dense)
+    return b, b.shape[1], scipy_spmm(matrix, b)
+
+
+def unique_index_count(idx: np.ndarray, nnz: int) -> int:
+    """Distinct indices touched (0 for an empty matrix/strip)."""
+    return int(np.unique(idx).size) if nnz else 0
+
+
+def grouped_row_activity(
+    config: GPUConfig,
+    groups: int,
+    lengths: np.ndarray,
+    n_empty: int,
+    dense_cols: int,
+    *,
+    dcsr_rows: int | None = None,
+    mix: InstructionMix | None = None,
+) -> InstructionMix:
+    """Warp activity of a row-per-warp sweep repeated per B column group.
+
+    ``dcsr_rows`` adds the DCSR ``row_idx`` indirection overhead per group;
+    pass an existing ``mix`` to accumulate (tiled kernels sum per strip).
+    """
+    if mix is None:
+        mix = InstructionMix()
+    for _ in range(groups):
+        mix.add(
+            row_per_warp_activity(
+                lengths, n_empty, min(dense_cols, TILE_EDGE),
+                warp_size=config.warp_size,
+            )
+        )
+        if dcsr_rows is not None:
+            mix.add(dcsr_tile_overhead(dcsr_rows, warp_size=config.warp_size))
+    return mix
+
+
+def kernel_result(
+    out: np.ndarray,
+    traffic: TrafficCounters,
+    mix: InstructionMix,
+    nnz: int,
+    dense_cols: int,
+    algorithm: str,
+    extras: dict,
+) -> KernelResult:
+    """Assemble and validate the KernelResult every kernel returns."""
+    traffic.validate()
+    mix.validate()
+    return KernelResult(
+        output=out,
+        traffic=traffic,
+        mix=mix,
+        flops=spmm_flops(nnz, dense_cols),
+        algorithm=algorithm,
+        extras=extras,
+    )

@@ -22,30 +22,29 @@ import numpy as np
 
 from ..formats.csr import CSRMatrix
 from ..gpu.config import GPUConfig
-from ..gpu.counters import InstructionMix, KernelResult, TrafficCounters
-from ..gpu.sm import row_per_warp_activity
+from ..gpu.counters import KernelResult, TrafficCounters
 from .common import (
     b_operand_traffic,
     c_single_write_bytes,
+    grouped_row_activity,
+    kernel_result,
     llc_bytes,
     n_b_column_groups,
-    spmm_flops,
+    prepare_spmm,
+    unique_index_count,
 )
-from .reference import check_operands, scipy_spmm
 
 
 def csr_spmm(
     csr: CSRMatrix, dense: np.ndarray, config: GPUConfig
 ) -> KernelResult:
     """Simulate the baseline CSR kernel; returns result + counters."""
-    b = check_operands(csr, dense)
-    k = b.shape[1]
-    out = scipy_spmm(csr, b)
+    _, k, out = prepare_spmm(csr, dense)
 
     lengths = csr.row_lengths()
     nz_lengths = lengths[lengths > 0]
     n_empty = int(csr.n_rows - nz_lengths.size)
-    unique_cols = int(np.unique(csr.col_idx).size) if csr.nnz else 0
+    unique_cols = unique_index_count(csr.col_idx, csr.nnz)
 
     groups = n_b_column_groups(k)
     traffic = TrafficCounters()
@@ -59,24 +58,16 @@ def csr_spmm(
     traffic.b_bytes = b_traf.total_bytes
     traffic.c_bytes = c_single_write_bytes(int(nz_lengths.size), k)
 
-    mix = InstructionMix()
     # Every column group re-walks the row structure.
-    for _ in range(groups):
-        mix.add(
-            row_per_warp_activity(
-                nz_lengths,
-                n_empty,
-                min(k, 64),
-                warp_size=config.warp_size,
-            )
-        )
+    mix = grouped_row_activity(config, groups, nz_lengths, n_empty, k)
 
-    return KernelResult(
-        output=out,
-        traffic=traffic,
-        mix=mix,
-        flops=spmm_flops(csr.nnz, k),
-        algorithm="csr_c_stationary",
+    return kernel_result(
+        out,
+        traffic,
+        mix,
+        csr.nnz,
+        k,
+        "csr_c_stationary",
         extras={
             "n_kernel_launches": 1,
             "n_empty_rows_scanned": n_empty * groups,

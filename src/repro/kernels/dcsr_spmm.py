@@ -17,28 +17,27 @@ import numpy as np
 
 from ..formats.dcsr import DCSRMatrix
 from ..gpu.config import GPUConfig
-from ..gpu.counters import InstructionMix, KernelResult, TrafficCounters
-from ..gpu.sm import dcsr_tile_overhead, row_per_warp_activity
+from ..gpu.counters import KernelResult, TrafficCounters
 from .common import (
     b_operand_traffic,
     c_single_write_bytes,
+    grouped_row_activity,
+    kernel_result,
     llc_bytes,
     n_b_column_groups,
-    spmm_flops,
+    prepare_spmm,
+    unique_index_count,
 )
-from .reference import check_operands, scipy_spmm
 
 
 def dcsr_spmm(
     dcsr: DCSRMatrix, dense: np.ndarray, config: GPUConfig
 ) -> KernelResult:
     """Simulate the untiled-DCSR C-stationary kernel."""
-    b = check_operands(dcsr, dense)
-    k = b.shape[1]
-    out = scipy_spmm(dcsr, b)
+    _, k, out = prepare_spmm(dcsr, dense)
 
     lengths = dcsr.row_lengths()
-    unique_cols = int(np.unique(dcsr.col_idx).size) if dcsr.nnz else 0
+    unique_cols = unique_index_count(dcsr.col_idx, dcsr.nnz)
 
     groups = n_b_column_groups(k)
     traffic = TrafficCounters()
@@ -51,25 +50,17 @@ def dcsr_spmm(
     ).total_bytes
     traffic.c_bytes = c_single_write_bytes(dcsr.n_nonzero_rows, k)
 
-    mix = InstructionMix()
-    for _ in range(groups):
-        mix.add(
-            row_per_warp_activity(
-                lengths, 0, min(k, 64), warp_size=config.warp_size
-            )
-        )
-        mix.add(
-            dcsr_tile_overhead(
-                dcsr.n_nonzero_rows, warp_size=config.warp_size
-            )
-        )
+    mix = grouped_row_activity(
+        config, groups, lengths, 0, k, dcsr_rows=dcsr.n_nonzero_rows
+    )
 
-    return KernelResult(
-        output=out,
-        traffic=traffic,
-        mix=mix,
-        flops=spmm_flops(dcsr.nnz, k),
-        algorithm="dcsr_c_stationary",
+    return kernel_result(
+        out,
+        traffic,
+        mix,
+        dcsr.nnz,
+        k,
+        "dcsr_c_stationary",
         extras={
             "n_kernel_launches": 1,
             "n_empty_rows_scanned": 0,

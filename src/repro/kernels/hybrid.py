@@ -21,9 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..analysis.ssf import ssf as ssf_value
 from ..errors import ConfigError
-from ..formats.convert import to_format
+from ..formats.convert import FormatStore
 from ..gpu.config import GPUConfig
 from ..gpu.counters import KernelResult
 from ..gpu.timing import TimingResult, time_kernel
@@ -49,10 +48,13 @@ class VariantRun:
         return self.timing.total_s
 
 
-def run_c_stationary_best(matrix, dense, config: GPUConfig) -> VariantRun:
+def run_c_stationary_best(
+    matrix, dense, config: GPUConfig, *, store: FormatStore | None = None
+) -> VariantRun:
     """Better of untiled CSR and untiled DCSR (the paper plots their max)."""
-    csr = to_format(matrix, "csr")
-    dcsr = to_format(matrix, "dcsr")
+    store = store if store is not None else FormatStore(matrix)
+    csr = store.get("csr")
+    dcsr = store.get("dcsr")
     runs = [
         VariantRun("csr", (r := csr_spmm(csr, dense, config)), time_kernel(r, config)),
         VariantRun(
@@ -63,13 +65,23 @@ def run_c_stationary_best(matrix, dense, config: GPUConfig) -> VariantRun:
 
 
 def run_online_tiled(
-    matrix, dense, config: GPUConfig, *, tile_width: int = 64
+    matrix,
+    dense,
+    config: GPUConfig,
+    *,
+    tile_width: int = 64,
+    store: FormatStore | None = None,
 ) -> VariantRun:
     """B-stationary on engine-converted tiled DCSR (CSC in memory)."""
     from ..engine.api import convert_matrix_online
 
-    csc = to_format(matrix, "csc")
-    online = convert_matrix_online(csc, tile_width=tile_width, config=config)
+    store = store if store is not None else FormatStore(matrix)
+    key = ("online_conversion", tile_width, config.name)
+    online = store.artifacts.get(key)
+    if online is None:
+        csc = store.get("csc")
+        online = convert_matrix_online(csc, tile_width=tile_width, config=config)
+        store.artifacts[key] = online
     result = b_stationary_spmm(
         online.tiled,
         dense,
@@ -81,15 +93,22 @@ def run_online_tiled(
 
 
 def run_offline_tiled(
-    matrix, dense, config: GPUConfig, *, tile_width: int = 64, densify: bool = True
+    matrix,
+    dense,
+    config: GPUConfig,
+    *,
+    tile_width: int = 64,
+    densify: bool = True,
+    store: FormatStore | None = None,
 ) -> VariantRun:
     """B-stationary on an offline-materialized tiled container.
 
     The paper's 2.03x series: conversion cost is *not* charged (optimistic
     for the offline approach, as the paper notes).
     """
+    store = store if store is not None else FormatStore(matrix)
     target = "tiled_dcsr" if densify else "tiled_csr"
-    tiled = to_format(matrix, target)
+    tiled = store.get(target)
     result = b_stationary_spmm(tiled, dense, config)
     name = "offline_tiled_dcsr" if densify else "offline_tiled_csr"
     return VariantRun(name, result, time_kernel(result, config))
@@ -103,36 +122,43 @@ def hybrid_spmm(
     ssf_threshold: float = SSF_TH_DEFAULT,
     tile_width: int = 64,
 ) -> VariantRun:
-    """The full system: SSF-routed choice between the two paths."""
-    if ssf_threshold < 0:
-        raise ConfigError("ssf_threshold must be non-negative")
-    s = ssf_value(matrix, tile_width)
-    if s > ssf_threshold:
-        run = run_online_tiled(matrix, dense, config, tile_width=tile_width)
-    else:
-        run = run_c_stationary_best(matrix, dense, config)
-    run.result.extras["ssf"] = s
-    run.result.extras["ssf_threshold"] = ssf_threshold
-    return run
+    """The full system: SSF-routed choice between the two paths.
+
+    Thin wrapper over the planner/executor runtime — the SSF decision lives
+    in :class:`repro.runtime.Planner`, the kernel dispatch in
+    :class:`repro.runtime.Executor`.
+    """
+    from ..runtime import SpmmRuntime
+    from ..runtime.plan import SpmmRequest
+
+    runtime = SpmmRuntime(config, ssf_threshold=ssf_threshold)
+    request = SpmmRequest(matrix, dense=dense, tile_width=tile_width)
+    return runtime.run(request).execution.run
 
 
 def run_all_variants(
-    matrix, dense, config: GPUConfig, *, tile_width: int = 64
+    matrix,
+    dense,
+    config: GPUConfig,
+    *,
+    tile_width: int = 64,
+    store: FormatStore | None = None,
 ) -> dict[str, VariantRun]:
     """Every series Fig. 16 plots, keyed by variant name."""
-    best_c = run_c_stationary_best(matrix, dense, config)
+    store = store if store is not None else FormatStore(matrix)
+    best_c = run_c_stationary_best(matrix, dense, config, store=store)
     out = {
         "baseline_csr": VariantRun(
             "baseline_csr",
-            (r := csr_spmm(to_format(matrix, "csr"), dense, config)),
+            (r := csr_spmm(store.get("csr"), dense, config)),
             time_kernel(r, config),
         ),
         "c_stationary_best": best_c,
         "online_tiled_dcsr": run_online_tiled(
-            matrix, dense, config, tile_width=tile_width
+            matrix, dense, config, tile_width=tile_width, store=store
         ),
         "offline_tiled_dcsr": run_offline_tiled(
-            matrix, dense, config, tile_width=tile_width
+            matrix, dense, config, tile_width=tile_width, store=store
         ),
     }
     return out
@@ -199,58 +225,27 @@ def degraded_spmm(
     untiled CSR.  The decision, the capacity it saw, and each considered
     rung's modeled cost are reported in ``result.extras["degradation"]``.
     """
-    if ssf_threshold < 0:
-        raise ConfigError("ssf_threshold must be non-negative")
-    s = ssf_value(matrix, tile_width)
-    ladder_costs: dict[str, float] = {}
+    from ..runtime import SpmmRuntime
+    from ..runtime.plan import Capabilities, SpmmRequest
 
-    if s <= ssf_threshold:
-        run = run_c_stationary_best(matrix, dense, config)
-        decision = {
-            "path": "c_stationary",
-            "reason": "SSF below threshold — engine path not selected",
-            "engine": health.to_dict(),
-            "ladder_costs_s": ladder_costs,
-            "degraded": False,
-        }
-    else:
-        capacity = health.capacity
-        run = None
-        if capacity > 0:
-            online = run_online_tiled(matrix, dense, config, tile_width=tile_width)
-            conv_s = online.result.extras["conversion"]["conversion_time_s"]
-            degraded_conv_s = conv_s / capacity
-            # Conversion the surviving units cannot hide is exposed time.
-            ladder_costs["online_tiled_dcsr"] = online.time_s + max(
-                0.0, degraded_conv_s - online.time_s
-            )
-            if degraded_conv_s <= online.time_s:
-                run = online
-                reason = (
-                    f"conversion still hidden at {capacity:.2f} capacity"
-                )
-        if run is None and offline_available:
-            run = run_offline_tiled(matrix, dense, config, tile_width=tile_width)
-            ladder_costs["offline_tiled_dcsr"] = run.time_s
-            reason = (
-                "engine capacity insufficient — offline tiled DCSR fallback"
-            )
-        if run is None:
-            csr = to_format(matrix, "csr")
-            result = csr_spmm(csr, dense, config)
-            run = VariantRun("untiled_csr", result, time_kernel(result, config))
-            ladder_costs["untiled_csr"] = run.time_s
-            reason = "engine unavailable and no offline copy — untiled CSR"
-        decision = {
-            "path": run.name,
-            "reason": reason,
-            "engine": health.to_dict(),
-            "ladder_costs_s": ladder_costs,
-            "degraded": run.name != "online_tiled_dcsr",
-        }
-    run.result.extras["ssf"] = s
-    run.result.extras["ssf_threshold"] = ssf_threshold
-    run.result.extras["degradation"] = decision
+    runtime = SpmmRuntime(config, ssf_threshold=ssf_threshold)
+    request = SpmmRequest(matrix, dense=dense, tile_width=tile_width)
+    capabilities = Capabilities.from_health(health, offline_available=offline_available)
+    outcome = runtime.run(request, capabilities=capabilities, enforce_ladder=True)
+    execution = outcome.execution
+    run = execution.run
+    path = (
+        "c_stationary"
+        if execution.plan.algorithm == "c_stationary_best"
+        else run.name
+    )
+    run.result.extras["degradation"] = {
+        "path": path,
+        "reason": execution.reason,
+        "engine": health.to_dict(),
+        "ladder_costs_s": execution.ladder_costs_s,
+        "degraded": bool(execution.degraded),
+    }
     return run
 
 

@@ -27,15 +27,16 @@ from ..errors import ConfigError
 from ..formats.tiled import TiledCSR, TiledDCSR
 from ..gpu.config import GPUConfig
 from ..gpu.counters import InstructionMix, KernelResult, TrafficCounters
-from ..gpu.sm import dcsr_tile_overhead, row_per_warp_activity
 from .common import (
     b_operand_traffic,
     c_atomic_traffic,
+    grouped_row_activity,
+    kernel_result,
     llc_bytes,
     n_b_column_groups,
-    spmm_flops,
+    prepare_spmm,
+    unique_index_count,
 )
-from .reference import check_operands, scipy_spmm
 from .traversal import traversal_effects
 
 
@@ -50,7 +51,7 @@ def _strip_profiles(tiled) -> list[dict]:
             all_lengths = strip.row_lengths()
             lengths = all_lengths[all_lengths > 0]
             nz_rows = int(lengths.size)
-        nz_cols = int(np.unique(strip.col_idx).size) if strip.nnz else 0
+        nz_cols = unique_index_count(strip.col_idx, strip.nnz)
         profiles.append(
             {
                 "nnz": strip.nnz,
@@ -84,9 +85,7 @@ def b_stationary_spmm(
         )
     if tile_height <= 0:
         raise ConfigError(f"tile_height must be positive, got {tile_height}")
-    b = check_operands(tiled, dense)
-    k = b.shape[1]
-    out = scipy_spmm(tiled, b)
+    _, k, out = prepare_spmm(tiled, dense)
     effects = traversal_effects(traversal)
     is_dcsr = isinstance(tiled, TiledDCSR)
 
@@ -118,7 +117,7 @@ def b_stationary_spmm(
     # ---- C traffic: atomic partial sums -------------------------------
     updates = sum(p["nz_rows"] for p in profiles) * k
     rows_all, _, _ = tiled.to_coo_arrays()
-    unique_c_rows = int(np.unique(rows_all).size) if len(rows_all) else 0
+    unique_c_rows = unique_index_count(rows_all, len(rows_all))
     c_traf = c_atomic_traffic(
         updates=updates,
         unique_rows=unique_c_rows,
@@ -137,30 +136,23 @@ def b_stationary_spmm(
     # ---- warp activity -------------------------------------------------
     mix = InstructionMix()
     n_rows = tiled.n_rows
-    for _ in range(groups):
-        for p in profiles:
-            if p["nnz"] == 0 and is_dcsr:
-                continue  # empty strip: DCSR kernel skips it entirely
-            empty = 0 if is_dcsr else n_rows - p["nz_rows"]
-            mix.add(
-                row_per_warp_activity(
-                    p["lengths"], empty, min(k, 64), warp_size=config.warp_size
-                )
-            )
-            if is_dcsr:
-                mix.add(
-                    dcsr_tile_overhead(p["nz_rows"], warp_size=config.warp_size)
-                )
+    for p in profiles:
+        if p["nnz"] == 0 and is_dcsr:
+            continue  # empty strip: DCSR kernel skips it entirely
+        empty = 0 if is_dcsr else n_rows - p["nz_rows"]
+        grouped_row_activity(
+            config, groups, p["lengths"], empty, k,
+            dcsr_rows=p["nz_rows"] if is_dcsr else None, mix=mix,
+        )
 
     n_tiles = len(profiles) * max(1, -(-n_rows // tile_height))
-    return KernelResult(
-        output=out,
-        traffic=traffic,
-        mix=mix,
-        flops=spmm_flops(tiled.nnz, k),
-        algorithm=(
-            "tiled_dcsr_b_stationary" if is_dcsr else "tiled_csr_b_stationary"
-        ),
+    return kernel_result(
+        out,
+        traffic,
+        mix,
+        tiled.nnz,
+        k,
+        "tiled_dcsr_b_stationary" if is_dcsr else "tiled_csr_b_stationary",
         extras={
             # One launch per B column group; strips map to thread blocks.
             "n_kernel_launches": 1,
@@ -191,16 +183,14 @@ def a_stationary_spmm(
         raise ConfigError(
             f"a_stationary_spmm needs a tiled container, got {type(tiled).__name__}"
         )
-    b = check_operands(tiled, dense)
-    k = b.shape[1]
-    out = scipy_spmm(tiled, b)
+    _, k, out = prepare_spmm(tiled, dense)
     profiles = _strip_profiles(tiled)
     llc = llc_bytes(config)
     is_dcsr = isinstance(tiled, TiledDCSR)
 
     rows_all, cols_all, _ = tiled.to_coo_arrays()
-    unique_b = int(np.unique(cols_all).size) if len(cols_all) else 0
-    unique_c = int(np.unique(rows_all).size) if len(rows_all) else 0
+    unique_b = unique_index_count(cols_all, len(cols_all))
+    unique_c = unique_index_count(rows_all, len(rows_all))
 
     b_traf = b_operand_traffic(
         total_accesses=tiled.nnz * k,
@@ -223,21 +213,19 @@ def a_stationary_spmm(
         atomic_bytes=c_traf.capacity_bytes,
     )
     mix = InstructionMix()
-    for _ in range(n_b_column_groups(k)):
-        for p in profiles:
-            if p["nnz"] == 0 and is_dcsr:
-                continue
-            empty = 0 if is_dcsr else tiled.n_rows - p["nz_rows"]
-            mix.add(
-                row_per_warp_activity(
-                    p["lengths"], empty, min(k, 64), warp_size=config.warp_size
-                )
-            )
-    return KernelResult(
-        output=out,
-        traffic=traffic,
-        mix=mix,
-        flops=spmm_flops(tiled.nnz, k),
-        algorithm="a_stationary",
+    for p in profiles:
+        if p["nnz"] == 0 and is_dcsr:
+            continue
+        empty = 0 if is_dcsr else tiled.n_rows - p["nz_rows"]
+        grouped_row_activity(
+            config, n_b_column_groups(k), p["lengths"], empty, k, mix=mix
+        )
+    return kernel_result(
+        out,
+        traffic,
+        mix,
+        tiled.nnz,
+        k,
+        "a_stationary",
         extras={"n_kernel_launches": 1, "atomic_updates": updates},
     )

@@ -7,6 +7,7 @@ from .partition import (
     plan_multi_gpu,
     replan_without_gpus,
 )
+from .sharding import ShardedRun, ShardRun, run_sharded
 from .streaming import StreamingEstimate, compare_a_formats, stream_strip
 
 __all__ = [
@@ -15,6 +16,9 @@ __all__ = [
     "plan_multi_gpu",
     "partition_coverage",
     "replan_without_gpus",
+    "ShardRun",
+    "ShardedRun",
+    "run_sharded",
     "StreamingEstimate",
     "stream_strip",
     "compare_a_formats",

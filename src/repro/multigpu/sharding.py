@@ -1,0 +1,108 @@
+"""Executing a multi-GPU decomposition through the planner/executor runtime.
+
+:func:`repro.multigpu.partition.plan_multi_gpu` decides *where* columns of
+B/C live; this module decides *how each shard runs*.  The key property
+(Section 6.2): sparse A is replicated, so the planning decision — SSF
+routing, storage format, tiling, engine placement — is made **once** for
+the parent request and every shard inherits it via
+:meth:`~repro.runtime.plan.SpmmPlan.derive_shard`.  Shards also share one
+:class:`~repro.formats.convert.FormatStore`, so A's format (and any online
+engine conversion) is materialized a single time, not once per GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..gpu.config import GPUConfig
+from ..runtime import RunRecord, SpmmPlan, SpmmRequest, SpmmRuntime
+from .partition import GPUWorkItem, MultiGPUPlan
+
+
+@dataclass
+class ShardRun:
+    """One GPU's executed shard: its span, derived plan, and run record."""
+
+    item: GPUWorkItem
+    plan: SpmmPlan
+    record: RunRecord
+    output: np.ndarray
+
+    @property
+    def time_s(self) -> float:
+        return self.record.time_s
+
+
+@dataclass
+class ShardedRun:
+    """A full multi-GPU execution: parent plan plus per-shard runs."""
+
+    parent_plan: SpmmPlan
+    shards: tuple[ShardRun, ...]
+    cache_hit: bool
+
+    @property
+    def makespan_s(self) -> float:
+        """Wall-clock of the slowest GPU (shards run concurrently)."""
+        return max(s.time_s for s in self.shards)
+
+    @property
+    def total_gpu_time_s(self) -> float:
+        return float(sum(s.time_s for s in self.shards))
+
+    @property
+    def output(self) -> np.ndarray:
+        """The assembled C: shard outputs are disjoint column spans."""
+        return np.concatenate([s.output for s in self.shards], axis=1)
+
+    def records(self) -> list[dict]:
+        return [s.record.to_dict() for s in self.shards]
+
+
+def run_sharded(
+    matrix,
+    dense: np.ndarray,
+    config: GPUConfig,
+    mg_plan: MultiGPUPlan,
+    *,
+    runtime: SpmmRuntime | None = None,
+    tile_width: int = 64,
+) -> ShardedRun:
+    """Run one SpMM split across the GPUs of ``mg_plan``.
+
+    Plans once for the parent problem (hitting the runtime's plan cache on
+    repeats), derives a narrowed plan per :class:`GPUWorkItem`, and runs
+    every shard against the shared format store.
+    """
+    if dense.shape[1] != mg_plan.dense_cols:
+        raise ConfigError(
+            f"dense operand has {dense.shape[1]} columns but the multi-GPU "
+            f"plan covers {mg_plan.dense_cols}"
+        )
+    runtime = runtime if runtime is not None else SpmmRuntime(config)
+    request = SpmmRequest(matrix, dense=dense, tile_width=tile_width)
+    parent_plan, store, cache_hit = runtime.plan(request)
+
+    shards = []
+    for item in mg_plan.items:
+        shard_plan = parent_plan.derive_shard(
+            item.gpu_id, item.col_start, item.col_end
+        )
+        shard_dense = dense[:, item.col_start : item.col_end]
+        execution = runtime.executor.execute(
+            shard_plan, matrix, shard_dense, store=store
+        )
+        shards.append(
+            ShardRun(
+                item=item,
+                plan=execution.plan,
+                record=RunRecord.from_execution(execution),
+                output=np.asarray(execution.run.result.output),
+            )
+        )
+    return ShardedRun(
+        parent_plan=parent_plan, shards=tuple(shards), cache_hit=cache_hit
+    )

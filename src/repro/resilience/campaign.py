@@ -48,10 +48,10 @@ from ..errors import (
 from ..formats.convert import to_format
 from ..formats.tiled import TiledDCSR, n_strips as count_strips
 from ..gpu.config import GPUConfig
-from ..kernels.hybrid import EngineHealth, degraded_spmm
+from ..kernels.hybrid import EngineHealth
 from ..kernels.reference import random_dense_operand, scipy_spmm
 from ..kernels.tiled_spmm import b_stationary_spmm
-from ..util import ceil_div
+from ..util import ceil_div, to_plain
 from .faults import (
     DROPPED_RESPONSE,
     STREAM_BIT_FLIP,
@@ -140,20 +140,7 @@ class CampaignReport:
 
     def to_json(self) -> str:
         """Canonical (byte-reproducible) JSON rendering."""
-        return json.dumps(_py(self.to_dict()), sort_keys=True, indent=2)
-
-
-def _py(obj):
-    """Recursively coerce numpy scalars/arrays to plain Python types."""
-    if isinstance(obj, dict):
-        return {k: _py(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_py(v) for v in obj]
-    if isinstance(obj, np.generic):
-        return obj.item()
-    if isinstance(obj, np.ndarray):
-        return [_py(v) for v in obj.tolist()]
-    return obj
+        return json.dumps(to_plain(self.to_dict()), sort_keys=True, indent=2)
 
 
 # --------------------------------------------------------- functional pass
@@ -454,7 +441,10 @@ def run_campaign(matrix, config: GPUConfig, campaign: CampaignConfig) -> Campaig
 
     timing = _simulate_timing(tile_steps, assignment, plan, campaign, config, strips)
 
-    # ---- graceful degradation for the surviving capacity
+    # ---- graceful degradation for the surviving capacity: re-plan with
+    # constrained capabilities through the planner/executor runtime
+    from ..runtime import SpmmRequest, SpmmRuntime
+
     n_failed = len(plan.unavailable_units)
     survivors = plan.n_units - n_failed
     slowdowns = [plan.slowdown(u) for u in range(plan.n_units)
@@ -464,10 +454,24 @@ def run_campaign(matrix, config: GPUConfig, campaign: CampaignConfig) -> Campaig
         n_failed=n_failed,
         mean_slowdown=float(np.mean(slowdowns)) if survivors else 1.0,
     )
-    degraded = degraded_spmm(matrix, dense, config, health=health,
-                             tile_width=campaign.tile_width)
-    degradation = dict(degraded.result.extras["degradation"])
-    degradation["chosen_time_s"] = float(degraded.time_s)
+    outcome = SpmmRuntime(config).degraded_run(
+        SpmmRequest(matrix, dense=dense, tile_width=campaign.tile_width), health
+    )
+    execution = outcome.execution
+    degradation = {
+        "path": (
+            "c_stationary"
+            if execution.plan.algorithm == "c_stationary_best"
+            else execution.run.name
+        ),
+        "reason": execution.reason,
+        "engine": health.to_dict(),
+        "ladder_costs_s": execution.ladder_costs_s,
+        "degraded": bool(execution.degraded),
+        "chosen_time_s": float(execution.run.time_s),
+        "plan_algorithm": execution.plan.algorithm,
+        "record_digest": outcome.record.digest(),
+    }
 
     detected_total = int(sum(events["detected"].values()))
     detection = {

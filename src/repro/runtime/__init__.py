@@ -1,0 +1,176 @@
+"""Unified planner/executor runtime for the simulated SpMM system.
+
+This package separates the paper's *decision* from its *execution*:
+
+- :class:`Planner` profiles the matrix (SSF, Eq. 2), predicts Table 1
+  traffic, and emits an immutable, serializable :class:`SpmmPlan`;
+- :class:`Executor` materializes the plan against the simulated kernels
+  and — under the degradation ladder — demotes by re-planning with
+  constrained :class:`Capabilities`;
+- :class:`PlanCache` memoizes plans *and* their format/engine conversions
+  per (matrix fingerprint × dense width × GPU config);
+- :class:`RunRecord` is the JSON-serializable trace of one executed plan.
+
+:class:`SpmmRuntime` is the facade the CLI, hybrid kernels, multi-GPU
+sharding, and resilience campaigns all route through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..formats.convert import FormatStore
+from ..gpu.config import GPUConfig
+from .cache import CacheEntry, PlanCache, matrix_fingerprint
+from .executor import ExecutionResult, Executor
+from .plan import (
+    FULL_CAPABILITIES,
+    PLAN_ALGORITHMS,
+    Capabilities,
+    SpmmPlan,
+    SpmmRequest,
+)
+from .planner import PLANNER_VERSION, Planner
+from .record import RECORD_VERSION, RunRecord
+
+__all__ = [
+    "Capabilities",
+    "CacheEntry",
+    "ExecutionResult",
+    "Executor",
+    "FULL_CAPABILITIES",
+    "PLANNER_VERSION",
+    "PLAN_ALGORITHMS",
+    "PlanCache",
+    "Planner",
+    "RECORD_VERSION",
+    "RunOutcome",
+    "RunRecord",
+    "SpmmPlan",
+    "SpmmRequest",
+    "SpmmRuntime",
+    "matrix_fingerprint",
+]
+
+
+@dataclass
+class RunOutcome:
+    """What :meth:`SpmmRuntime.run` hands back.
+
+    ``cache_hit`` lives here rather than on the record on purpose: a hit
+    must reproduce the cold run's record bit-for-bit, so cache status can
+    never be part of the record itself.
+    """
+
+    record: RunRecord
+    execution: ExecutionResult
+    plan: SpmmPlan
+    cache_hit: bool
+
+    @property
+    def run(self):
+        """The executed :class:`~repro.kernels.hybrid.VariantRun`."""
+        return self.execution.run
+
+
+class SpmmRuntime:
+    """Plan, cache, execute, record — the one front door for SpMM runs."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        *,
+        ssf_threshold: float | None = None,
+        cache: PlanCache | None = None,
+    ):
+        self.config = config
+        self.planner = Planner(config, ssf_threshold)
+        self.executor = Executor(config, planner=self.planner)
+        self.cache = cache if cache is not None else PlanCache()
+
+    # ------------------------------------------------------------ planning
+    def _effective_threshold(self, request: SpmmRequest) -> float:
+        return (
+            request.ssf_threshold
+            if request.ssf_threshold is not None
+            else self.planner.ssf_threshold
+        )
+
+    def plan(
+        self,
+        request: SpmmRequest,
+        capabilities: Capabilities = FULL_CAPABILITIES,
+    ) -> tuple[SpmmPlan, FormatStore, bool]:
+        """Plan ``request``, consulting the cache first.
+
+        Returns ``(plan, store, cache_hit)``; the store carries every
+        format/engine conversion already materialized for this key.
+        """
+        key = PlanCache.key_for(
+            request, self.config, capabilities, self._effective_threshold(request)
+        )
+        entry = self.cache.lookup(key)
+        if entry is not None:
+            return entry.plan, entry.store, True
+        plan = self.planner.plan(request, capabilities)
+        store = FormatStore(request.matrix)
+        self.cache.insert(key, CacheEntry(plan=plan, store=store))
+        return plan, store, False
+
+    # ----------------------------------------------------------- execution
+    def run(
+        self,
+        request: SpmmRequest,
+        *,
+        capabilities: Capabilities = FULL_CAPABILITIES,
+        enforce_ladder: bool = False,
+    ) -> RunOutcome:
+        """Plan (or reuse a cached plan) and execute one request."""
+        plan, store, cache_hit = self.plan(request, capabilities)
+        dense = request.resolve_dense()
+        execution = self.executor.execute(
+            plan,
+            request.matrix,
+            dense,
+            store=store,
+            request=request,
+            enforce_ladder=enforce_ladder,
+        )
+        record = RunRecord.from_execution(execution)
+        return RunOutcome(
+            record=record,
+            execution=execution,
+            plan=execution.plan,
+            cache_hit=cache_hit,
+        )
+
+    def degraded_run(
+        self,
+        request: SpmmRequest,
+        health,
+        *,
+        offline_available: bool = True,
+    ) -> RunOutcome:
+        """Run under engine faults: re-plan with constrained capabilities."""
+        capabilities = Capabilities.from_health(
+            health, offline_available=offline_available
+        )
+        return self.run(request, capabilities=capabilities, enforce_ladder=True)
+
+    def run_all_variants(self, request: SpmmRequest) -> dict:
+        """Every Fig. 16 series for one request, sharing one format store.
+
+        Conversions go through the same cached :class:`FormatStore` the
+        planned run uses, so a later :meth:`run` on this request is a hit.
+        """
+        from ..kernels.hybrid import run_all_variants as _run_all
+
+        _, store, _ = self.plan(request)
+        dense = request.resolve_dense()
+        return _run_all(
+            request.matrix,
+            dense,
+            self.config,
+            tile_width=request.tile_width,
+            store=store,
+        )

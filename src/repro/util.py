@@ -124,6 +124,31 @@ def human_bytes(n: float) -> str:
     raise AssertionError("unreachable")
 
 
+def to_plain(obj):
+    """Recursively coerce numpy scalars/arrays (and tuples) to plain Python.
+
+    The canonical-JSON path (run records, campaign reports) must not depend
+    on which numeric library produced a value, so everything JSON touches
+    funnels through here first.
+    """
+    if isinstance(obj, dict):
+        return {k: to_plain(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_plain(v) for v in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return [to_plain(v) for v in obj.tolist()]
+    return obj
+
+
+def canonical_json(obj) -> str:
+    """Byte-reproducible JSON: plain types, sorted keys, fixed indent."""
+    import json
+
+    return json.dumps(to_plain(obj), sort_keys=True, indent=2)
+
+
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean of positive values (speedup aggregation in Fig. 16)."""
     arr = np.asarray(list(values), dtype=np.float64)

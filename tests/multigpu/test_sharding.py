@@ -1,0 +1,90 @@
+"""Sharded execution through the runtime: plan reuse and output assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import GV100
+from repro.kernels import random_dense_operand, scipy_spmm
+from repro.matrices import block_diagonal, uniform_random
+from repro.multigpu import plan_multi_gpu, run_sharded
+from repro.runtime import SpmmRequest, SpmmRuntime
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return block_diagonal(1024, 1024, 2e-2, block_size=64, seed=5)
+
+
+def _mg_plan(matrix, dense_cols, n_gpus):
+    return plan_multi_gpu(
+        matrix.n_rows, dense_cols, a_bytes=1e6, n_gpus=n_gpus
+    )
+
+
+class TestRunSharded:
+    def test_output_matches_unsharded(self, skewed):
+        k = 48
+        dense = random_dense_operand(skewed.n_cols, k, seed=1)
+        sharded = run_sharded(skewed, dense, GV100, _mg_plan(skewed, k, 3))
+        np.testing.assert_allclose(
+            sharded.output, scipy_spmm(skewed, dense), rtol=1e-4, atol=1e-4
+        )
+        assert sharded.output.shape == (skewed.n_rows, k)
+
+    def test_shards_inherit_parent_plan(self, skewed):
+        k = 32
+        dense = random_dense_operand(skewed.n_cols, k, seed=1)
+        sharded = run_sharded(skewed, dense, GV100, _mg_plan(skewed, k, 4))
+        parent = sharded.parent_plan
+        assert parent.algorithm == "online_tiled_dcsr"
+        for shard in sharded.shards:
+            assert shard.plan.algorithm == parent.algorithm
+            assert shard.plan.engine_placement == parent.engine_placement
+            assert shard.plan.provenance["ssf"] == parent.provenance["ssf"]
+            assert shard.plan.provenance["shard"]["gpu_id"] == shard.item.gpu_id
+            assert shard.record.plan["provenance"]["shard"]["col_start"] == (
+                shard.item.col_start
+            )
+
+    def test_shards_share_one_conversion(self, skewed):
+        k = 32
+        dense = random_dense_operand(skewed.n_cols, k, seed=1)
+        runtime = SpmmRuntime(GV100)
+        run_sharded(skewed, dense, GV100, _mg_plan(skewed, k, 4), runtime=runtime)
+        _, store, hit = runtime.plan(SpmmRequest(skewed, dense=dense))
+        assert hit
+        # Four shards, one engine conversion artifact: A was converted once.
+        conversions = [k_ for k_ in store.artifacts if k_[0] == "online_conversion"]
+        assert len(conversions) == 1
+
+    def test_makespan_is_slowest_shard(self, skewed):
+        k = 32
+        dense = random_dense_operand(skewed.n_cols, k, seed=1)
+        sharded = run_sharded(skewed, dense, GV100, _mg_plan(skewed, k, 4))
+        assert sharded.makespan_s == max(s.time_s for s in sharded.shards)
+        assert sharded.total_gpu_time_s >= sharded.makespan_s
+
+    def test_c_stationary_matrix_shards_too(self):
+        m = uniform_random(256, 256, 1e-3, seed=5)
+        k = 16
+        dense = random_dense_operand(m.n_cols, k, seed=2)
+        sharded = run_sharded(m, dense, GV100, _mg_plan(m, k, 2))
+        assert sharded.parent_plan.algorithm == "c_stationary_best"
+        np.testing.assert_allclose(
+            sharded.output, scipy_spmm(m, dense), rtol=1e-4, atol=1e-4
+        )
+
+    def test_mismatched_dense_rejected(self, skewed):
+        dense = random_dense_operand(skewed.n_cols, 16, seed=1)
+        with pytest.raises(ConfigError):
+            run_sharded(skewed, dense, GV100, _mg_plan(skewed, 32, 2))
+
+    def test_records_serialize(self, skewed):
+        k = 32
+        dense = random_dense_operand(skewed.n_cols, k, seed=1)
+        sharded = run_sharded(skewed, dense, GV100, _mg_plan(skewed, k, 2))
+        records = sharded.records()
+        assert len(records) == 2
+        for r in records:
+            assert r["plan"]["provenance"]["shard"]["parent_dense_cols"] == k

@@ -1,0 +1,77 @@
+"""Round-trip tests for the satellite serialization surface.
+
+KernelResult / TimingResult / StallBreakdown / RunRecord all gained
+``to_json``/``from_json``; every one must reconstruct losslessly.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, to_format
+from repro.gpu import GV100, time_kernel
+from repro.gpu.counters import KernelResult, StallBreakdown
+from repro.gpu.timing import TimingResult
+from repro.kernels import csr_spmm, random_dense_operand
+
+
+@st.composite
+def small_matrices(draw):
+    n_rows = draw(st.integers(min_value=2, max_value=40))
+    n_cols = draw(st.integers(min_value=2, max_value=40))
+    nnz = draw(st.integers(min_value=0, max_value=100))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    rows = rng.integers(0, n_rows, size=nnz)
+    cols = rng.integers(0, n_cols, size=nnz)
+    vals = rng.uniform(0.1, 1.0, size=nnz).astype(np.float32)
+    return COOMatrix((n_rows, n_cols), rows, cols, vals).deduplicate()
+
+
+def _run(coo, k=8):
+    b = random_dense_operand(coo.n_cols, k, seed=2)
+    return csr_spmm(to_format(coo, "csr"), b, GV100)
+
+
+class TestKernelResult:
+    @given(small_matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_lossless_round_trip(self, coo):
+        result = _run(coo)
+        clone = KernelResult.from_json(result.to_json())
+        # The output array is carried at full fidelity (base64), not as a
+        # digest: the clone must be bitwise equal.
+        np.testing.assert_array_equal(
+            np.asarray(clone.output), np.asarray(result.output)
+        )
+        assert np.asarray(clone.output).dtype == np.asarray(result.output).dtype
+        assert clone.traffic == result.traffic
+        assert clone.mix == result.mix
+        assert clone.flops == result.flops
+        assert clone.algorithm == result.algorithm
+        assert clone.extras == result.extras
+
+    def test_json_is_valid_and_stable(self):
+        coo = COOMatrix((4, 4), [0, 2], [1, 3], np.ones(2, dtype=np.float32))
+        result = _run(coo)
+        text = result.to_json()
+        json.loads(text)
+        assert KernelResult.from_json(text).to_json() == text
+
+
+class TestTimingResult:
+    def test_round_trip(self):
+        coo = COOMatrix((8, 8), [0, 3, 7], [1, 2, 5], np.ones(3, np.float32))
+        timing = time_kernel(_run(coo), GV100)
+        clone = TimingResult.from_json(timing.to_json())
+        assert clone == timing
+        assert clone.total_s == timing.total_s
+        assert clone.memory_bound == timing.memory_bound
+
+    def test_stall_breakdown_round_trip(self):
+        coo = COOMatrix((8, 8), [0, 3], [1, 5], np.ones(2, np.float32))
+        stall = time_kernel(_run(coo), GV100).stall_breakdown()
+        clone = StallBreakdown.from_json(stall.to_json())
+        assert clone == stall
+        clone.validate()

@@ -84,6 +84,69 @@ class TestSimulate:
         assert "TU116" in capsys.readouterr().out
 
 
+class TestRun:
+    def test_repeat_hits_plan_cache(self, capsys):
+        """Acceptance: same matrix twice → cache hit, identical digest."""
+        assert main(["run", "--generate", GEN, "--k", "32"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("run ")]
+        assert len(lines) == 2
+        assert "cache=miss" in lines[0]
+        assert "cache=hit" in lines[1]
+        digest = lines[0].split("digest=")[1]
+        assert lines[1].endswith(digest)
+        assert "1 hits" in out
+
+    def test_json_mode_emits_identical_records(self, capsys):
+        assert main(["run", "--generate", GEN, "--k", "32", "--json"]) == 0
+        out = capsys.readouterr().out
+        first, second = out.split("}\n{")
+        r1 = json.loads(first + "}")
+        r2 = json.loads("{" + second)
+        assert r1 == r2
+        assert r1["plan"]["algorithm"] in (
+            "c_stationary_best", "online_tiled_dcsr"
+        )
+
+    def test_batch_mode(self, tmp_path, capsys):
+        batch = tmp_path / "batch.txt"
+        batch.write_text(f"{GEN}\nuniform:128:128:0.05:2\n# comment\n")
+        assert main(
+            ["run", "--batch", str(batch), "--k", "16", "--repeat", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("cache=miss") == 2
+        assert "2 entries" in out
+
+    def test_record_out_file(self, tmp_path, capsys):
+        dest = tmp_path / "records.json"
+        assert main(
+            ["run", "--generate", GEN, "--k", "16", "--record-out", str(dest)]
+        ) == 0
+        records = json.loads(dest.read_text())
+        assert len(records) == 2
+        assert records[0] == records[1]
+
+    def test_empty_batch_rejected(self, tmp_path, capsys):
+        batch = tmp_path / "batch.txt"
+        batch.write_text("\n")
+        assert main(["run", "--batch", str(batch)]) == 2
+        assert "no matrices" in capsys.readouterr().err
+
+    def test_bad_repeat_rejected(self, capsys):
+        assert main(["run", "--generate", GEN, "--repeat", "0"]) == 2
+
+
+class TestSimulateJson:
+    def test_json_record(self, capsys):
+        assert main(
+            ["simulate", "--generate", GEN, "--k", "32", "--json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert {"plan", "traffic", "timing", "stall", "output"} <= set(record)
+        assert record["plan"]["provenance"]["ssf"] > 0
+
+
 class TestEngine:
     def test_gv100_report(self, capsys):
         assert main(["engine"]) == 0
