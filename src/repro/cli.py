@@ -10,8 +10,17 @@ Usage (``python -m repro <command> ...``):
 ``simulate``
     Run all SpMM algorithm variants on the simulated GPU and print the
     Fig. 16-style speedup row.
+``run``
+    Plan + execute through the runtime (plan cache, run records); with
+    ``--trace`` the run is traced and exported (``--trace-format``
+    jsonl/tree/chrome — see ``docs/OBSERVABILITY.md``).
+``report``
+    Render a saved RunRecord JSON file (single record or a ``--record-out``
+    bundle) as a human-readable report.
 ``engine``
     Report the near-memory engine's Section 5.3 numbers for a GPU preset.
+``faults``
+    Run a seeded fault-injection campaign and print the resilience report.
 
 Matrices come either from ``--mtx <file>`` or from a generator spec
 ``--generate family:n_rows:n_cols:density[:seed]``, e.g.
@@ -25,7 +34,7 @@ import sys
 
 import numpy as np
 
-from . import analysis, gpu, kernels, matrices
+from . import analysis, gpu, kernels, matrices, telemetry
 from .errors import ReproError
 from .formats import read_matrix_market, to_format
 from .util import human_bytes
@@ -67,6 +76,33 @@ def _load_matrix(args):
             ) from None
         return fn(rows_i, cols_i, density_f, seed=seed)
     raise ReproError("a matrix is required: --mtx <file> or --generate <spec>")
+
+
+def _atomic_write(path: str, payload: str, *, force: bool) -> None:
+    """Write ``payload`` to ``path`` via temp-file + rename.
+
+    Refuses to clobber an existing file unless ``force``; a crash mid-write
+    can never leave a truncated file at ``path``.
+    """
+    import os
+    import tempfile
+
+    if os.path.exists(path) and not force:
+        raise ReproError(f"{path} exists; pass --force to overwrite")
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix="." + os.path.basename(path) + "."
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _add_matrix_args(p: argparse.ArgumentParser) -> None:
@@ -135,7 +171,13 @@ def cmd_simulate(args) -> int:
     hybrid = outcome.execution.run
     b = request.resolve_dense()
     if args.json:
+        # stdout carries exactly one JSON document; every diagnostic —
+        # including the verification verdict — goes to stderr.
         print(outcome.record.to_json())
+        if not kernels.verify_against_reference(hybrid, m, b):
+            print("ERROR: numeric verification failed", file=sys.stderr)
+            return 1
+        print("numeric output verified against scipy.", file=sys.stderr)
         return 0
     base = variants["baseline_csr"].time_s
     print(f"simulated GPU: {config.name}; K = {k}; "
@@ -176,11 +218,18 @@ def _run_once(runtime, request, args, index, records):
 
 
 def cmd_run(args) -> int:
-    """Planner/executor front door: plan, cache, execute, record."""
+    """Planner/executor front door: plan, cache, execute, record, trace."""
     from .runtime import SpmmRequest, SpmmRuntime
 
     config = gpu.get_config(args.gpu)
-    runtime = SpmmRuntime(config, ssf_threshold=args.ssf_threshold)
+    tracer = None
+    if args.trace:
+        from .telemetry import Tracer
+
+        tracer = Tracer()
+    runtime = SpmmRuntime(
+        config, ssf_threshold=args.ssf_threshold, tracer=tracer
+    )
     if args.repeat < 1:
         raise ReproError("--repeat must be at least 1")
 
@@ -224,12 +273,91 @@ def cmd_run(args) -> int:
 
         payload = "[\n" + ",\n".join(r.to_json() for r in records) + "\n]\n"
         _json.loads(payload)  # sanity: the bundle must itself be valid JSON
-        with open(args.record_out, "w") as fh:
-            fh.write(payload)
+        _atomic_write(args.record_out, payload, force=args.force)
+    if args.trace:
+        from .telemetry import trace_payload
+
+        _atomic_write(
+            args.trace, trace_payload(tracer, args.trace_format),
+            force=args.force,
+        )
+        print(
+            f"trace ({args.trace_format}): {len(list(tracer.iter_spans()))} "
+            f"spans -> {args.trace}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
     if not args.json:
         stats = runtime.cache.stats
         print(f"plan cache: {stats['entries']} entries, "
               f"{stats['hits']} hits, {stats['misses']} misses")
+    return 0
+
+
+def _report_one(record, index: int, total: int) -> None:
+    """Print one RunRecord as a human-readable stanza."""
+    header = f"record {index}/{total}" if total > 1 else "record"
+    t = record.traffic
+    s = record.stall
+    print(f"{header}: {record.variant} ({record.algorithm})")
+    print(f"  plan:      {record.plan['algorithm']} "
+          f"a_format={record.plan['a_format']} "
+          f"stationarity={record.plan['stationarity']} "
+          f"gpu={record.plan['gpu']}")
+    prov = record.plan.get("provenance", {})
+    if "ssf" in prov:
+        print(f"  ssf:       {prov['ssf']:.6g} "
+              f"(threshold {prov['ssf_threshold']:g})")
+    print(f"  time:      {record.time_s * 1e6:.1f} us "
+          f"(mem {record.timing.t_mem_s * 1e6:.1f}, "
+          f"sm {record.timing.t_sm_s * 1e6:.1f}, "
+          f"other {record.timing.t_other_s * 1e6:.1f})")
+    print(f"  stall:     memory {s.memory:.1%}, sm {s.sm:.1%}, "
+          f"other {s.other:.1%}")
+    print(f"  traffic:   A {human_bytes(t.a_bytes)}, B {human_bytes(t.b_bytes)}, "
+          f"C {human_bytes(t.c_bytes)}, atomics {human_bytes(t.atomic_bytes)} "
+          f"(total {human_bytes(t.total_bytes)})")
+    print(f"  flops:     {record.flops:.4g}")
+    if record.degraded or record.reason:
+        print(f"  ladder:    degraded={record.degraded} "
+              f"reason={record.reason!r}")
+        for rung, cost in sorted(record.ladder_costs_s.items()):
+            print(f"             {rung}: {cost * 1e6:.1f} us")
+    summary = record.extras.get("trace_summary")
+    if summary:
+        print(f"  trace:     {summary['n_spans']} spans under "
+              f"{summary['root']!r}, {summary['duration_s'] * 1e6:.1f} us")
+        for name, agg in summary["by_name"].items():
+            print(f"             {name:<28s} x{agg['count']:<3d} "
+                  f"{agg['total_s'] * 1e6:10.1f} us")
+    print(f"  digest:    {record.digest()}")
+
+
+def cmd_report(args) -> int:
+    """Render saved RunRecord JSON (one record or a bundle) for humans."""
+    import json
+
+    from .runtime import RunRecord
+
+    try:
+        with open(args.record) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        raise ReproError(f"record file not found: {args.record}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{args.record} is not valid JSON: {exc}") from None
+    docs = data if isinstance(data, list) else [data]
+    if not docs:
+        raise ReproError(f"{args.record} contains no records")
+    try:
+        records = [RunRecord.from_dict(d) for d in docs]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(
+            f"{args.record} is not a RunRecord document: {exc}"
+        ) from None
+    for i, record in enumerate(records, start=1):
+        if i > 1:
+            print()
+        _report_one(record, i, len(records))
     return 0
 
 
@@ -380,7 +508,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--record-out", help="write all RunRecords to this JSON file"
     )
+    p.add_argument(
+        "--trace",
+        help="trace every run and write the result to this file",
+    )
+    p.add_argument(
+        "--trace-format",
+        choices=telemetry.TRACE_FORMATS,
+        default="jsonl",
+        help="trace export format (default: jsonl)",
+    )
+    p.add_argument(
+        "--force", action="store_true",
+        help="overwrite existing --record-out / --trace files",
+    )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "report",
+        help="render a saved RunRecord JSON file (single record or a "
+        "--record-out bundle) as a human-readable report",
+    )
+    p.add_argument("record", help="RunRecord JSON file to render")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("engine", help="Section 5.3 engine report")
     p.add_argument("--gpu", default="gv100", help="gv100 or tu116")

@@ -264,8 +264,21 @@ def convert_matrix_online(
     tile_width: int = 64,
     config: GPUConfig = GV100,
     stepwise: bool = False,
+    tracer=None,
 ) -> OnlineConversion:
-    """Convert every strip through its FB partition's engine."""
+    """Convert every strip through its FB partition's engine.
+
+    With a real ``tracer`` the conversion is fully attributed: one
+    ``engine.convert`` span wrapping a per-strip ``engine.strip`` span
+    (comparator steps, elements, refills, FB partition) plus an
+    ``engine.pipeline`` span whose children are the Section 5.3 pipeline
+    stages with their modeled latencies; the metrics registry accumulates
+    per-strip comparator-step and idle-cycle aggregates.
+    """
+    from ..telemetry import NULL_TRACER
+    from .pipeline import DEFAULT_STAGE_LATENCIES_NS
+
+    tracer = NULL_TRACER if tracer is None else tracer
     total_strips = count_strips(csc.n_cols, tile_width)
     strips = []
     stats = ConversionStats()
@@ -273,18 +286,61 @@ def convert_matrix_online(
     dram = 0.0
     xbar = 0.0
     vbytes = int(np.dtype(csc.value_dtype).itemsize)
-    for sid in range(total_strips):
-        start = sid * tile_width
-        end = min(start + tile_width, csc.n_cols)
-        ptr, rows, vals = csc.strip_slice(start, end)
-        convert = convert_strip_stepwise if stepwise else convert_strip_fast
-        dcsr, s = convert(ptr, rows, vals, csc.n_rows)
-        strips.append(dcsr)
-        stats.add(s)
-        part = strip_partition_naive(sid, config.mem_channels)
-        per_part[part] += s.steps
-        dram += engine_input_bytes(s, end - start, value_bytes=vbytes)
-        xbar += engine_output_bytes(s, value_bytes=vbytes)
+    with tracer.span(
+        "engine.convert", n_strips=total_strips, tile_width=tile_width
+    ) as conv_span:
+        for sid in range(total_strips):
+            start = sid * tile_width
+            end = min(start + tile_width, csc.n_cols)
+            part = strip_partition_naive(sid, config.mem_channels)
+            with tracer.span("engine.strip") as strip_span:
+                ptr, rows, vals = csc.strip_slice(start, end)
+                convert = convert_strip_stepwise if stepwise else convert_strip_fast
+                dcsr, s = convert(ptr, rows, vals, csc.n_rows)
+                if strip_span.enabled:
+                    strip_span.set_attributes(
+                        strip_id=sid,
+                        partition=int(part),
+                        steps=s.steps,
+                        elements=s.elements,
+                        refills=s.refill_requests,
+                    )
+                    tracer.metrics.histogram("engine.strip_steps").observe(
+                        s.steps
+                    )
+            strips.append(dcsr)
+            stats.add(s)
+            per_part[part] += s.steps
+            dram += engine_input_bytes(s, end - start, value_bytes=vbytes)
+            xbar += engine_output_bytes(s, value_bytes=vbytes)
+        report = pipeline_report(config, n_lanes=tile_width)
+        if conv_span.enabled:
+            # The modeled pipeline: one child span per stage, latencies as
+            # attributes (these are design numbers, not wall time).
+            with tracer.span(
+                "engine.pipeline",
+                n_stages=report.n_stages,
+                cycle_time_ns=report.cycle_time_ns,
+            ):
+                for stage, latency_ns in DEFAULT_STAGE_LATENCIES_NS.items():
+                    with tracer.span(f"engine.stage:{stage}") as st:
+                        st.set_attributes(
+                            latency_ns=latency_ns,
+                            critical=latency_ns == report.cycle_time_ns,
+                        )
+            busiest = int(per_part.max()) if per_part.size else 0
+            idle = float(busiest * per_part.size - int(per_part.sum()))
+            conv_span.set_attributes(
+                steps=stats.steps,
+                elements=stats.elements,
+                dram_bytes=dram,
+                xbar_bytes=xbar,
+            )
+            tracer.metrics.counter("engine.steps").inc(stats.steps)
+            tracer.metrics.counter("engine.idle_cycles").inc(idle)
+            tracer.metrics.counter("engine.refill_requests").inc(
+                stats.refill_requests
+            )
     tiled = TiledDCSR(csc.shape, strips, tile_width)
     return OnlineConversion(
         tiled=tiled,
@@ -292,5 +348,5 @@ def convert_matrix_online(
         xbar_bytes=xbar,
         stats=stats,
         per_partition_steps=per_part,
-        pipeline=pipeline_report(config, n_lanes=tile_width),
+        pipeline=report,
     )

@@ -97,8 +97,19 @@ class FormatStore:
         self._formats: dict[str, object] = {}
         self.artifacts: dict = {}
 
-    def get(self, target: str):
-        """The matrix in ``target`` format, converting on first request."""
+    def get(self, target: str, *, tracer=None):
+        """The matrix in ``target`` format, converting on first request.
+
+        Pass a :class:`~repro.telemetry.Tracer` to time the conversion: a
+        cached container reports a ``convert:<fmt>`` span with
+        ``cached=True`` and near-zero duration, a first request times the
+        actual offline conversion work.
+        """
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                f"convert:{target}", cached=target in self._formats
+            ):
+                return self.get(target)
         if target not in self._formats:
             self._formats[target] = to_format(self.matrix, target)
         return self._formats[target]

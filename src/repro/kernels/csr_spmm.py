@@ -31,10 +31,12 @@ from .common import (
     llc_bytes,
     n_b_column_groups,
     prepare_spmm,
+    traced_kernel,
     unique_index_count,
 )
 
 
+@traced_kernel
 def csr_spmm(
     csr: CSRMatrix, dense: np.ndarray, config: GPUConfig
 ) -> KernelResult:

@@ -26,10 +26,12 @@ from .common import (
     llc_bytes,
     n_b_column_groups,
     prepare_spmm,
+    traced_kernel,
     unique_index_count,
 )
 
 
+@traced_kernel
 def dcsr_spmm(
     dcsr: DCSRMatrix, dense: np.ndarray, config: GPUConfig
 ) -> KernelResult:

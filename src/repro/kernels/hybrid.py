@@ -49,16 +49,27 @@ class VariantRun:
 
 
 def run_c_stationary_best(
-    matrix, dense, config: GPUConfig, *, store: FormatStore | None = None
+    matrix,
+    dense,
+    config: GPUConfig,
+    *,
+    store: FormatStore | None = None,
+    tracer=None,
 ) -> VariantRun:
     """Better of untiled CSR and untiled DCSR (the paper plots their max)."""
     store = store if store is not None else FormatStore(matrix)
-    csr = store.get("csr")
-    dcsr = store.get("dcsr")
+    csr = store.get("csr", tracer=tracer)
+    dcsr = store.get("dcsr", tracer=tracer)
     runs = [
-        VariantRun("csr", (r := csr_spmm(csr, dense, config)), time_kernel(r, config)),
         VariantRun(
-            "dcsr", (r := dcsr_spmm(dcsr, dense, config)), time_kernel(r, config)
+            "csr",
+            (r := csr_spmm(csr, dense, config, tracer=tracer)),
+            time_kernel(r, config),
+        ),
+        VariantRun(
+            "dcsr",
+            (r := dcsr_spmm(dcsr, dense, config, tracer=tracer)),
+            time_kernel(r, config),
         ),
     ]
     return min(runs, key=lambda v: v.time_s)
@@ -71,6 +82,7 @@ def run_online_tiled(
     *,
     tile_width: int = 64,
     store: FormatStore | None = None,
+    tracer=None,
 ) -> VariantRun:
     """B-stationary on engine-converted tiled DCSR (CSC in memory)."""
     from ..engine.api import convert_matrix_online
@@ -79,14 +91,17 @@ def run_online_tiled(
     key = ("online_conversion", tile_width, config.name)
     online = store.artifacts.get(key)
     if online is None:
-        csc = store.get("csc")
-        online = convert_matrix_online(csc, tile_width=tile_width, config=config)
+        csc = store.get("csc", tracer=tracer)
+        online = convert_matrix_online(
+            csc, tile_width=tile_width, config=config, tracer=tracer
+        )
         store.artifacts[key] = online
     result = b_stationary_spmm(
         online.tiled,
         dense,
         config,
         a_stream_bytes=online.dram_bytes,
+        tracer=tracer,
     )
     result.extras["conversion"] = online.stats_summary()
     return VariantRun("online_tiled_dcsr", result, time_kernel(result, config))
@@ -100,6 +115,7 @@ def run_offline_tiled(
     tile_width: int = 64,
     densify: bool = True,
     store: FormatStore | None = None,
+    tracer=None,
 ) -> VariantRun:
     """B-stationary on an offline-materialized tiled container.
 
@@ -108,8 +124,8 @@ def run_offline_tiled(
     """
     store = store if store is not None else FormatStore(matrix)
     target = "tiled_dcsr" if densify else "tiled_csr"
-    tiled = store.get(target)
-    result = b_stationary_spmm(tiled, dense, config)
+    tiled = store.get(target, tracer=tracer)
+    result = b_stationary_spmm(tiled, dense, config, tracer=tracer)
     name = "offline_tiled_dcsr" if densify else "offline_tiled_csr"
     return VariantRun(name, result, time_kernel(result, config))
 
@@ -121,6 +137,7 @@ def hybrid_spmm(
     *,
     ssf_threshold: float = SSF_TH_DEFAULT,
     tile_width: int = 64,
+    tracer=None,
 ) -> VariantRun:
     """The full system: SSF-routed choice between the two paths.
 
@@ -131,7 +148,7 @@ def hybrid_spmm(
     from ..runtime import SpmmRuntime
     from ..runtime.plan import SpmmRequest
 
-    runtime = SpmmRuntime(config, ssf_threshold=ssf_threshold)
+    runtime = SpmmRuntime(config, ssf_threshold=ssf_threshold, tracer=tracer)
     request = SpmmRequest(matrix, dense=dense, tile_width=tile_width)
     return runtime.run(request).execution.run
 
@@ -143,22 +160,27 @@ def run_all_variants(
     *,
     tile_width: int = 64,
     store: FormatStore | None = None,
+    tracer=None,
 ) -> dict[str, VariantRun]:
     """Every series Fig. 16 plots, keyed by variant name."""
     store = store if store is not None else FormatStore(matrix)
-    best_c = run_c_stationary_best(matrix, dense, config, store=store)
+    best_c = run_c_stationary_best(
+        matrix, dense, config, store=store, tracer=tracer
+    )
     out = {
         "baseline_csr": VariantRun(
             "baseline_csr",
-            (r := csr_spmm(store.get("csr"), dense, config)),
+            (r := csr_spmm(store.get("csr"), dense, config, tracer=tracer)),
             time_kernel(r, config),
         ),
         "c_stationary_best": best_c,
         "online_tiled_dcsr": run_online_tiled(
-            matrix, dense, config, tile_width=tile_width, store=store
+            matrix, dense, config, tile_width=tile_width, store=store,
+            tracer=tracer,
         ),
         "offline_tiled_dcsr": run_offline_tiled(
-            matrix, dense, config, tile_width=tile_width, store=store
+            matrix, dense, config, tile_width=tile_width, store=store,
+            tracer=tracer,
         ),
     }
     return out

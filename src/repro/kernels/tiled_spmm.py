@@ -35,6 +35,7 @@ from .common import (
     llc_bytes,
     n_b_column_groups,
     prepare_spmm,
+    traced_kernel,
     unique_index_count,
 )
 from .traversal import traversal_effects
@@ -64,6 +65,7 @@ def _strip_profiles(tiled) -> list[dict]:
     return profiles
 
 
+@traced_kernel
 def b_stationary_spmm(
     tiled,
     dense: np.ndarray,
@@ -170,6 +172,7 @@ def b_stationary_spmm(
     )
 
 
+@traced_kernel
 def a_stationary_spmm(
     tiled, dense: np.ndarray, config: GPUConfig
 ) -> KernelResult:

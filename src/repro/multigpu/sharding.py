@@ -19,6 +19,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..gpu.config import GPUConfig
 from ..runtime import RunRecord, SpmmPlan, SpmmRequest, SpmmRuntime
+from ..telemetry import NULL_TRACER
 from .partition import GPUWorkItem, MultiGPUPlan
 
 
@@ -70,12 +71,17 @@ def run_sharded(
     *,
     runtime: SpmmRuntime | None = None,
     tile_width: int = 64,
+    tracer=NULL_TRACER,
 ) -> ShardedRun:
     """Run one SpMM split across the GPUs of ``mg_plan``.
 
     Plans once for the parent problem (hitting the runtime's plan cache on
     repeats), derives a narrowed plan per :class:`GPUWorkItem`, and runs
     every shard against the shared format store.
+
+    With a real ``tracer`` the fan-out is one ``sharded_run`` span with a
+    ``shard`` child per GPU (gpu id, column span, shard time) — the
+    multi-GPU analog of the paper's per-GPU makespan accounting.
     """
     if dense.shape[1] != mg_plan.dense_cols:
         raise ConfigError(
@@ -84,25 +90,40 @@ def run_sharded(
         )
     runtime = runtime if runtime is not None else SpmmRuntime(config)
     request = SpmmRequest(matrix, dense=dense, tile_width=tile_width)
-    parent_plan, store, cache_hit = runtime.plan(request)
-
-    shards = []
-    for item in mg_plan.items:
-        shard_plan = parent_plan.derive_shard(
-            item.gpu_id, item.col_start, item.col_end
-        )
-        shard_dense = dense[:, item.col_start : item.col_end]
-        execution = runtime.executor.execute(
-            shard_plan, matrix, shard_dense, store=store
-        )
-        shards.append(
-            ShardRun(
-                item=item,
-                plan=execution.plan,
-                record=RunRecord.from_execution(execution),
-                output=np.asarray(execution.run.result.output),
+    with tracer.span("sharded_run", n_gpus=len(mg_plan.items)) as fan_span:
+        parent_plan, store, cache_hit = runtime.plan(request, tracer=tracer)
+        if fan_span.enabled:
+            fan_span.set_attributes(
+                algorithm=parent_plan.algorithm, cache_hit=cache_hit
             )
-        )
+
+        shards = []
+        for item in mg_plan.items:
+            shard_plan = parent_plan.derive_shard(
+                item.gpu_id, item.col_start, item.col_end
+            )
+            shard_dense = dense[:, item.col_start : item.col_end]
+            with tracer.span("shard") as shard_span:
+                execution = runtime.executor.execute(
+                    shard_plan, matrix, shard_dense, store=store, tracer=tracer
+                )
+                shard = ShardRun(
+                    item=item,
+                    plan=execution.plan,
+                    record=RunRecord.from_execution(execution),
+                    output=np.asarray(execution.run.result.output),
+                )
+                if shard_span.enabled:
+                    shard_span.set_attributes(
+                        gpu_id=item.gpu_id,
+                        col_start=item.col_start,
+                        col_end=item.col_end,
+                        modeled_time_s=float(shard.time_s),
+                    )
+                    tracer.metrics.histogram("shard.time_s").observe(
+                        float(shard.time_s)
+                    )
+            shards.append(shard)
     return ShardedRun(
         parent_plan=parent_plan, shards=tuple(shards), cache_hit=cache_hit
     )

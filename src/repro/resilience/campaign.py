@@ -51,6 +51,7 @@ from ..gpu.config import GPUConfig
 from ..kernels.hybrid import EngineHealth
 from ..kernels.reference import random_dense_operand, scipy_spmm
 from ..kernels.tiled_spmm import b_stationary_spmm
+from ..telemetry import NULL_TRACER
 from ..util import ceil_div, to_plain
 from .faults import (
     DROPPED_RESPONSE,
@@ -389,8 +390,47 @@ def _simulate_timing(tile_steps, assignment, plan, cfg, config, strips):
 
 
 # ------------------------------------------------------------------ driver
-def run_campaign(matrix, config: GPUConfig, campaign: CampaignConfig) -> CampaignReport:
-    """Run one seeded fault campaign; see the module docstring."""
+def run_campaign(
+    matrix,
+    config: GPUConfig,
+    campaign: CampaignConfig,
+    *,
+    tracer=NULL_TRACER,
+) -> CampaignReport:
+    """Run one seeded fault campaign; see the module docstring.
+
+    With a real ``tracer`` the campaign is one ``campaign`` span whose
+    children are the functional conversion pass, the timing pass, and the
+    traced :meth:`~repro.runtime.SpmmRuntime.degraded_run`; recovery
+    counters (``resilience.retries`` etc.) land in ``tracer.metrics``.
+    """
+    with tracer.span(
+        "campaign", seed=campaign.seed, n_units=campaign.n_units
+    ) as campaign_span:
+        report = _run_campaign(matrix, config, campaign, tracer)
+        if campaign_span.enabled:
+            campaign_span.set_attributes(
+                detected=report.detection["detected"],
+                undetected=report.detection["undetected"],
+                degraded_path=report.degradation["path"],
+            )
+            m = tracer.metrics
+            m.counter("resilience.retries").inc(report.recovery["retries"])
+            m.counter("resilience.failovers").inc(report.recovery["failovers"])
+            m.counter("resilience.stream_rereads").inc(
+                report.recovery["stream_rereads"]
+            )
+            m.counter("resilience.deadline_misses").inc(
+                report.timing["faulted"]["deadline_misses"]
+            )
+            m.counter("resilience.failed_requests").inc(
+                report.timing["faulted"]["failed_requests"]
+            )
+    return report
+
+
+def _run_campaign(matrix, config, campaign, tracer) -> CampaignReport:
+    """The campaign driver behind :func:`run_campaign`."""
     csc = to_format(matrix, "csc")
     n_strip = count_strips(csc.n_cols, campaign.tile_width)
     tiles_per_strip = ceil_div(csc.n_rows, campaign.tile_height) if csc.n_rows else 0
@@ -423,9 +463,10 @@ def run_campaign(matrix, config: GPUConfig, campaign: CampaignConfig) -> Campaig
         plan, golden_crc=golden, check=campaign.integrity != "off"
     )
 
-    strips, tile_steps, assignment, events = _convert_with_faults(
-        csc, plan, injector, campaign
-    )
+    with tracer.span("campaign.convert", n_strips=n_strip):
+        strips, tile_steps, assignment, events = _convert_with_faults(
+            csc, plan, injector, campaign
+        )
     tiled = TiledDCSR(csc.shape, strips, campaign.tile_width)
 
     # ---- numeric verification against the dense reference, under faults
@@ -439,7 +480,10 @@ def run_campaign(matrix, config: GPUConfig, campaign: CampaignConfig) -> Campaig
             "undetected faults on record — the accounting is broken"
         )
 
-    timing = _simulate_timing(tile_steps, assignment, plan, campaign, config, strips)
+    with tracer.span("campaign.timing"):
+        timing = _simulate_timing(
+            tile_steps, assignment, plan, campaign, config, strips
+        )
 
     # ---- graceful degradation for the surviving capacity: re-plan with
     # constrained capabilities through the planner/executor runtime
@@ -454,7 +498,7 @@ def run_campaign(matrix, config: GPUConfig, campaign: CampaignConfig) -> Campaig
         n_failed=n_failed,
         mean_slowdown=float(np.mean(slowdowns)) if survivors else 1.0,
     )
-    outcome = SpmmRuntime(config).degraded_run(
+    outcome = SpmmRuntime(config, tracer=tracer).degraded_run(
         SpmmRequest(matrix, dense=dense, tile_width=campaign.tile_width), health
     )
     execution = outcome.execution

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..formats.convert import FormatStore
 from ..gpu.config import GPUConfig
+from ..telemetry import NULL_TRACER, span_summary
 from .cache import CacheEntry, PlanCache, matrix_fingerprint
 from .executor import ExecutionResult, Executor
 from .plan import (
@@ -82,11 +83,14 @@ class SpmmRuntime:
         *,
         ssf_threshold: float | None = None,
         cache: PlanCache | None = None,
+        tracer=None,
     ):
         self.config = config
         self.planner = Planner(config, ssf_threshold)
         self.executor = Executor(config, planner=self.planner)
         self.cache = cache if cache is not None else PlanCache()
+        #: telemetry sink for every run; NULL_TRACER = disabled, zero cost
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------ planning
     def _effective_threshold(self, request: SpmmRequest) -> float:
@@ -100,19 +104,34 @@ class SpmmRuntime:
         self,
         request: SpmmRequest,
         capabilities: Capabilities = FULL_CAPABILITIES,
+        *,
+        tracer=None,
     ) -> tuple[SpmmPlan, FormatStore, bool]:
         """Plan ``request``, consulting the cache first.
 
         Returns ``(plan, store, cache_hit)``; the store carries every
         format/engine conversion already materialized for this key.
         """
+        tracer = self.tracer if tracer is None else tracer
         key = PlanCache.key_for(
             request, self.config, capabilities, self._effective_threshold(request)
         )
-        entry = self.cache.lookup(key)
+        with tracer.span("cache_lookup") as span:
+            entry = self.cache.lookup(key)
+            if span.enabled:
+                span.set_attribute("hit", entry is not None)
+                stats = self.cache.stats
+                tracer.metrics.counter(
+                    "plan_cache.hits" if entry is not None else
+                    "plan_cache.misses"
+                ).inc()
+                total = stats["hits"] + stats["misses"]
+                tracer.metrics.gauge("plan_cache.hit_ratio").set(
+                    stats["hits"] / total if total else 0.0
+                )
         if entry is not None:
             return entry.plan, entry.store, True
-        plan = self.planner.plan(request, capabilities)
+        plan = self.planner.plan(request, capabilities, tracer=tracer)
         store = FormatStore(request.matrix)
         self.cache.insert(key, CacheEntry(plan=plan, store=store))
         return plan, store, False
@@ -124,19 +143,43 @@ class SpmmRuntime:
         *,
         capabilities: Capabilities = FULL_CAPABILITIES,
         enforce_ladder: bool = False,
+        tracer=None,
     ) -> RunOutcome:
-        """Plan (or reuse a cached plan) and execute one request."""
-        plan, store, cache_hit = self.plan(request, capabilities)
-        dense = request.resolve_dense()
-        execution = self.executor.execute(
-            plan,
-            request.matrix,
-            dense,
-            store=store,
-            request=request,
-            enforce_ladder=enforce_ladder,
-        )
-        record = RunRecord.from_execution(execution)
+        """Plan (or reuse a cached plan) and execute one request.
+
+        When tracing is enabled (constructor ``tracer=`` or the per-call
+        override here), the whole run sits under one ``run`` root span —
+        cache lookup, planning, dense-operand resolution, and execution as
+        children — and its :func:`~repro.telemetry.span_summary` lands in
+        ``record.extras["trace_summary"]``.  With tracing off the record
+        is bit-identical to one produced without telemetry.
+        """
+        tracer = self.tracer if tracer is None else tracer
+        with tracer.span("run") as root:
+            plan, store, cache_hit = self.plan(
+                request, capabilities, tracer=tracer
+            )
+            if root.enabled:
+                root.set_attributes(
+                    algorithm=plan.algorithm,
+                    cache_hit=cache_hit,
+                    dense_cols=request.dense_cols,
+                    gpu=self.config.name,
+                )
+            with tracer.span("resolve_dense"):
+                dense = request.resolve_dense()
+            execution = self.executor.execute(
+                plan,
+                request.matrix,
+                dense,
+                store=store,
+                request=request,
+                enforce_ladder=enforce_ladder,
+                tracer=tracer,
+            )
+            record = RunRecord.from_execution(execution)
+        if tracer.enabled:
+            record.extras["trace_summary"] = span_summary(root)
         return RunOutcome(
             record=record,
             execution=execution,
@@ -150,14 +193,20 @@ class SpmmRuntime:
         health,
         *,
         offline_available: bool = True,
+        tracer=None,
     ) -> RunOutcome:
         """Run under engine faults: re-plan with constrained capabilities."""
         capabilities = Capabilities.from_health(
             health, offline_available=offline_available
         )
-        return self.run(request, capabilities=capabilities, enforce_ladder=True)
+        return self.run(
+            request,
+            capabilities=capabilities,
+            enforce_ladder=True,
+            tracer=tracer,
+        )
 
-    def run_all_variants(self, request: SpmmRequest) -> dict:
+    def run_all_variants(self, request: SpmmRequest, *, tracer=None) -> dict:
         """Every Fig. 16 series for one request, sharing one format store.
 
         Conversions go through the same cached :class:`FormatStore` the
@@ -165,7 +214,8 @@ class SpmmRuntime:
         """
         from ..kernels.hybrid import run_all_variants as _run_all
 
-        _, store, _ = self.plan(request)
+        tracer = self.tracer if tracer is None else tracer
+        _, store, _ = self.plan(request, tracer=tracer)
         dense = request.resolve_dense()
         return _run_all(
             request.matrix,
@@ -173,4 +223,5 @@ class SpmmRuntime:
             self.config,
             tile_width=request.tile_width,
             store=store,
+            tracer=tracer,
         )

@@ -89,6 +89,11 @@ class PlanCache:
         )
 
     def lookup(self, key: tuple) -> CacheEntry | None:
+        """Return the entry for ``key`` (refreshing recency) or ``None``.
+
+        Every call counts toward :attr:`hits` / :attr:`misses`; a hit also
+        bumps the entry's own ``hits`` counter.
+        """
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -99,6 +104,7 @@ class PlanCache:
         return entry
 
     def insert(self, key: tuple, entry: CacheEntry) -> None:
+        """Store ``entry`` under ``key``, evicting LRU entries over the bound."""
         self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
@@ -109,6 +115,7 @@ class PlanCache:
 
     @property
     def stats(self) -> dict:
+        """Current entry count plus lifetime hit/miss totals."""
         return {
             "entries": len(self._entries),
             "hits": int(self.hits),

@@ -6,6 +6,12 @@ hits and shards reuse conversions), dispatches to the simulated kernels,
 and — when asked to enforce the degradation ladder — demotes an online
 plan whose conversion the degraded engine can no longer hide by asking the
 planner to re-plan with online ruled out (Section 5.3 made failure-aware).
+
+Every entry point takes ``tracer=NULL_TRACER``: with a real tracer the
+dispatch runs inside an ``execute`` span whose children are the format
+conversions, engine pipeline, and ``kernel:*`` spans of the path taken
+(see ``docs/OBSERVABILITY.md``); with the default null tracer nothing is
+recorded and results are bit-identical.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..formats.convert import FormatStore
 from ..gpu.config import GPUConfig
+from ..telemetry import NULL_TRACER
 from .plan import SpmmPlan
 
 #: reasons reported for each ladder outcome (kept stable for reports/tests)
@@ -60,6 +67,7 @@ class Executor:
         store: FormatStore | None = None,
         request=None,
         enforce_ladder: bool = False,
+        tracer=NULL_TRACER,
     ) -> ExecutionResult:
         """Run ``plan`` over ``(matrix, dense)``.
 
@@ -69,6 +77,43 @@ class Executor:
         constrained capabilities and walks down.  ``request`` is needed for
         that re-planning step.
         """
+        with tracer.span("execute", algorithm=plan.algorithm) as span:
+            result = self._dispatch(
+                plan,
+                matrix,
+                dense,
+                store=store,
+                request=request,
+                enforce_ladder=enforce_ladder,
+                tracer=tracer,
+            )
+            if span.enabled:
+                run = result.run
+                span.set_attributes(
+                    variant=run.name,
+                    time_s=float(run.time_s),
+                    memory_bound=bool(run.timing.memory_bound),
+                    degraded=result.degraded,
+                )
+                stall = run.timing.stall_breakdown()
+                span.set_attribute("stall", stall.to_dict())
+                tracer.metrics.histogram("kernel.time_s").observe(
+                    float(run.time_s)
+                )
+        return result
+
+    def _dispatch(
+        self,
+        plan: SpmmPlan,
+        matrix,
+        dense: np.ndarray,
+        *,
+        store: FormatStore | None,
+        request,
+        enforce_ladder: bool,
+        tracer,
+    ) -> ExecutionResult:
+        """The per-algorithm dispatch behind :meth:`execute`."""
         from ..kernels.hybrid import (
             run_c_stationary_best,
             run_offline_tiled,
@@ -80,7 +125,9 @@ class Executor:
         ladder: dict[str, float] = {}
 
         if plan.algorithm == "c_stationary_best":
-            run = run_c_stationary_best(matrix, dense, self.config, store=store)
+            run = run_c_stationary_best(
+                matrix, dense, self.config, store=store, tracer=tracer
+            )
             result = ExecutionResult(
                 run=run,
                 plan=plan,
@@ -91,7 +138,12 @@ class Executor:
             )
         elif plan.algorithm == "online_tiled_dcsr":
             run = run_online_tiled(
-                matrix, dense, self.config, tile_width=plan.tile_width, store=store
+                matrix,
+                dense,
+                self.config,
+                tile_width=plan.tile_width,
+                store=store,
+                tracer=tracer,
             )
             capacity = plan.capabilities.engine_capacity
             if enforce_ladder:
@@ -101,8 +153,16 @@ class Executor:
                 ladder["online_tiled_dcsr"] = run.time_s + max(
                     0.0, degraded_conv_s - run.time_s
                 )
+                if tracer.enabled:
+                    tracer.metrics.gauge("engine.capacity").set(capacity)
+                    tracer.metrics.gauge("engine.exposed_conversion_s").set(
+                        max(0.0, degraded_conv_s - run.time_s)
+                    )
                 if degraded_conv_s > run.time_s:
-                    return self._demote(plan, matrix, dense, store, request, ladder)
+                    return self._demote(
+                        plan, matrix, dense, store, request, ladder,
+                        tracer=tracer,
+                    )
                 reason = f"conversion still hidden at {capacity:.2f} capacity"
             else:
                 reason = ""
@@ -116,7 +176,12 @@ class Executor:
             )
         elif plan.algorithm == "offline_tiled_dcsr":
             run = run_offline_tiled(
-                matrix, dense, self.config, tile_width=plan.tile_width, store=store
+                matrix,
+                dense,
+                self.config,
+                tile_width=plan.tile_width,
+                store=store,
+                tracer=tracer,
             )
             if enforce_ladder:
                 ladder["offline_tiled_dcsr"] = run.time_s
@@ -129,7 +194,7 @@ class Executor:
                 reason=REASON_OFFLINE_FALLBACK if enforce_ladder else "",
             )
         elif plan.algorithm == "untiled_csr":
-            run = self._run_untiled_csr(matrix, dense, store)
+            run = self._run_untiled_csr(matrix, dense, store, tracer=tracer)
             if enforce_ladder:
                 ladder["untiled_csr"] = run.time_s
             result = ExecutionResult(
@@ -147,23 +212,30 @@ class Executor:
         return result
 
     # ------------------------------------------------------------ demotion
-    def _demote(self, plan, matrix, dense, store, request, ladder) -> ExecutionResult:
+    def _demote(
+        self, plan, matrix, dense, store, request, ladder, *, tracer=NULL_TRACER
+    ) -> ExecutionResult:
         """Online conversion no longer hidden: re-plan one rung down."""
         if self.planner is None or request is None:
             raise ConfigError(
                 "ladder demotion needs a planner and the original request"
             )
-        demoted_plan = self.planner.plan(
-            request, plan.capabilities.without_online()
-        )
-        result = self.execute(
-            demoted_plan,
-            matrix,
-            dense,
-            store=store,
-            request=request,
-            enforce_ladder=True,
-        )
+        with tracer.span("demote", from_algorithm=plan.algorithm) as span:
+            demoted_plan = self.planner.plan(
+                request, plan.capabilities.without_online(), tracer=tracer
+            )
+            if span.enabled:
+                span.set_attribute("to_algorithm", demoted_plan.algorithm)
+                tracer.metrics.counter("ladder.demotions").inc()
+            result = self.execute(
+                demoted_plan,
+                matrix,
+                dense,
+                store=store,
+                request=request,
+                enforce_ladder=True,
+                tracer=tracer,
+            )
         # The online rung was considered first; keep its modeled cost.
         merged = dict(ladder)
         merged.update(result.ladder_costs_s)
@@ -172,13 +244,17 @@ class Executor:
         result.degraded = True
         return result
 
-    def _run_untiled_csr(self, matrix, dense, store: FormatStore):
+    def _run_untiled_csr(
+        self, matrix, dense, store: FormatStore, *, tracer=NULL_TRACER
+    ):
         """The ladder's bottom rung: plain CSR C-stationary."""
         from ..gpu.timing import time_kernel
         from ..kernels.csr_spmm import csr_spmm
         from ..kernels.hybrid import VariantRun
 
-        result = csr_spmm(store.get("csr"), dense, self.config)
+        result = csr_spmm(
+            store.get("csr", tracer=tracer), dense, self.config, tracer=tracer
+        )
         return VariantRun("untiled_csr", result, time_kernel(result, self.config))
 
     @staticmethod

@@ -56,6 +56,7 @@ class SpmmRequest:
 
     @property
     def dense_cols(self) -> int:
+        """Width of the dense operand, from the explicit array or ``k``."""
         return int(self.dense.shape[1]) if self.dense is not None else int(self.k)
 
     def resolve_dense(self) -> np.ndarray:
@@ -101,9 +102,11 @@ class Capabilities:
 
     @property
     def online_usable(self) -> bool:
+        """Whether the online engine path is both allowed and alive."""
         return self.online_allowed and self.engine_capacity > 0.0
 
     def to_dict(self) -> dict:
+        """Plain-JSON form, inverse of :meth:`from_dict`."""
         return {
             "engine_capacity": float(self.engine_capacity),
             "offline_tiled_available": bool(self.offline_tiled_available),
@@ -112,6 +115,7 @@ class Capabilities:
 
     @classmethod
     def from_dict(cls, d: dict) -> "Capabilities":
+        """Rebuild from the :meth:`to_dict` form."""
         return cls(
             engine_capacity=float(d["engine_capacity"]),
             offline_tiled_available=bool(d["offline_tiled_available"]),
@@ -119,6 +123,7 @@ class Capabilities:
         )
 
     def cache_key(self) -> tuple:
+        """Hashable identity used in :class:`~repro.runtime.cache.PlanCache` keys."""
         return (
             round(float(self.engine_capacity), 12),
             self.offline_tiled_available,
@@ -164,6 +169,7 @@ class SpmmPlan:
 
     @property
     def uses_engine(self) -> bool:
+        """Whether executing this plan drives the near-memory engine."""
         return self.algorithm == "online_tiled_dcsr"
 
     def derive_shard(self, gpu_id: int, col_start: int, col_end: int) -> "SpmmPlan":
@@ -188,6 +194,7 @@ class SpmmPlan:
         return replace(self, dense_cols=col_end - col_start, provenance=prov)
 
     def to_dict(self) -> dict:
+        """Plain-JSON form, inverse of :meth:`from_dict`."""
         return {
             "algorithm": self.algorithm,
             "a_format": self.a_format,
@@ -203,6 +210,7 @@ class SpmmPlan:
 
     @classmethod
     def from_dict(cls, d: dict) -> "SpmmPlan":
+        """Rebuild from the :meth:`to_dict` form."""
         return cls(
             algorithm=d["algorithm"],
             a_format=d["a_format"],
@@ -217,8 +225,10 @@ class SpmmPlan:
         )
 
     def to_json(self) -> str:
+        """Canonical JSON text (sorted keys, fixed float formatting)."""
         return canonical_json(self.to_dict())
 
     @classmethod
     def from_json(cls, text: str) -> "SpmmPlan":
+        """Rebuild from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))

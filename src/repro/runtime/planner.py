@@ -17,6 +17,7 @@ from ..errors import ConfigError
 from ..formats.tiled import n_strips as count_strips
 from ..gpu.config import GPUConfig
 from ..gpu.memory import strip_partition_naive
+from ..telemetry import NULL_TRACER
 from .plan import Capabilities, FULL_CAPABILITIES, SpmmPlan, SpmmRequest
 
 #: bump when planning semantics change — recorded in every plan's provenance
@@ -39,9 +40,33 @@ class Planner:
             raise ConfigError("ssf_threshold must be non-negative")
 
     def plan(
-        self, request: SpmmRequest, capabilities: Capabilities = FULL_CAPABILITIES
+        self,
+        request: SpmmRequest,
+        capabilities: Capabilities = FULL_CAPABILITIES,
+        *,
+        tracer=NULL_TRACER,
     ) -> SpmmPlan:
-        """Decide the execution path for one request under ``capabilities``."""
+        """Decide the execution path for one request under ``capabilities``.
+
+        With a real ``tracer`` the decision is recorded as a ``plan`` span
+        with ``plan.ssf`` / ``plan.traffic_model`` children and the chosen
+        algorithm, SSF value, and threshold as attributes.
+        """
+        with tracer.span("plan") as span:
+            plan = self._decide(request, capabilities, tracer)
+            if span.enabled:
+                span.set_attributes(
+                    algorithm=plan.algorithm,
+                    ssf=plan.provenance["ssf"],
+                    ssf_threshold=plan.provenance["ssf_threshold"],
+                    degraded=plan.provenance["degraded"],
+                )
+        return plan
+
+    def _decide(
+        self, request: SpmmRequest, capabilities: Capabilities, tracer
+    ) -> SpmmPlan:
+        """The planning logic behind :meth:`plan`."""
         threshold = (
             request.ssf_threshold
             if request.ssf_threshold is not None
@@ -50,18 +75,22 @@ class Planner:
         if threshold < 0:
             raise ConfigError("ssf_threshold must be non-negative")
         matrix = request.matrix
-        s = ssf_value(matrix, request.tile_width)
-        predicted = {
-            name: {
-                "a_bytes": est.a_bytes,
-                "b_bytes": est.b_bytes,
-                "c_bytes": est.c_bytes,
-                "total_bytes": est.total_bytes,
+        with tracer.span("plan.ssf"):
+            s = ssf_value(matrix, request.tile_width)
+        with tracer.span("plan.traffic_model"):
+            predicted = {
+                name: {
+                    "a_bytes": est.a_bytes,
+                    "b_bytes": est.b_bytes,
+                    "c_bytes": est.c_bytes,
+                    "total_bytes": est.total_bytes,
+                }
+                for name, est in traffic_comparison(
+                    matrix,
+                    dense_cols=request.dense_cols,
+                    tile=request.tile_width,
+                ).items()
             }
-            for name, est in traffic_comparison(
-                matrix, dense_cols=request.dense_cols, tile=request.tile_width
-            ).items()
-        }
         provenance = {
             "planner_version": PLANNER_VERSION,
             "ssf": float(s),

@@ -79,9 +79,11 @@ class RunRecord:
 
     @property
     def time_s(self) -> float:
+        """Total modeled execution time in seconds."""
         return self.timing.total_s
 
     def to_dict(self) -> dict:
+        """Plain-JSON form, inverse of :meth:`from_dict`."""
         return {
             "version": int(self.version),
             "plan": self.plan,
@@ -101,6 +103,7 @@ class RunRecord:
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunRecord":
+        """Rebuild from the :meth:`to_dict` form."""
         return cls(
             plan=dict(d["plan"]),
             variant=d["variant"],
@@ -124,8 +127,16 @@ class RunRecord:
 
     @classmethod
     def from_json(cls, text: str) -> "RunRecord":
+        """Rebuild from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
 
     def digest(self) -> str:
-        """SHA-256 of the canonical JSON — the record's identity."""
-        return hashlib.sha256(self.to_json().encode()).hexdigest()
+        """SHA-256 of the canonical JSON — the record's identity.
+
+        ``extras["trace_summary"]`` (wall-clock telemetry, see
+        :mod:`repro.telemetry`) is excluded: the same run traced and
+        untraced has the same identity.
+        """
+        d = self.to_dict()
+        d["extras"].pop("trace_summary", None)
+        return hashlib.sha256(canonical_json(d).encode()).hexdigest()

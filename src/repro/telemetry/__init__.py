@@ -1,0 +1,64 @@
+"""Telemetry for the SpMM runtime: spans, metrics, and trace exporters.
+
+The paper argues from *visibility* — Fig. 2's stall-reason pie, Fig. 7's
+inactive-thread counts, Table 1's per-operand traffic.  This package is
+that visibility for the reproduction's runtime: a span-based
+:class:`Tracer` threaded through planning, caching, conversion, and
+kernel execution; a :class:`MetricsRegistry` for scalar aggregates
+(cache hit counts, per-strip comparator steps, retry totals); and
+exporters to JSON-lines, a terminal tree, and Chrome ``trace_event``
+JSON.
+
+Everything accepts ``tracer=NULL_TRACER`` by default — the disabled path
+is a shared no-op object, so untraced runs stay bit-identical (same
+run-record digests) to a build without telemetry.  See
+``docs/OBSERVABILITY.md`` for the span catalog and file schemas and
+``docs/API.md`` for the public surface.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    TRACE_FORMATS,
+    TRACE_SCHEMA_VERSION,
+    chrome_trace,
+    export_trace,
+    render_tree,
+    span_summary,
+    spans_to_jsonl,
+    trace_payload,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Span",
+    "TRACE_FORMATS",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "chrome_trace",
+    "export_trace",
+    "render_tree",
+    "span_summary",
+    "spans_to_jsonl",
+    "trace_payload",
+    "trace_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+]

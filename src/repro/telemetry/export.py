@@ -1,0 +1,194 @@
+"""Trace exporters: JSON-lines, human-readable tree, Chrome trace_event.
+
+Three renderings of the same span forest, for three consumers:
+
+* :func:`write_jsonl` — one flattened span record per line, the stable
+  machine-readable schema (documented in ``docs/OBSERVABILITY.md``);
+* :func:`render_tree` — an indented text report for terminals;
+* :func:`chrome_trace` — the ``trace_event`` JSON that loads directly in
+  ``chrome://tracing`` / Perfetto as complete ("X"-phase) events.
+
+Plus the two summary helpers the runtime embeds in run records:
+:func:`span_summary` (one root's subtree, aggregated by span name) and
+:func:`trace_summary` (the whole tracer, spans + metrics snapshot).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..util import to_plain
+
+#: bumped when the JSONL line schema changes incompatibly
+TRACE_SCHEMA_VERSION = 1
+
+
+def _flat_records(roots) -> list[dict]:
+    """Depth-first flattened span dicts with explicit depth."""
+    out: list[dict] = []
+
+    def visit(span, depth: int) -> None:
+        """Append ``span``'s record, then recurse into its children."""
+        out.append(
+            {
+                "schema": TRACE_SCHEMA_VERSION,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "depth": depth,
+                "start_s": span.start_s,
+                "duration_s": span.duration_s,
+                "attributes": to_plain(dict(span.attributes)),
+            }
+        )
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return out
+
+
+def spans_to_jsonl(tracer) -> str:
+    """The tracer's span forest as JSON-lines text (one span per line)."""
+    return "".join(
+        json.dumps(rec, sort_keys=True) + "\n"
+        for rec in _flat_records(tracer.roots)
+    )
+
+
+def write_jsonl(tracer, path) -> None:
+    """Write :func:`spans_to_jsonl` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(spans_to_jsonl(tracer))
+
+
+def render_tree(tracer, *, min_duration_s: float = 0.0) -> str:
+    """Indented per-span text report with durations and attributes.
+
+    ``min_duration_s`` prunes spans shorter than the cutoff (their
+    children are pruned with them) — useful for very wide traces.
+    """
+    lines: list[str] = []
+
+    def visit(span, depth: int) -> None:
+        """Emit one indented line per span, depth-first, honoring the cutoff."""
+        if span.duration_s < min_duration_s:
+            return
+        attrs = ", ".join(
+            f"{k}={_short(v)}" for k, v in sorted(span.attributes.items())
+        )
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(
+            f"{'  ' * depth}{span.name:<28s} {span.duration_s * 1e6:10.1f} us"
+            f"{suffix}"
+        )
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in tracer.roots:
+        visit(root, 0)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _short(value) -> str:
+    """Compact attribute rendering for the tree report."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(to_plain(value))
+    return text if len(text) <= 48 else text[:45] + "..."
+
+
+def chrome_trace(tracer) -> dict:
+    """The span forest as a Chrome ``trace_event`` document.
+
+    Every span becomes a complete event (``ph: "X"``) with microsecond
+    ``ts``/``dur`` relative to the tracer's origin; attributes ride in
+    ``args``.  The returned dict serializes to JSON that loads unmodified
+    in ``chrome://tracing`` and Perfetto.
+    """
+    events = []
+    for rec in _flat_records(tracer.roots):
+        events.append(
+            {
+                "name": rec["name"],
+                "cat": "repro",
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": (rec["start_s"] or 0.0) * 1e6,
+                "dur": rec["duration_s"] * 1e6,
+                "args": rec["attributes"],
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer, path) -> None:
+    """Write :func:`chrome_trace` output as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh, indent=2, sort_keys=True)
+
+
+#: exporter name -> writer, as exposed by ``--trace-format``
+TRACE_FORMATS = ("jsonl", "tree", "chrome")
+
+
+def trace_payload(tracer, fmt: str = "jsonl") -> str:
+    """The trace rendered in one of :data:`TRACE_FORMATS`, as text."""
+    if fmt == "jsonl":
+        return spans_to_jsonl(tracer)
+    if fmt == "tree":
+        return render_tree(tracer)
+    if fmt == "chrome":
+        return json.dumps(chrome_trace(tracer), indent=2, sort_keys=True) + "\n"
+    raise ValueError(
+        f"unknown trace format {fmt!r}; expected one of {TRACE_FORMATS}"
+    )
+
+
+def export_trace(tracer, path, fmt: str = "jsonl") -> None:
+    """Write the trace to ``path`` in one of :data:`TRACE_FORMATS`."""
+    payload = trace_payload(tracer, fmt)
+    with open(path, "w") as fh:
+        fh.write(payload)
+
+
+def span_summary(root) -> dict:
+    """Aggregate one root span's subtree by span name.
+
+    This is the compact stanza :meth:`repro.runtime.SpmmRuntime.run`
+    embeds in ``RunRecord.extras["trace_summary"]`` when tracing is
+    enabled; it must stay plain data (it round-trips through the record's
+    canonical JSON).
+    """
+    by_name: dict[str, dict] = {}
+    n_spans = 0
+    for span in root.iter_spans():
+        n_spans += 1
+        agg = by_name.setdefault(span.name, {"count": 0, "total_s": 0.0})
+        agg["count"] += 1
+        agg["total_s"] += span.duration_s
+    return {
+        "root": root.name,
+        "duration_s": root.duration_s,
+        "n_spans": n_spans,
+        "by_name": {k: dict(v) for k, v in sorted(by_name.items())},
+    }
+
+
+def trace_summary(tracer) -> dict:
+    """Whole-tracer rollup: every root's name-aggregated spans + metrics."""
+    by_name: dict[str, dict] = {}
+    n_spans = 0
+    for span in tracer.iter_spans():
+        n_spans += 1
+        agg = by_name.setdefault(span.name, {"count": 0, "total_s": 0.0})
+        agg["count"] += 1
+        agg["total_s"] += span.duration_s
+    return {
+        "n_roots": len(tracer.roots),
+        "n_spans": n_spans,
+        "by_name": {k: dict(v) for k, v in sorted(by_name.items())},
+        "metrics": tracer.metrics.snapshot(),
+    }

@@ -1,0 +1,244 @@
+"""Span-based tracing: nested timed regions with structured attributes.
+
+The paper's evaluation is built from *attributed time*: Fig. 2 needs stall
+time by reason, Table 1 needs bytes by operand, Section 5.3 needs engine
+cycles by pipeline stage.  A :class:`Span` is one timed region of the
+runtime (``plan``, ``execute``, ``kernel:csr`` ...) carrying arbitrary
+key/value attributes; spans nest via the context-manager protocol and the
+:class:`Tracer` keeps the resulting forest plus a
+:class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+Timing uses the monotonic ``time.perf_counter`` clock — span timestamps
+are seconds since the tracer was created, never wall-clock, so traces are
+immune to clock adjustments (and trivially diffable).
+
+The disabled path matters as much as the enabled one: every traced
+function takes ``tracer=NULL_TRACER`` by default, and the null tracer's
+spans/instruments are shared singletons whose methods do nothing, so an
+untraced hot path pays one attribute lookup and one no-op call — and run
+records stay bit-identical to the pre-telemetry behavior.  Guard any
+expensive attribute computation with ``if tracer.enabled``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed, attributed region; a context manager; a tree node.
+
+    Spans are created by :meth:`Tracer.span` and only become part of the
+    trace when entered — parent linkage is decided at ``__enter__`` time
+    from the tracer's active-span stack, so nesting always mirrors the
+    dynamic call structure.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "span_id",
+        "parent_id",
+        "start_s",
+        "end_s",
+        "_tracer",
+    )
+
+    #: real spans record; the null span advertises False (see NULL_TRACER)
+    enabled = True
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict):
+        self._tracer = tracer
+        self.name = str(name)
+        self.attributes = dict(attributes)
+        self.children: list[Span] = []
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.start_s: float | None = None
+        self.end_s: float | None = None
+
+    # ------------------------------------------------------------- lifetime
+    def __enter__(self) -> "Span":
+        """Start the clock and attach to the current parent span."""
+        self._tracer._push(self)
+        self.start_s = time.perf_counter() - self._tracer.origin_s
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Stop the clock; record a raised exception as an attribute."""
+        self.end_s = time.perf_counter() - self._tracer.origin_s
+        if exc_type is not None:
+            self.attributes.setdefault(
+                "error", f"{exc_type.__name__}: {exc}"
+            )
+        self._tracer._pop(self)
+        return False
+
+    # ----------------------------------------------------------- attributes
+    def set_attribute(self, key: str, value) -> None:
+        """Attach one key/value attribute to the span."""
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes) -> None:
+        """Attach several attributes at once."""
+        self.attributes.update(attributes)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.start_s is None or self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def iter_spans(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def to_dict(self) -> dict:
+        """Nested plain-data rendering (children inline)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        """Short form used in debugger/REPL output."""
+        return f"Span({self.name!r}, {self.duration_s * 1e6:.1f}us)"
+
+
+class Tracer:
+    """Collects a forest of spans plus a metrics registry for one session.
+
+    Use one tracer per logical activity (one CLI invocation, one test);
+    roots accumulate in :attr:`roots` in completion-independent creation
+    order.  The tracer is not thread-safe — the simulated runtime is
+    single-threaded, and keeping the push/pop path trivial is what makes
+    tracing cheap.
+    """
+
+    #: real tracers record; NULL_TRACER advertises False
+    enabled = True
+
+    def __init__(self, metrics=None):
+        from .metrics import MetricsRegistry
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: top-level spans, in the order they were entered
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+        #: perf_counter value all span timestamps are relative to
+        self.origin_s = time.perf_counter()
+
+    def span(self, name: str, **attributes) -> Span:
+        """A new span; use as ``with tracer.span("name") as sp:``."""
+        return Span(self, name, attributes)
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def iter_spans(self):
+        """Yield every finished-or-open span in the forest, depth-first."""
+        for root in self.roots:
+            yield from root.iter_spans()
+
+    # ---------------------------------------------------------------- stack
+    def _push(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            parent = self._stack[-1]
+            span.parent_id = parent.span_id
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate a missed __exit__ in a child: unwind to this span.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+
+class _NullSpan:
+    """Shared inert span: context manager whose every method does nothing."""
+
+    __slots__ = ()
+    enabled = False
+    name = ""
+    attributes: dict = {}
+    children: tuple = ()
+    span_id = None
+    parent_id = None
+    start_s = None
+    end_s = None
+    duration_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        """Return self without recording anything."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Never suppress exceptions; record nothing."""
+        return False
+
+    def set_attribute(self, key: str, value) -> None:
+        """Discard the attribute."""
+
+    def set_attributes(self, **attributes) -> None:
+        """Discard the attributes."""
+
+    def iter_spans(self):
+        """An empty iterator."""
+        return iter(())
+
+    def to_dict(self) -> dict:
+        """An empty dict (the null span has no content)."""
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-overhead disabled tracer every ``tracer=`` defaults to.
+
+    All methods return shared singletons; nothing is allocated per call
+    and no state accumulates, so passing ``NULL_TRACER`` through the hot
+    path leaves behavior — including run-record digests — bit-identical.
+    """
+
+    __slots__ = ("metrics",)
+    enabled = False
+    roots: tuple = ()
+    current_span = None
+
+    def __init__(self):
+        from .metrics import NullMetricsRegistry
+
+        self.metrics = NullMetricsRegistry()
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        """The shared no-op span."""
+        return _NULL_SPAN
+
+    def iter_spans(self):
+        """An empty iterator."""
+        return iter(())
+
+
+#: The process-wide default disabled tracer.
+NULL_TRACER = NullTracer()

@@ -1,0 +1,133 @@
+"""Exporter correctness: JSONL schema, Chrome trace_event, tree, summaries."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    TRACE_FORMATS,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    chrome_trace,
+    export_trace,
+    render_tree,
+    span_summary,
+    spans_to_jsonl,
+    trace_payload,
+    trace_summary,
+)
+
+
+@pytest.fixture
+def traced():
+    tr = Tracer()
+    with tr.span("run", gpu="GV100"):
+        with tr.span("plan", ssf=181.4):
+            pass
+        with tr.span("execute"):
+            with tr.span("kernel:csr", flops=100):
+                pass
+    tr.metrics.counter("plan_cache.misses").inc()
+    return tr
+
+
+class TestJsonl:
+    def test_one_valid_json_object_per_span(self, traced):
+        lines = spans_to_jsonl(traced).strip().splitlines()
+        assert len(lines) == 4
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == [
+            "run", "plan", "execute", "kernel:csr",
+        ]
+
+    def test_schema_fields(self, traced):
+        for rec in map(json.loads, spans_to_jsonl(traced).splitlines()):
+            assert rec["schema"] == TRACE_SCHEMA_VERSION
+            assert set(rec) == {
+                "schema", "span_id", "parent_id", "name", "depth",
+                "start_s", "duration_s", "attributes",
+            }
+
+    def test_depth_and_parent_consistent(self, traced):
+        records = [json.loads(l) for l in spans_to_jsonl(traced).splitlines()]
+        by_id = {r["span_id"]: r for r in records}
+        for r in records:
+            if r["parent_id"] is None:
+                assert r["depth"] == 0
+            else:
+                assert r["depth"] == by_id[r["parent_id"]]["depth"] + 1
+
+
+class TestChrome:
+    def test_complete_events_with_microsecond_times(self, traced):
+        doc = chrome_trace(traced)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 4
+        for e in events:
+            assert e["ph"] == "X" and e["cat"] == "repro"
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert isinstance(e["args"], dict)
+        json.dumps(doc)  # must serialize as-is
+
+    def test_args_carry_attributes(self, traced):
+        events = {e["name"]: e for e in chrome_trace(traced)["traceEvents"]}
+        assert events["run"]["args"] == {"gpu": "GV100"}
+        assert events["kernel:csr"]["args"] == {"flops": 100}
+
+
+class TestTree:
+    def test_indentation_mirrors_nesting(self, traced):
+        lines = render_tree(traced).splitlines()
+        assert lines[0].startswith("run")
+        assert lines[1].startswith("  plan")
+        assert lines[3].startswith("    kernel:csr")
+
+    def test_attributes_rendered(self, traced):
+        text = render_tree(traced)
+        assert "gpu=GV100" in text and "ssf=181.4" in text
+
+    def test_min_duration_prunes(self, traced):
+        assert render_tree(traced, min_duration_s=1e9) == ""
+
+    def test_empty_tracer_renders_empty(self):
+        assert render_tree(Tracer()) == ""
+
+
+class TestExportTrace:
+    @pytest.mark.parametrize("fmt", TRACE_FORMATS)
+    def test_every_format_writes_a_file(self, traced, tmp_path, fmt):
+        path = tmp_path / f"trace.{fmt}"
+        export_trace(traced, path, fmt)
+        text = path.read_text()
+        assert text == trace_payload(traced, fmt)
+        if fmt == "jsonl":
+            assert all(json.loads(l) for l in text.splitlines())
+        elif fmt == "chrome":
+            assert json.loads(text)["traceEvents"]
+
+    def test_unknown_format_rejected(self, traced, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            export_trace(traced, tmp_path / "t", "xml")
+
+
+class TestSummaries:
+    def test_span_summary_aggregates_by_name(self, traced):
+        summary = span_summary(traced.roots[0])
+        assert summary["root"] == "run"
+        assert summary["n_spans"] == 4
+        assert summary["by_name"]["plan"]["count"] == 1
+        assert summary["duration_s"] >= summary["by_name"]["execute"]["total_s"]
+
+    def test_span_summary_round_trips_canonical_json(self, traced):
+        from repro.util import canonical_json
+
+        summary = span_summary(traced.roots[0])
+        assert json.loads(canonical_json(summary)) == json.loads(
+            json.dumps(summary)
+        )
+
+    def test_trace_summary_includes_metrics(self, traced):
+        summary = trace_summary(traced)
+        assert summary["n_roots"] == 1 and summary["n_spans"] == 4
+        assert summary["metrics"]["counters"]["plan_cache.misses"] == 1.0

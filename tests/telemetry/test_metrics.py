@@ -1,0 +1,68 @@
+"""Counter/gauge/histogram aggregation and registry memoization."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = MetricsRegistry().counter("events")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        c = MetricsRegistry().counter("events")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = MetricsRegistry().gauge("ratio")
+        g.set(0.75)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_moments(self):
+        h = MetricsRegistry().histogram("steps")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+
+    def test_empty_reports_null_extremes(self):
+        d = MetricsRegistry().histogram("steps").to_dict()
+        assert d["count"] == 0 and d["min"] is None and d["max"] is None
+        assert d["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_memoized_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert reg.counter("a") is not reg.counter("a2")
+
+    def test_kinds_are_separate_namespaces(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.gauge("x").set(9.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["x"] == 1.0
+        assert snap["gauges"]["x"] == 9.0
+
+    def test_snapshot_is_sorted_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("zeta").inc()
+        reg.counter("alpha").inc(2)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        json.dumps(snap)  # must be JSON-serializable as-is

@@ -1,0 +1,128 @@
+"""Span lifecycle, nesting, attributes, and the zero-overhead null path."""
+
+import pytest
+
+from repro.telemetry import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpanLifecycle:
+    def test_timing_is_monotonic_and_relative(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert outer.start_s is not None and outer.end_s is not None
+        assert 0 <= outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+        assert outer.duration_s >= inner.duration_s >= 0
+
+    def test_open_span_reports_zero_duration(self):
+        tr = Tracer()
+        span = tr.span("pending")
+        assert span.duration_s == 0.0
+
+    def test_exception_recorded_and_propagated(self):
+        tr = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tr.span("failing") as span:
+                raise ValueError("boom")
+        assert span.attributes["error"] == "ValueError: boom"
+        assert span.end_s is not None  # the clock still stopped
+
+    def test_span_ids_unique_and_parent_linked(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+            with tr.span("c"):
+                pass
+        ids = [s.span_id for s in tr.iter_spans()]
+        assert len(ids) == len(set(ids)) == 3
+        a, b, c = tr.iter_spans()
+        assert b.parent_id == a.span_id and c.parent_id == a.span_id
+        assert a.parent_id is None
+
+
+class TestNesting:
+    def test_dynamic_nesting_builds_the_tree(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("child"):
+                with tr.span("grandchild"):
+                    pass
+            with tr.span("sibling"):
+                pass
+        (root,) = tr.roots
+        assert [c.name for c in root.children] == ["child", "sibling"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_sequential_roots_accumulate(self):
+        tr = Tracer()
+        for name in ("first", "second"):
+            with tr.span(name):
+                pass
+        assert [r.name for r in tr.roots] == ["first", "second"]
+
+    def test_current_span_follows_the_stack(self):
+        tr = Tracer()
+        assert tr.current_span is None
+        with tr.span("outer") as outer:
+            assert tr.current_span is outer
+            with tr.span("inner") as inner:
+                assert tr.current_span is inner
+            assert tr.current_span is outer
+        assert tr.current_span is None
+
+
+class TestAttributes:
+    def test_constructor_and_setters_merge(self):
+        tr = Tracer()
+        with tr.span("s", algorithm="csr") as span:
+            span.set_attribute("flops", 10)
+            span.set_attributes(bytes=20, hit=True)
+        assert span.attributes == {
+            "algorithm": "csr", "flops": 10, "bytes": 20, "hit": True,
+        }
+
+    def test_to_dict_round_trips_plain_data(self):
+        tr = Tracer()
+        with tr.span("s", k=1):
+            with tr.span("t"):
+                pass
+        d = tr.roots[0].to_dict()
+        assert d["name"] == "s" and d["attributes"] == {"k": 1}
+        assert d["children"][0]["name"] == "t"
+
+
+class TestNullTracer:
+    def test_shared_singletons_no_allocation(self):
+        a = NULL_TRACER.span("x", big=list(range(100)))
+        b = NULL_TRACER.span("y")
+        assert a is b  # one shared span object, whatever the arguments
+        assert NULL_TRACER.metrics.counter("p") is NULL_TRACER.metrics.counter("q")
+
+    def test_disabled_flags_guard_expensive_work(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.span("s").enabled is False
+        assert Tracer().enabled is True
+
+    def test_null_span_is_inert_context_manager(self):
+        with NULL_TRACER.span("s") as span:
+            span.set_attribute("k", 1)
+            span.set_attributes(a=2)
+        assert span.attributes == {}
+        assert span.duration_s == 0.0
+        assert list(NULL_TRACER.iter_spans()) == []
+        assert NULL_TRACER.roots == ()
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("s"):
+                raise RuntimeError("must escape")
+
+    def test_null_metrics_accept_all_operations(self):
+        m = NullTracer().metrics
+        m.counter("c").inc(5)
+        m.gauge("g").set(1.5)
+        m.histogram("h").observe(2.0)
+        assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -136,6 +136,138 @@ class TestRun:
     def test_bad_repeat_rejected(self, capsys):
         assert main(["run", "--generate", GEN, "--repeat", "0"]) == 2
 
+    def test_record_out_refuses_clobber_without_force(self, tmp_path, capsys):
+        dest = tmp_path / "records.json"
+        dest.write_text("precious\n")
+        assert main(
+            ["run", "--generate", GEN, "--k", "16", "--record-out", str(dest)]
+        ) == 2
+        assert "--force" in capsys.readouterr().err
+        assert dest.read_text() == "precious\n"  # untouched
+
+    def test_record_out_force_overwrites_atomically(self, tmp_path, capsys):
+        dest = tmp_path / "records.json"
+        dest.write_text("stale\n")
+        assert main(
+            ["run", "--generate", GEN, "--k", "16",
+             "--record-out", str(dest), "--force"]
+        ) == 0
+        assert len(json.loads(dest.read_text())) == 2
+        leftovers = [p for p in dest.parent.iterdir() if p != dest]
+        assert leftovers == []  # no temp files left behind
+
+
+class TestRunTrace:
+    def test_jsonl_trace_has_run_root_with_children(self, tmp_path, capsys):
+        dest = tmp_path / "trace.jsonl"
+        assert main(
+            ["run", "--generate", GEN, "--k", "16",
+             "--repeat", "1", "--trace", str(dest)]
+        ) == 0
+        records = [
+            json.loads(l) for l in dest.read_text().splitlines()
+        ]
+        roots = [r for r in records if r["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["run"]
+        names = {r["name"] for r in records}
+        assert "cache_lookup" in names and "plan" in names
+        assert "execute" in names
+        assert any(n.startswith("kernel:") for n in names)
+        assert "spans" in capsys.readouterr().out
+
+    def test_chrome_trace_is_valid_trace_event_json(self, tmp_path, capsys):
+        dest = tmp_path / "trace.json"
+        assert main(
+            ["run", "--generate", GEN, "--k", "16", "--repeat", "1",
+             "--trace", str(dest), "--trace-format", "chrome"]
+        ) == 0
+        doc = json.loads(dest.read_text())
+        assert doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_tree_trace_is_indented_text(self, tmp_path, capsys):
+        dest = tmp_path / "trace.txt"
+        assert main(
+            ["run", "--generate", GEN, "--k", "16", "--repeat", "1",
+             "--trace", str(dest), "--trace-format", "tree"]
+        ) == 0
+        lines = dest.read_text().splitlines()
+        assert lines[0].startswith("run")
+        assert any(l.startswith("  ") for l in lines)
+
+    def test_json_mode_keeps_stdout_pure(self, tmp_path, capsys):
+        dest = tmp_path / "trace.jsonl"
+        assert main(
+            ["run", "--generate", GEN, "--k", "16", "--repeat", "1",
+             "--json", "--trace", str(dest)]
+        ) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # exactly one record, nothing else
+        assert "spans" in captured.err
+
+    def test_trace_refuses_clobber_without_force(self, tmp_path, capsys):
+        dest = tmp_path / "trace.jsonl"
+        dest.write_text("precious\n")
+        assert main(
+            ["run", "--generate", GEN, "--k", "16", "--trace", str(dest)]
+        ) == 2
+        assert dest.read_text() == "precious\n"
+
+    def test_untraced_digest_matches_traced(self, tmp_path, capsys):
+        assert main(["run", "--generate", GEN, "--k", "16",
+                     "--repeat", "1"]) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["run", "--generate", GEN, "--k", "16", "--repeat", "1",
+             "--trace", str(tmp_path / "t.jsonl")]
+        ) == 0
+        traced = capsys.readouterr().out
+        digest = [l for l in plain.splitlines() if "digest=" in l][0]
+        assert digest in traced
+
+
+class TestReport:
+    def test_renders_bundle(self, tmp_path, capsys):
+        dest = tmp_path / "records.json"
+        assert main(
+            ["run", "--generate", GEN, "--k", "16", "--record-out", str(dest)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(dest)]) == 0
+        out = capsys.readouterr().out
+        assert "record 1/2" in out and "record 2/2" in out
+        assert "traffic:" in out and "stall:" in out and "digest:" in out
+
+    def test_renders_single_record_with_trace_summary(self, tmp_path, capsys):
+        dest = tmp_path / "records.json"
+        assert main(
+            ["run", "--generate", GEN, "--k", "16", "--repeat", "1",
+             "--record-out", str(dest), "--trace", str(tmp_path / "t.jsonl")]
+        ) == 0
+        single = tmp_path / "one.json"
+        single.write_text(json.dumps(json.loads(dest.read_text())[0]))
+        capsys.readouterr()
+        assert main(["report", str(single)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("record:")
+        assert "trace:" in out and "spans under 'run'" in out
+
+    def test_missing_file_rejected(self, capsys):
+        assert main(["report", "/nonexistent/records.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_invalid_json_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["report", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_non_record_document_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "other.json"
+        bad.write_text('{"foo": 1}')
+        assert main(["report", str(bad)]) == 2
+        assert "not a RunRecord" in capsys.readouterr().err
+
 
 class TestSimulateJson:
     def test_json_record(self, capsys):
@@ -145,6 +277,14 @@ class TestSimulateJson:
         record = json.loads(capsys.readouterr().out)
         assert {"plan", "traffic", "timing", "stall", "output"} <= set(record)
         assert record["plan"]["provenance"]["ssf"] > 0
+
+    def test_json_diagnostics_go_to_stderr(self, capsys):
+        assert main(
+            ["simulate", "--generate", GEN, "--k", "32", "--json"]
+        ) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout is one pure JSON document
+        assert "verified" in captured.err
 
 
 class TestEngine:
