@@ -1,0 +1,29 @@
+"""Standalone entry point for the regression-tracked benchmark suite.
+
+Equivalent to ``PYTHONPATH=src python -m repro bench ...`` but runnable
+directly (``python benchmarks/harness.py --quick --check``) without
+setting ``PYTHONPATH`` — handy from CI and from a fresh checkout.  All
+arguments are forwarded to the ``bench`` subcommand; the suite itself
+lives in :mod:`repro.bench` and is documented in ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def main(argv=None) -> int:
+    from repro.cli import main as cli_main
+
+    argv = sys.argv[1:] if argv is None else list(argv)
+    return cli_main(["bench", *argv])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

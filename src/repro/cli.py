@@ -17,6 +17,10 @@ Usage (``python -m repro <command> ...``):
 ``report``
     Render a saved RunRecord JSON file (single record or a ``--record-out``
     bundle) as a human-readable report.
+``bench``
+    Run the regression-tracked benchmark suite, write a schema-versioned
+    ``BENCH_<date>.json``, and optionally ``--check`` against a committed
+    baseline (see ``docs/PERFORMANCE.md``).
 ``engine``
     Report the near-memory engine's Section 5.3 numbers for a GPU preset.
 ``faults``
@@ -199,18 +203,14 @@ def cmd_simulate(args) -> int:
     return 0
 
 
-def _run_once(runtime, request, args, index, records):
-    """One ``repro run`` execution: report plan, cache status, digest."""
-    outcome = runtime.run(request)
-    record = outcome.record
-    records.append(record)
+def _print_run(args, index, record, plan, cache_hit) -> None:
+    """Report one ``repro run`` execution: plan, cache status, digest."""
     if args.json:
         print(record.to_json())
         return
-    plan = outcome.plan
     prov = plan.provenance
-    cache = "hit" if outcome.cache_hit else "miss"
-    print(f"run {index}: variant={outcome.execution.run.name} "
+    cache = "hit" if cache_hit else "miss"
+    print(f"run {index}: variant={record.variant} "
           f"algorithm={plan.algorithm} "
           f"time={record.time_s * 1e6:.1f}us "
           f"ssf={prov['ssf']:.4g} cache={cache} "
@@ -255,18 +255,49 @@ def cmd_run(args) -> int:
         m = _load_matrix(args)
         matrices_in.append((args.mtx or args.generate, m))
 
-    records: list = []
-    index = 0
+    if args.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    labeled_requests = []
     for label, m in matrices_in:
         k = args.k if args.k else min(m.n_cols, 2048)
-        request = SpmmRequest(
-            m, k=k, seed=args.seed, tile_width=args.tile_width
+        labeled_requests.append(
+            (label, SpmmRequest(m, k=k, seed=args.seed,
+                                tile_width=args.tile_width))
         )
-        if not args.json and len(matrices_in) > 1:
-            print(f"# {label}")
-        for _ in range(args.repeat):
-            index += 1
-            _run_once(runtime, request, args, index, records)
+
+    records: list = []
+    if args.workers > 1:
+        from .runtime import ParallelExecutor
+
+        executor = ParallelExecutor(runtime, workers=args.workers)
+        batch = [
+            request
+            for _, request in labeled_requests
+            for _ in range(args.repeat)
+        ]
+        results = executor.run_batch(batch)
+        index = 0
+        for label, _ in labeled_requests:
+            if not args.json and len(labeled_requests) > 1:
+                print(f"# {label}")
+            for _ in range(args.repeat):
+                res = results[index]
+                index += 1
+                records.append(res.record)
+                _print_run(args, index, res.record, res.plan, res.cache_hit)
+    else:
+        index = 0
+        for label, request in labeled_requests:
+            if not args.json and len(labeled_requests) > 1:
+                print(f"# {label}")
+            for _ in range(args.repeat):
+                index += 1
+                outcome = runtime.run(request)
+                records.append(outcome.record)
+                _print_run(
+                    args, index, outcome.record, outcome.plan,
+                    outcome.cache_hit,
+                )
 
     if args.record_out:
         import json as _json
@@ -358,6 +389,61 @@ def cmd_report(args) -> int:
         if i > 1:
             print()
         _report_one(record, i, len(records))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Benchmark suite with memory: run, write JSON, compare to baseline."""
+    import json
+    import os
+    from datetime import date
+
+    from . import bench
+
+    if args.list:
+        for name in bench.BENCHMARKS:
+            print(name)
+        return 0
+    payload = bench.run_benchmarks(quick=args.quick, include=args.only or None)
+    print(bench.format_table(payload))
+    out = args.out or f"BENCH_{date.today().isoformat()}.json"
+    _atomic_write(out, bench.payload_json(payload), force=args.force)
+    print(f"\nwrote {out} (schema v{payload['schema_version']}, "
+          f"{'quick' if payload['quick'] else 'full'} mode)")
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(bench.DEFAULT_BASELINE):
+        baseline_path = bench.DEFAULT_BASELINE
+    if baseline_path is None:
+        if args.check:
+            raise ReproError(
+                "--check requires a baseline (pass --baseline or commit "
+                f"{bench.DEFAULT_BASELINE})"
+            )
+        return 0
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        raise ReproError(
+            f"baseline file not found: {baseline_path}"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(
+            f"{baseline_path} is not valid JSON: {exc}"
+        ) from None
+    lines, regressed = bench.compare_payloads(
+        payload, baseline, threshold=args.threshold
+    )
+    print(f"\nbaseline: {baseline_path} "
+          f"(threshold {args.threshold:.0%})")
+    for line in lines:
+        print(line)
+    if regressed:
+        print(f"\n{len(regressed)} regression(s): {', '.join(regressed)}",
+              file=sys.stderr)
+        return 1 if args.check else 0
+    print("\nno regressions")
     return 0
 
 
@@ -502,6 +588,12 @@ def build_parser() -> argparse.ArgumentParser:
         "path); runs all of them through one shared plan cache",
     )
     p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for batch execution (1 = in-process "
+        "serial; N > 1 fans runs across N worker processes with "
+        "digest-identical records)",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="print one canonical RunRecord JSON document per run",
     )
@@ -531,6 +623,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("record", help="RunRecord JSON file to render")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the regression-tracked benchmark suite and compare "
+        "against a committed baseline",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="small inputs for CI smoke runs (recorded in the payload)",
+    )
+    p.add_argument(
+        "--only", action="append", metavar="NAME",
+        help="run only this benchmark (repeatable; see --list)",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list benchmark names and exit"
+    )
+    p.add_argument(
+        "--out",
+        help="output JSON path (default: BENCH_<date>.json in the cwd)",
+    )
+    p.add_argument(
+        "--baseline",
+        help="baseline payload to compare against (default: "
+        "benchmarks/baselines/bench_baseline.json when present)",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="relative normalized-throughput drop that counts as a "
+        "regression (default 0.30)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when any benchmark regresses past --threshold",
+    )
+    p.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing --out file",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("engine", help="Section 5.3 engine report")
     p.add_argument("--gpu", default="gv100", help="gv100 or tu116")

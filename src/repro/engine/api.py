@@ -30,8 +30,7 @@ from ..gpu.memory import strip_partition_naive
 from .conversion import (
     ConversionStats,
     StreamingStripConverter,
-    convert_strip_fast,
-    convert_strip_stepwise,
+    convert_strip,
     engine_input_bytes,
     engine_output_bytes,
 )
@@ -84,12 +83,19 @@ class ConversionUnit:
         *,
         tile_width: int = 64,
         stepwise: bool = False,
+        fidelity: str | None = None,
         injector=None,
     ):
         self.partition_id = partition_id
         self.csc = csc
         self.tile_width = tile_width
-        self.stepwise = stepwise
+        #: ``fidelity`` wins when given; the legacy ``stepwise`` bool maps
+        #: onto it ("stepwise" vs the vectorized "fast" default).
+        self.fidelity = (
+            fidelity if fidelity is not None
+            else ("stepwise" if stepwise else "fast")
+        )
+        self.stepwise = self.fidelity == "stepwise"
         #: optional :class:`~repro.resilience.faults.StripFaultInjector`;
         #: None keeps the fault-free fast path byte-identical to before.
         self.injector = injector
@@ -208,14 +214,16 @@ class ConversionUnit:
     def _make_streamer(self, strip_id: int) -> StreamingStripConverter:
         ptr, rows, vals = self._strip_arrays(strip_id)
         return StreamingStripConverter(
-            ptr, rows, vals, self.csc.n_rows, n_lanes=self.tile_width
+            ptr, rows, vals, self.csc.n_rows,
+            n_lanes=self.tile_width, fidelity=self.fidelity,
         )
 
     def _converted_strip(self, strip_id: int) -> DCSRMatrix:
         if strip_id not in self._strip_cache:
             ptr, rows, vals = self._strip_arrays(strip_id)
-            convert = convert_strip_stepwise if self.stepwise else convert_strip_fast
-            dcsr, stats = convert(ptr, rows, vals, self.csc.n_rows)
+            dcsr, stats = convert_strip(
+                ptr, rows, vals, self.csc.n_rows, fidelity=self.fidelity
+            )
             self.stats.add(stats)
             self._strip_cache[strip_id] = dcsr
         return self._strip_cache[strip_id]
@@ -264,6 +272,7 @@ def convert_matrix_online(
     tile_width: int = 64,
     config: GPUConfig = GV100,
     stepwise: bool = False,
+    fidelity: str | None = None,
     tracer=None,
 ) -> OnlineConversion:
     """Convert every strip through its FB partition's engine.
@@ -279,6 +288,8 @@ def convert_matrix_online(
     from .pipeline import DEFAULT_STAGE_LATENCIES_NS
 
     tracer = NULL_TRACER if tracer is None else tracer
+    if fidelity is None:
+        fidelity = "stepwise" if stepwise else "fast"
     total_strips = count_strips(csc.n_cols, tile_width)
     strips = []
     stats = ConversionStats()
@@ -295,8 +306,9 @@ def convert_matrix_online(
             part = strip_partition_naive(sid, config.mem_channels)
             with tracer.span("engine.strip") as strip_span:
                 ptr, rows, vals = csc.strip_slice(start, end)
-                convert = convert_strip_stepwise if stepwise else convert_strip_fast
-                dcsr, s = convert(ptr, rows, vals, csc.n_rows)
+                dcsr, s = convert_strip(
+                    ptr, rows, vals, csc.n_rows, fidelity=fidelity
+                )
                 if strip_span.enabled:
                     strip_span.set_attributes(
                         strip_id=sid,

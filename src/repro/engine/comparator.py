@@ -136,11 +136,13 @@ def find_minimum_fast(coords: np.ndarray) -> tuple[int, np.ndarray]:
 
 def bitvector_to_lanes(vec: int) -> np.ndarray:
     """Decode a minimum bit vector into sorted lane indices."""
-    lanes = []
-    i = 0
-    while vec:
-        if vec & 1:
-            lanes.append(i)
-        vec >>= 1
-        i += 1
-    return np.asarray(lanes, dtype=np.int64)
+    if vec < 0:
+        raise EngineError("bit vector must be non-negative")
+    if vec == 0:
+        return np.asarray([], dtype=np.int64)
+    nbytes = (vec.bit_length() + 7) // 8
+    bits = np.unpackbits(
+        np.frombuffer(vec.to_bytes(nbytes, "little"), dtype=np.uint8),
+        bitorder="little",
+    )
+    return np.flatnonzero(bits).astype(np.int64)

@@ -23,6 +23,14 @@ Two interchangeable implementations are provided:
 * :func:`convert_strip_fast` — vectorized, emitting the identical DCSR and
   the identical step/refill counts (property-tested against the stepwise
   model), used by the corpus-scale sweeps.
+
+:func:`convert_strip` dispatches between them by ``fidelity`` — ``"fast"``
+(the default everywhere) or ``"stepwise"`` (the cycle-accurate audit path).
+:class:`StreamingStripConverter` takes the same flag: its fast mode sorts
+the strip's triplets row-major once and slices each tile's row window out
+of the sorted arrays, advancing the *same* :class:`LaneState` frontiers in
+bulk so stats, refill accounting, and ``exhausted()`` behavior stay
+bit-identical to the stepwise walk.
 """
 
 from __future__ import annotations
@@ -35,6 +43,18 @@ from ..errors import EngineError
 from ..formats.dcsr import DCSRMatrix
 from .comparator import INVALID_COORD, ComparatorTree, bitvector_to_lanes
 from .frontier import LaneState
+
+#: The two interchangeable conversion implementations: ``"fast"`` is the
+#: vectorized default, ``"stepwise"`` the cycle-accurate hardware model.
+FIDELITIES = ("fast", "stepwise")
+
+
+def _check_fidelity(fidelity: str) -> str:
+    if fidelity not in FIDELITIES:
+        raise EngineError(
+            f"unknown fidelity {fidelity!r}; expected one of {FIDELITIES}"
+        )
+    return fidelity
 
 
 @dataclass
@@ -142,7 +162,8 @@ def convert_strip_fast(
     order = np.argsort(rows * n_cols + cols, kind="stable")
     r_sorted = rows[order]
     c_sorted = cols[order]
-    v_sorted = vals[order]
+    # Same empty-strip dtype fallback as the stepwise builder.
+    v_sorted = vals[order] if vals.size else vals.astype(np.float32)
     if r_sorted.size:
         boundaries = np.concatenate(([True], r_sorted[1:] != r_sorted[:-1]))
         uniq_rows = r_sorted[boundaries]
@@ -168,32 +189,71 @@ def convert_strip_fast(
     return dcsr, stats
 
 
+def convert_strip(
+    col_ptr,
+    row_idx,
+    values,
+    n_rows: int,
+    *,
+    n_lanes: int = 64,
+    fidelity: str = "fast",
+) -> tuple[DCSRMatrix, ConversionStats]:
+    """Convert one CSC strip to DCSR at the chosen ``fidelity``.
+
+    Both fidelities emit bit-identical tiles and :class:`ConversionStats`;
+    ``"stepwise"`` additionally exercises the explicit comparator tree and
+    lane-by-lane frontier walk (the hardware-faithful audit path).
+    """
+    if _check_fidelity(fidelity) == "stepwise":
+        return convert_strip_stepwise(
+            col_ptr, row_idx, values, n_rows, n_lanes=n_lanes
+        )
+    return convert_strip_fast(col_ptr, row_idx, values, n_rows, n_lanes=n_lanes)
+
+
 class StreamingStripConverter:
     """Incremental, tile-at-a-time conversion with persistent frontiers.
 
-    This is the hardware-faithful form of the Fig. 11 API: the caller's
+    This is the streaming form of the Fig. 11 API: the caller's
     ``col_frontier`` survives between ``GetDCSRTile`` calls, so walking a
     strip top-to-bottom converts each element exactly once and each call
-    emits only the rows of its ``DCSR_HEIGHT`` window.  The lane state and
-    comparator tree are the same objects the whole-strip stepwise model
-    uses — the window limit is just the coordinate mask of
-    :meth:`LaneState.current_coords`.
+    emits only the rows of its ``DCSR_HEIGHT`` window.
 
-    Property-tested: concatenating the emitted tiles (with row offsets
-    restored) reproduces :func:`convert_strip_stepwise`'s output and step
-    counts exactly.
+    ``fidelity="stepwise"`` drives the explicit comparator tree and
+    :class:`LaneState` cycle by cycle — the hardware-faithful model.  The
+    default ``"fast"`` mode sorts the strip's triplets row-major once,
+    slices each tile's row window out of the sorted arrays, and advances
+    the *same* lane frontiers in bulk, so the emitted tiles, the
+    :class:`ConversionStats`, the refill accounting, and
+    ``lanes.exhausted()`` are all bit-identical between modes (property-
+    tested in ``tests/engine/test_fidelity.py``).
     """
 
-    def __init__(self, col_ptr, row_idx, values, n_rows: int, *, n_lanes: int = 64):
+    def __init__(
+        self,
+        col_ptr,
+        row_idx,
+        values,
+        n_rows: int,
+        *,
+        n_lanes: int = 64,
+        fidelity: str = "fast",
+    ):
         if n_rows < 0:
             raise EngineError("n_rows must be non-negative")
+        self.fidelity = _check_fidelity(fidelity)
         self.n_rows = n_rows
-        self.n_cols = len(np.asarray(col_ptr)) - 1
+        self._col_ptr = np.asarray(col_ptr, dtype=np.int64)
+        self.n_cols = self._col_ptr.size - 1
         self.values = np.asarray(values)
         self.lanes = LaneState(col_ptr, row_idx, n_lanes)
         self.tree = ComparatorTree(n_lanes)
         self.stats = ConversionStats()
         self.next_row = 0
+        #: fast mode: lazily built row-major (rows, cols, permutation)
+        self._sorted: tuple | None = None
+        #: fast mode: elements consumed so far == cursor into the sort
+        self._cursor = 0
 
     def next_tile(self, tile_height: int) -> DCSRMatrix:
         """Emit the DCSR tile for rows ``[next_row, next_row+height)``.
@@ -207,6 +267,16 @@ class StreamingStripConverter:
             raise EngineError("strip fully converted")
         row_start = self.next_row
         row_end = min(row_start + tile_height, self.n_rows)
+        if self.fidelity == "stepwise":
+            tile = self._next_tile_stepwise(row_start, row_end)
+        else:
+            tile = self._next_tile_fast(row_start, row_end)
+        self.next_row = row_end
+        if self.finished:
+            self.stats.refill_requests = self.lanes.refill_requests
+        return tile
+
+    def _next_tile_stepwise(self, row_start: int, row_end: int) -> DCSRMatrix:
         out_row_idx: list[int] = []
         out_row_ptr: list[int] = [0]
         out_cols: list[int] = []
@@ -227,9 +297,6 @@ class StreamingStripConverter:
                 self.stats.elements += 1
             out_row_ptr.append(len(out_cols))
             self.lanes.advance(winners)
-        self.next_row = row_end
-        if self.finished:
-            self.stats.refill_requests = self.lanes.refill_requests
         return DCSRMatrix(
             (row_end - row_start, self.n_cols),
             np.asarray(out_row_idx, dtype=np.int64),
@@ -239,6 +306,65 @@ class StreamingStripConverter:
                 out_vals,
                 dtype=self.values.dtype if self.values.size else np.float32,
             ),
+        )
+
+    def _ensure_sorted(self) -> tuple:
+        """Row-major sort of the strip's triplets, built once per strip."""
+        if self._sorted is None:
+            ptr = self._col_ptr
+            rows = self.lanes.row_idx[: ptr[-1]]
+            cols = np.repeat(
+                np.arange(self.n_cols, dtype=np.int64), np.diff(ptr)
+            )
+            order = np.argsort(rows * max(self.n_cols, 1) + cols, kind="stable")
+            self._sorted = (rows[order], cols[order], order)
+        return self._sorted
+
+    def _next_tile_fast(self, row_start: int, row_end: int) -> DCSRMatrix:
+        r_sorted, c_sorted, order = self._ensure_sorted()
+        # Sequential tiles: everything below row_start is already consumed,
+        # so the cursor *is* the window's lower bound in the sorted arrays.
+        lo = self._cursor
+        hi = int(np.searchsorted(r_sorted, row_end, side="left"))
+        seg_r = r_sorted[lo:hi]
+        if seg_r.size:
+            bmask = np.concatenate(([True], seg_r[1:] != seg_r[:-1]))
+            out_row_idx = seg_r[bmask] - row_start
+            out_row_ptr = np.concatenate(
+                (
+                    np.flatnonzero(bmask),
+                    np.asarray([seg_r.size], dtype=np.int64),
+                )
+            )
+        else:
+            out_row_idx = np.asarray([], dtype=np.int64)
+            out_row_ptr = np.asarray([0], dtype=np.int64)
+        out_vals = (
+            self.values[order[lo:hi]]
+            if self.values.size
+            else np.asarray([], dtype=np.float32)
+        )
+        consumed = hi - lo
+        self.stats.steps += int(out_row_idx.size)
+        self.stats.rows_emitted += int(out_row_idx.size)
+        self.stats.elements += consumed
+        if consumed:
+            # Advance the shared lane frontiers in bulk; a consumed element
+            # refills its column unless that column just exhausted.
+            per_lane = np.bincount(
+                c_sorted[lo:hi], minlength=self.lanes.n_lanes
+            )
+            f, b = self.lanes.frontier_ptr, self.lanes.boundary_ptr
+            f += per_lane
+            newly_exhausted = int(np.count_nonzero((per_lane > 0) & (f >= b)))
+            self.lanes.refill_requests += consumed - newly_exhausted
+        self._cursor = hi
+        return DCSRMatrix(
+            (row_end - row_start, self.n_cols),
+            out_row_idx,
+            out_row_ptr,
+            c_sorted[lo:hi],
+            out_vals,
         )
 
     @property
@@ -266,6 +392,7 @@ def convert_rowstrip_to_dcsc(
     *,
     n_lanes: int = 64,
     stepwise: bool = False,
+    fidelity: str | None = None,
 ):
     """CSR horizontal strip → DCSC tile, on the *same* engine (Section 4.1).
 
@@ -281,9 +408,12 @@ def convert_rowstrip_to_dcsc(
     """
     from ..formats.dcsc import DCSCMatrix
 
-    convert = convert_strip_stepwise if stepwise else convert_strip_fast
+    if fidelity is None:
+        fidelity = "stepwise" if stepwise else "fast"
     # Transposed view: rows become lanes, column ids become coordinates.
-    dcsr_t, stats = convert(row_ptr, col_idx, values, n_cols, n_lanes=n_lanes)
+    dcsr_t, stats = convert_strip(
+        row_ptr, col_idx, values, n_cols, n_lanes=n_lanes, fidelity=fidelity
+    )
     n_rows = len(np.asarray(row_ptr)) - 1
     dcsc = DCSCMatrix(
         (n_rows, n_cols),

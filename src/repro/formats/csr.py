@@ -93,16 +93,18 @@ class CSRMatrix(SparseMatrix):
         return bool(np.all((diffs > 0) | boundary))
 
     def sort_indices(self) -> "CSRMatrix":
-        """Return a copy with column indices sorted within each row."""
-        col_idx = self.col_idx.copy()
-        values = self.values.copy()
-        for i in range(self.n_rows):
-            lo, hi = int(self.row_ptr[i]), int(self.row_ptr[i + 1])
-            if hi - lo > 1:
-                order = np.argsort(col_idx[lo:hi], kind="stable")
-                col_idx[lo:hi] = col_idx[lo:hi][order]
-                values[lo:hi] = values[lo:hi][order]
-        return CSRMatrix(self.shape, self.row_ptr, col_idx, values)
+        """Return a copy with column indices sorted within each row.
+
+        One global stable lexsort on (row, column): rows are already
+        grouped in order, so this equals a per-row stable argsort.
+        """
+        rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), np.diff(self.row_ptr)
+        )
+        order = np.lexsort((self.col_idx, rows))
+        return CSRMatrix(
+            self.shape, self.row_ptr, self.col_idx[order], self.values[order]
+        )
 
     # ---------------------------------------------------------- constructors
     @classmethod

@@ -103,15 +103,18 @@ def row_per_thread_activity(
     # Scalar (per-lane) work mirrors row-per-warp's per-nonzero terms.
     mix.control_flow += (nnz + int(lens.size)) * 1
     mix.integer += 2 * int(lens.size) + 2 * nnz
-    for w in range(0, lens.size, warp_size):
-        group = lens[w : w + warp_size]
-        longest = int(group.max()) if group.size else 0
-        if longest == 0:
-            continue
-        active_lanes = int(group.sum())  # lane-iterations with real work
-        total_lanes = longest * warp_size  # warp runs to the longest row
-        mix.fp += active_lanes * dense_cols
-        mix.inactive += (total_lanes - active_lanes) * dense_cols
+    if lens.size:
+        # Pad to whole warps and reduce per warp of ``warp_size`` rows:
+        # every lane runs to the warp's longest row (integer math, exact).
+        n_warps = ceil_div(int(lens.size), warp_size)
+        padded = np.zeros(n_warps * warp_size, dtype=np.int64)
+        padded[: lens.size] = lens
+        groups_ = padded.reshape(n_warps, warp_size)
+        longest = groups_.max(axis=1)
+        active = groups_.sum(axis=1)  # lane-iterations with real work
+        total = longest * warp_size  # warp runs to the longest row
+        mix.fp += int(active.sum()) * dense_cols
+        mix.inactive += int((total - active).sum()) * dense_cols
     return mix
 
 

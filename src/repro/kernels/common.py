@@ -196,15 +196,19 @@ def grouped_row_activity(
     """
     if mix is None:
         mix = InstructionMix()
+    if groups <= 0:
+        return mix
+    # One sweep's activity is identical across groups: compute it once and
+    # accumulate it ``groups`` times (bit-identical to the per-group loop —
+    # the counters are integers, so repeated addition has no rounding).
+    per_group = row_per_warp_activity(
+        lengths, n_empty, min(dense_cols, TILE_EDGE),
+        warp_size=config.warp_size,
+    )
+    if dcsr_rows is not None:
+        per_group.add(dcsr_tile_overhead(dcsr_rows, warp_size=config.warp_size))
     for _ in range(groups):
-        mix.add(
-            row_per_warp_activity(
-                lengths, n_empty, min(dense_cols, TILE_EDGE),
-                warp_size=config.warp_size,
-            )
-        )
-        if dcsr_rows is not None:
-            mix.add(dcsr_tile_overhead(dcsr_rows, warp_size=config.warp_size))
+        mix.add(per_group)
     return mix
 
 

@@ -31,10 +31,12 @@ from .plan import (
     SpmmPlan,
     SpmmRequest,
 )
+from .parallel import BatchItemResult, ParallelExecutor, PlanHandle
 from .planner import PLANNER_VERSION, Planner
 from .record import RECORD_VERSION, RunRecord
 
 __all__ = [
+    "BatchItemResult",
     "Capabilities",
     "CacheEntry",
     "ExecutionResult",
@@ -42,7 +44,9 @@ __all__ = [
     "FULL_CAPABILITIES",
     "PLANNER_VERSION",
     "PLAN_ALGORITHMS",
+    "ParallelExecutor",
     "PlanCache",
+    "PlanHandle",
     "Planner",
     "RECORD_VERSION",
     "RunOutcome",
@@ -136,6 +140,26 @@ class SpmmRuntime:
         self.cache.insert(key, CacheEntry(plan=plan, store=store))
         return plan, store, False
 
+    @staticmethod
+    def _resolve_dense(request: SpmmRequest, store: FormatStore, *, span=None):
+        """The request's dense operand, memoized in the plan-cache store.
+
+        A seeded random operand (``dense=None``) is derived once per cache
+        entry and reused by every repeat of the request — together with the
+        store's memoized format/engine conversions this makes ``--repeat``
+        iterations pure cache replays.
+        """
+        if request.dense is not None:
+            return request.dense
+        key = ("dense", request.dense_cols, request.seed)
+        cached = store.artifacts.get(key)
+        if span is not None and span.enabled:
+            span.set_attribute("cached", cached is not None)
+        if cached is None:
+            cached = request.resolve_dense()
+            store.artifacts[key] = cached
+        return cached
+
     # ----------------------------------------------------------- execution
     def run(
         self,
@@ -166,8 +190,8 @@ class SpmmRuntime:
                     dense_cols=request.dense_cols,
                     gpu=self.config.name,
                 )
-            with tracer.span("resolve_dense"):
-                dense = request.resolve_dense()
+            with tracer.span("resolve_dense") as dense_span:
+                dense = self._resolve_dense(request, store, span=dense_span)
             execution = self.executor.execute(
                 plan,
                 request.matrix,
@@ -216,7 +240,7 @@ class SpmmRuntime:
 
         tracer = self.tracer if tracer is None else tracer
         _, store, _ = self.plan(request, tracer=tracer)
-        dense = request.resolve_dense()
+        dense = self._resolve_dense(request, store)
         return _run_all(
             request.matrix,
             dense,

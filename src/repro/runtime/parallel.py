@@ -1,0 +1,230 @@
+"""Parallel batch execution: fan SpMM requests across a process pool.
+
+The corpus-scale campaigns (Fig. 16's ~1k-matrix sweeps) are embarrassingly
+parallel across requests, but the runtime's plan cache and
+:class:`~repro.formats.convert.FormatStore` are in-process objects.  The
+:class:`ParallelExecutor` keeps both properties:
+
+* the **parent** plans every request first (cheap — SSF + Table 1
+  prediction), so repeats share one cache entry and the parent's plan
+  cache ends up exactly as a serial batch would leave it;
+* each **worker** receives a picklable :class:`PlanHandle` (the plan's
+  ``to_dict`` form plus the request fields), seeds its process-local plan
+  cache with it, and executes through a process-local
+  :class:`~repro.runtime.SpmmRuntime` — so per-worker format stores are
+  built at most once per matrix fingerprint and reused across that
+  worker's items.  With the default ``fork`` start method workers inherit
+  the parent's already-materialized stores copy-on-write;
+* execution is a deterministic function of ``(plan, matrix, dense)``, so
+  worker records are **digest-identical** to serial ones (property-tested
+  in ``tests/runtime/test_parallel.py``), and results return in request
+  order regardless of completion order;
+* when the parent traces, each worker runs under its own tracer and ships
+  its metrics snapshot + span forest home, where they are merged via
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.merge_snapshot` and
+  :meth:`~repro.telemetry.tracer.Tracer.graft`.
+
+Exposed on the CLI as ``python -m repro run --batch FILE --workers N``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .cache import CacheEntry, PlanCache, matrix_fingerprint
+from .plan import FULL_CAPABILITIES, SpmmPlan, SpmmRequest
+from .record import RunRecord
+
+#: Process-local memo: matrix fingerprint → FormatStore.  Populated in the
+#: parent before the pool spawns (fork inherits it copy-on-write) and in
+#: each worker as it encounters new matrices.
+_WORKER_STORES: dict = {}
+
+#: Process-local memo: (gpu name, ssf threshold) → SpmmRuntime, so one
+#: worker process keeps a single plan cache across all its batch items.
+_WORKER_RUNTIMES: dict = {}
+
+
+@dataclass(frozen=True)
+class PlanHandle:
+    """Picklable description of one pre-planned batch item.
+
+    Everything a worker needs to reproduce the parent's run exactly: the
+    serialized plan, the matrix (cheap COO-backed containers), and the
+    request fields that reconstruct the same dense operand and cache key.
+    """
+
+    index: int
+    plan: dict
+    matrix: object
+    fingerprint: str
+    k: int | None
+    seed: int
+    tile_width: int
+    ssf_threshold: float | None
+    dense: object = None
+
+
+@dataclass
+class BatchItemResult:
+    """One batch item's outcome, in request order."""
+
+    index: int
+    record: RunRecord
+    plan: SpmmPlan
+    #: whether the *parent's* plan cache already held this request's entry
+    cache_hit: bool
+
+
+def _handle_to_request(handle: PlanHandle) -> SpmmRequest:
+    return SpmmRequest(
+        handle.matrix,
+        dense=handle.dense,
+        k=handle.k,
+        seed=handle.seed,
+        tile_width=handle.tile_width,
+        ssf_threshold=handle.ssf_threshold,
+    )
+
+
+def _worker_runtime(config, ssf_threshold):
+    from . import SpmmRuntime
+
+    key = (config.name, ssf_threshold)
+    runtime = _WORKER_RUNTIMES.get(key)
+    if runtime is None:
+        runtime = SpmmRuntime(config, ssf_threshold=ssf_threshold)
+        _WORKER_RUNTIMES[key] = runtime
+    return runtime
+
+
+def _worker_run(config, handle: PlanHandle, traced: bool):
+    """Execute one pre-planned item in a worker process.
+
+    Returns ``(index, record_json, metrics_snapshot, span_dicts)`` — all
+    plain picklable data; the tracer payloads are ``None`` when the parent
+    is not tracing.
+    """
+    from ..formats.convert import FormatStore
+    from ..telemetry import Tracer
+
+    request = _handle_to_request(handle)
+    runtime = _worker_runtime(config, handle.ssf_threshold)
+    key = PlanCache.key_for(
+        request, runtime.config, FULL_CAPABILITIES,
+        runtime._effective_threshold(request),
+    )
+    if key not in runtime.cache._entries:
+        store = _WORKER_STORES.get(handle.fingerprint)
+        if store is None:
+            store = FormatStore(handle.matrix)
+            _WORKER_STORES[handle.fingerprint] = store
+        runtime.cache.insert(
+            key, CacheEntry(plan=SpmmPlan.from_dict(handle.plan), store=store)
+        )
+    tracer = Tracer() if traced else None
+    outcome = runtime.run(request, tracer=tracer)
+    if traced:
+        snapshot = tracer.metrics.snapshot()
+        spans = [root.to_dict() for root in tracer.roots]
+    else:
+        snapshot, spans = None, None
+    return handle.index, outcome.record.to_json(), snapshot, spans
+
+
+class ParallelExecutor:
+    """Fan a batch of :class:`SpmmRequest` across a process pool.
+
+    ``workers=1`` degenerates to serial execution through the parent
+    runtime itself (no pool, no pickling) — the reference the parallel
+    path is property-tested against.
+    """
+
+    def __init__(self, runtime, *, workers: int | None = None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.runtime = runtime
+        self.workers = int(workers)
+
+    def run_batch(
+        self, requests: list, *, tracer=None
+    ) -> list[BatchItemResult]:
+        """Execute every request, returning results in request order."""
+        tracer = self.runtime.tracer if tracer is None else tracer
+        requests = list(requests)
+        with tracer.span(
+            "batch", n_requests=len(requests), workers=self.workers
+        ):
+            if self.workers == 1:
+                return self._run_serial(requests, tracer)
+            return self._run_parallel(requests, tracer)
+
+    def _run_serial(self, requests, tracer) -> list[BatchItemResult]:
+        results = []
+        for i, request in enumerate(requests):
+            outcome = self.runtime.run(request, tracer=tracer)
+            results.append(
+                BatchItemResult(
+                    index=i,
+                    record=outcome.record,
+                    plan=outcome.plan,
+                    cache_hit=outcome.cache_hit,
+                )
+            )
+        return results
+
+    def _run_parallel(self, requests, tracer) -> list[BatchItemResult]:
+        handles = []
+        hits = []
+        for i, request in enumerate(requests):
+            plan, store, cache_hit = self.runtime.plan(request, tracer=tracer)
+            fingerprint = matrix_fingerprint(request.matrix)
+            # Seed the worker-store memo pre-fork so workers inherit any
+            # conversions the parent has already materialized (COW).
+            _WORKER_STORES.setdefault(fingerprint, store)
+            hits.append(cache_hit)
+            handles.append(
+                PlanHandle(
+                    index=i,
+                    plan=plan.to_dict(),
+                    matrix=request.matrix,
+                    fingerprint=fingerprint,
+                    k=request.k,
+                    seed=request.seed,
+                    tile_width=request.tile_width,
+                    ssf_threshold=request.ssf_threshold,
+                    dense=request.dense,
+                )
+            )
+        traced = bool(tracer.enabled)
+        results: list = [None] * len(requests)
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(_worker_run, self.runtime.config, h, traced)
+                    for h in handles
+                ]
+                # Collect in submission order: deterministic result list
+                # and span/metrics merge order regardless of completion.
+                for handle, future in zip(handles, futures):
+                    index, record_json, snapshot, spans = future.result()
+                    if traced:
+                        tracer.metrics.merge_snapshot(snapshot)
+                        for span_dict in spans:
+                            root = tracer.graft(span_dict)
+                            root.set_attribute("batch_index", index)
+                    results[index] = BatchItemResult(
+                        index=index,
+                        record=RunRecord.from_json(record_json),
+                        plan=SpmmPlan.from_dict(handle.plan),
+                        cache_hit=hits[index],
+                    )
+        finally:
+            # Drop parent-side seeding so stores obey the plan cache's LRU.
+            _WORKER_STORES.clear()
+        return results

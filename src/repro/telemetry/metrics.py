@@ -90,6 +90,18 @@ class Histogram:
             "mean": float(self.mean),
         }
 
+    def merge_dict(self, d: dict) -> None:
+        """Fold another histogram's :meth:`to_dict` summary into this one."""
+        count = int(d.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(d.get("sum", 0.0))
+        if d.get("min") is not None and float(d["min"]) < self.min:
+            self.min = float(d["min"])
+        if d.get("max") is not None and float(d["max"]) > self.max:
+            self.max = float(d["max"])
+
 
 class MetricsRegistry:
     """Name-keyed store of counters, gauges, and histograms."""
@@ -134,6 +146,22 @@ class MetricsRegistry:
                 name: h.to_dict() for name, h in sorted(self._histograms.items())
             },
         }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram moments accumulate; gauges (point-in-time
+        values) take the incoming value — last writer wins, matching what
+        sequential execution of the merged work would have left behind.
+        The parallel executor uses this to merge per-worker registries back
+        into the parent tracer's.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_dict(summary)
 
 
 class _NullInstrument:
@@ -182,3 +210,6 @@ class NullMetricsRegistry:
     def snapshot(self) -> dict:
         """An empty snapshot."""
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Discard the snapshot."""

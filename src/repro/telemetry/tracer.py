@@ -154,6 +154,39 @@ class Tracer:
         for root in self.roots:
             yield from root.iter_spans()
 
+    def graft(self, span_dict: dict) -> Span:
+        """Re-attach a span tree exported elsewhere (:meth:`Span.to_dict`).
+
+        The parallel executor runs each batch item in a worker process with
+        its own tracer; the worker ships its finished span forest back as
+        plain data and the parent grafts it here — under the currently open
+        span if there is one, else as a new root.  Span ids are re-issued
+        from this tracer's sequence; timestamps are kept as-is (they are
+        relative to the *worker's* origin, which the grafted root's
+        ``remote=True`` attribute flags for consumers).
+        """
+        def build(d: dict) -> Span:
+            sp = Span(self, d.get("name", ""), d.get("attributes", {}))
+            sp.span_id = self._next_id
+            self._next_id += 1
+            sp.start_s = d.get("start_s")
+            sp.end_s = d.get("end_s")
+            for child_dict in d.get("children", ()):
+                child = build(child_dict)
+                child.parent_id = sp.span_id
+                sp.children.append(child)
+            return sp
+
+        root = build(span_dict)
+        root.attributes.setdefault("remote", True)
+        parent = self.current_span
+        if parent is not None:
+            root.parent_id = parent.span_id
+            parent.children.append(root)
+        else:
+            self.roots.append(root)
+        return root
+
     # ---------------------------------------------------------------- stack
     def _push(self, span: Span) -> None:
         span.span_id = self._next_id
@@ -233,6 +266,10 @@ class NullTracer:
 
     def span(self, name: str, **attributes) -> _NullSpan:
         """The shared no-op span."""
+        return _NULL_SPAN
+
+    def graft(self, span_dict: dict) -> _NullSpan:
+        """Discard the span tree."""
         return _NULL_SPAN
 
     def iter_spans(self):

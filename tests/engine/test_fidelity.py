@@ -1,0 +1,132 @@
+"""Fast-vs-stepwise fidelity: bit-identical tiles and ConversionStats.
+
+The engine exposes two conversion fidelities: ``"stepwise"`` drives the
+comparator tree and lane frontiers cycle by cycle (the hardware-faithful
+audit path) and ``"fast"`` is the vectorized rewrite.  These tests are the
+contract that the fast path is a pure speedup — every tile array (values
+included, with dtypes), every :class:`ConversionStats` field, and the
+refill accounting must match exactly, across both the one-shot
+``convert_strip`` dispatcher and the tile-streaming converter.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    FIDELITIES,
+    StreamingStripConverter,
+    convert_strip,
+    convert_strip_fast,
+    convert_strip_stepwise,
+)
+from repro.errors import EngineError
+
+from .test_conversion import csc_strips, fig13_strip
+
+
+def assert_tiles_identical(got, want):
+    """Bit-identical DCSR content: arrays, dtypes, and shape."""
+    assert got.shape == want.shape
+    for field in ("row_idx", "row_ptr", "col_idx", "values"):
+        g, w = getattr(got, field), getattr(want, field)
+        assert g.dtype == w.dtype, f"{field}: {g.dtype} != {w.dtype}"
+        np.testing.assert_array_equal(g, w, err_msg=field)
+
+
+class TestDispatcher:
+    def test_fidelities_registry(self):
+        assert FIDELITIES == ("fast", "stepwise")
+
+    def test_default_is_fast(self):
+        col_ptr, row_idx, values = fig13_strip()
+        d_default, s_default = convert_strip(col_ptr, row_idx, values, 5)
+        d_fast, s_fast = convert_strip_fast(col_ptr, row_idx, values, 5)
+        assert_tiles_identical(d_default, d_fast)
+        assert s_default == s_fast
+
+    def test_stepwise_flag_routes_to_stepwise(self):
+        col_ptr, row_idx, values = fig13_strip()
+        d, s = convert_strip(col_ptr, row_idx, values, 5, fidelity="stepwise")
+        want, want_s = convert_strip_stepwise(col_ptr, row_idx, values, 5)
+        assert_tiles_identical(d, want)
+        assert s == want_s
+
+    def test_unknown_fidelity_rejected(self):
+        col_ptr, row_idx, values = fig13_strip()
+        with pytest.raises(EngineError, match="unknown fidelity"):
+            convert_strip(col_ptr, row_idx, values, 5, fidelity="exact")
+
+    def test_streaming_unknown_fidelity_rejected(self):
+        col_ptr, row_idx, values = fig13_strip()
+        with pytest.raises(EngineError, match="unknown fidelity"):
+            StreamingStripConverter(
+                col_ptr, row_idx, values, 5, fidelity="turbo"
+            )
+
+
+class TestStripEquivalence:
+    @given(csc_strips())
+    @settings(max_examples=60, deadline=None)
+    def test_one_shot_bit_identical(self, strip):
+        col_ptr, rows, values, n_rows = strip
+        d_fast, s_fast = convert_strip(
+            col_ptr, rows, values, n_rows, fidelity="fast"
+        )
+        d_step, s_step = convert_strip(
+            col_ptr, rows, values, n_rows, fidelity="stepwise"
+        )
+        assert_tiles_identical(d_fast, d_step)
+        assert s_fast == s_step
+
+    def test_empty_strip(self):
+        d_fast, s_fast = convert_strip([0, 0, 0], [], np.array([]), 4)
+        d_step, s_step = convert_strip(
+            [0, 0, 0], [], np.array([]), 4, fidelity="stepwise"
+        )
+        assert_tiles_identical(d_fast, d_step)
+        assert s_fast == s_step
+        assert s_fast.steps == 0
+
+
+class TestStreamingEquivalence:
+    @given(csc_strips(), st.integers(min_value=1, max_value=9))
+    @settings(max_examples=60, deadline=None)
+    def test_tiles_stats_and_lanes_bit_identical(self, strip, height):
+        """Fast streaming matches stepwise tile-for-tile, not just overall."""
+        col_ptr, rows, values, n_rows = strip
+        fast = StreamingStripConverter(
+            col_ptr, rows, values, n_rows, fidelity="fast"
+        )
+        step = StreamingStripConverter(
+            col_ptr, rows, values, n_rows, fidelity="stepwise"
+        )
+        while not step.finished:
+            assert not fast.finished
+            tile_f = fast.next_tile(height)
+            tile_s = step.next_tile(height)
+            assert_tiles_identical(tile_f, tile_s)
+        assert fast.finished
+        # Full stats equality, including the finish-time refill total ...
+        assert fast.stats == step.stats
+        # ... and the lane frontiers themselves agree, so refill/exhaustion
+        # bookkeeping is identical state, not just identical totals.
+        np.testing.assert_array_equal(
+            fast.lanes.frontier_ptr, step.lanes.frontier_ptr
+        )
+        assert fast.lanes.refill_requests == step.lanes.refill_requests
+        assert fast.lanes.exhausted() and step.lanes.exhausted()
+
+    def test_fig13_fast_streaming(self):
+        col_ptr, row_idx, values = fig13_strip()
+        conv = StreamingStripConverter(
+            col_ptr, row_idx, values, 5, fidelity="fast"
+        )
+        tiles = conv.drain(2)
+        assert len(tiles) == 3
+        oracle, stats = convert_strip_stepwise(col_ptr, row_idx, values, 5)
+        assert conv.stats == stats
+        # rows 0-1 land in tile 0 with tile-local row indices
+        np.testing.assert_array_equal(tiles[0][1].row_idx, [0, 1])
+        np.testing.assert_array_equal(tiles[0][1].col_idx, [0, 1, 2, 1])

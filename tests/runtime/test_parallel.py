@@ -1,0 +1,121 @@
+"""ParallelExecutor determinism: N workers == 1 worker == serial runtime.
+
+The process-pool path must be a pure throughput change — worker records
+are digest-identical to serial ones, results come back in request order,
+parent-side plan-cache bookkeeping matches a serial batch, and when the
+parent traces, worker metrics and span forests merge into its tracer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import GV100
+from repro.matrices import uniform_random
+from repro.runtime import ParallelExecutor, SpmmRequest, SpmmRuntime
+from repro.telemetry import Tracer
+
+
+@pytest.fixture(scope="module")
+def requests():
+    """Three requests: two distinct matrices plus a repeat of the first."""
+    a = uniform_random(96, 96, 0.03, seed=1)
+    b = uniform_random(128, 64, 0.05, seed=2)
+    return [
+        SpmmRequest(a, k=16, seed=0),
+        SpmmRequest(b, k=16, seed=0),
+        SpmmRequest(a, k=16, seed=0),  # plan-cache hit in the parent
+    ]
+
+
+def run_with_workers(requests, workers, tracer=None):
+    runtime = SpmmRuntime(GV100)
+    executor = ParallelExecutor(runtime, workers=workers)
+    return runtime, executor.run_batch(requests, tracer=tracer)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_digests(self, requests):
+        """Acceptance: N workers, 1 worker, and the bare runtime agree."""
+        runtime_serial = SpmmRuntime(GV100)
+        reference = [runtime_serial.run(r).record for r in requests]
+        _, one = run_with_workers(requests, 1)
+        _, two = run_with_workers(requests, 2)
+        for want, got1, got2 in zip(reference, one, two):
+            assert got1.record.digest() == want.digest()
+            assert got2.record.digest() == want.digest()
+            assert got1.record.to_json() == want.to_json()
+            assert got2.record.to_json() == want.to_json()
+
+    def test_results_in_request_order(self, requests):
+        _, results = run_with_workers(requests, 2)
+        assert [r.index for r in results] == [0, 1, 2]
+
+    def test_cache_hits_match_serial_bookkeeping(self, requests):
+        """Repeat of a request is a hit in both modes; parent cache agrees."""
+        runtime1, one = run_with_workers(requests, 1)
+        runtime2, two = run_with_workers(requests, 2)
+        assert [r.cache_hit for r in one] == [False, False, True]
+        assert [r.cache_hit for r in two] == [False, False, True]
+        assert runtime1.cache.stats == runtime2.cache.stats
+
+    def test_plans_match_serial(self, requests):
+        _, one = run_with_workers(requests, 1)
+        _, two = run_with_workers(requests, 2)
+        for a, b in zip(one, two):
+            assert a.plan.to_dict() == b.plan.to_dict()
+
+    def test_explicit_dense_operand_round_trips(self):
+        m = uniform_random(64, 48, 0.05, seed=5)
+        dense = np.ones((48, 8), dtype=np.float32)
+        reqs = [SpmmRequest(m, dense=dense)]
+        _, serial = run_with_workers(reqs, 1)
+        _, parallel = run_with_workers(reqs, 2)
+        assert parallel[0].record.digest() == serial[0].record.digest()
+
+
+class TestTelemetryMerge:
+    def test_worker_spans_graft_into_parent(self, requests):
+        tracer = Tracer()
+        run_with_workers(requests, 2, tracer=tracer)
+        (batch_root,) = tracer.roots
+        assert batch_root.name == "batch"
+        remote = [
+            s for s in batch_root.iter_spans()
+            if s.attributes.get("remote")
+        ]
+        assert len(remote) == len(requests)
+        assert sorted(s.attributes["batch_index"] for s in remote) == [0, 1, 2]
+        # each grafted worker root is a full `run` tree, children included
+        assert all(s.name == "run" for s in remote)
+        assert all(s.children for s in remote)
+
+    def test_worker_metrics_fold_into_parent(self, requests):
+        tracer = Tracer()
+        run_with_workers(requests, 2, tracer=tracer)
+        snapshot = tracer.metrics.snapshot()
+        counters = snapshot["counters"]
+        # parent planning: one miss per unique matrix + one hit; worker-side
+        # runs re-count their local lookups on top.
+        assert counters["plan_cache.misses"] >= 2
+        assert counters["kernel.executions"] >= len(requests)
+
+    def test_untraced_batch_leaves_no_spans(self, requests):
+        runtime = SpmmRuntime(GV100)
+        executor = ParallelExecutor(runtime, workers=2)
+        executor.run_batch(requests)
+        assert list(runtime.tracer.iter_spans()) == []
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            ParallelExecutor(SpmmRuntime(GV100), workers=0)
+
+    def test_default_workers_is_cpu_count(self):
+        executor = ParallelExecutor(SpmmRuntime(GV100))
+        assert executor.workers >= 1
+
+    def test_empty_batch(self):
+        _, results = run_with_workers([], 2)
+        assert results == []

@@ -85,8 +85,18 @@ class TestSimulate:
 
 
 class TestRun:
-    def test_repeat_hits_plan_cache(self, capsys):
+    def test_repeat_hits_plan_cache(self, capsys, monkeypatch):
         """Acceptance: same matrix twice → cache hit, identical digest."""
+        from repro.runtime.plan import SpmmRequest
+
+        derivations = []
+        original = SpmmRequest.resolve_dense
+
+        def counting(self):
+            derivations.append(1)
+            return original(self)
+
+        monkeypatch.setattr(SpmmRequest, "resolve_dense", counting)
         assert main(["run", "--generate", GEN, "--k", "32"]) == 0
         out = capsys.readouterr().out
         lines = [l for l in out.splitlines() if l.startswith("run ")]
@@ -96,6 +106,10 @@ class TestRun:
         digest = lines[0].split("digest=")[1]
         assert lines[1].endswith(digest)
         assert "1 hits" in out
+        # The repeat reuses the first iteration's conversions through the
+        # FormatStore: the dense operand is derived exactly once, not once
+        # per --repeat iteration.
+        assert len(derivations) == 1
 
     def test_json_mode_emits_identical_records(self, capsys):
         assert main(["run", "--generate", GEN, "--k", "32", "--json"]) == 0
