@@ -217,8 +217,101 @@ def _print_run(args, index, record, plan, cache_hit) -> None:
           f"digest={record.digest()[:16]}")
 
 
+def _parse_batch_file(path: str) -> list:
+    """Read a batch file into labeled matrices, blaming the exact bad line.
+
+    Returns ``[(label, matrix), ...]``; an unreadable or invalid entry
+    raises :class:`~repro.errors.ConfigError` naming the file and line
+    number so the CLI exits with a clean message, never a traceback.
+    """
+    from .errors import ConfigError
+
+    try:
+        with open(path) as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        raise ReproError(f"cannot read batch file: {exc}") from None
+    specs = [
+        (lineno, line.strip())
+        for lineno, line in enumerate(lines, start=1)
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not specs:
+        raise ReproError(f"batch file {path} lists no matrices")
+    out = []
+    for lineno, spec in specs:
+        ns = argparse.Namespace(
+            mtx=spec if spec.endswith(".mtx") else None,
+            generate=None if spec.endswith(".mtx") else spec,
+        )
+        try:
+            out.append((spec, _load_matrix(ns)))
+        except ReproError as exc:
+            raise ConfigError(
+                f"batch file {path} line {lineno}: {exc}"
+            ) from None
+    return out
+
+
+def _resolve_journal(args):
+    """Validate the journal flags; returns ``(journal_path, resume)``."""
+    import os
+
+    from .errors import ConfigError
+
+    if args.journal and args.resume:
+        raise ConfigError("pass either --journal or --resume, not both")
+    if args.resume:
+        if not os.path.exists(args.resume):
+            raise ConfigError(f"--resume journal not found: {args.resume}")
+        return args.resume, True
+    if args.journal:
+        if os.path.exists(args.journal):
+            if not args.force:
+                raise ReproError(
+                    f"{args.journal} exists; pass --force to restart it "
+                    f"or --resume to continue it"
+                )
+            os.unlink(args.journal)
+        return args.journal, False
+    return None, False
+
+
+def _print_batch_summary(args, results) -> None:
+    """Report quarantined items plus supervision/journal totals.
+
+    Failures and (in ``--json`` mode) the machine-readable summary go to
+    stderr so stdout stays a pure stream of RunRecord documents.
+    """
+    import json as _json
+
+    for failed in results.failures:
+        print(
+            f"failed item {failed.index}: {failed.error_type}: "
+            f"{failed.message} (attempts: {failed.attempts})",
+            file=sys.stderr,
+        )
+    summary = results.summary()
+    if args.json:
+        print(_json.dumps(summary, sort_keys=True, default=float),
+              file=sys.stderr)
+        return
+    sup = summary["supervision"]
+    print(f"batch: {summary['completed']}/{summary['n_items']} completed, "
+          f"{summary['replayed']} replayed, "
+          f"{len(results.failures)} failed, "
+          f"{sup.get('retries', 0)} retries, "
+          f"{sup.get('worker_crashes', 0)} worker crashes")
+    journal = summary["journal"]
+    if journal is not None:
+        print(f"journal: {journal['trusted_entries']} trusted entries, "
+              f"{len(journal['anomalies'])} anomalies "
+              f"({journal['path']})")
+
+
 def cmd_run(args) -> int:
     """Planner/executor front door: plan, cache, execute, record, trace."""
+    from .errors import ConfigError
     from .runtime import SpmmRequest, SpmmRuntime
 
     config = gpu.get_config(args.gpu)
@@ -232,31 +325,24 @@ def cmd_run(args) -> int:
     )
     if args.repeat < 1:
         raise ReproError("--repeat must be at least 1")
-
-    matrices_in = []
-    if args.batch:
-        try:
-            with open(args.batch) as fh:
-                specs = [
-                    line.strip() for line in fh
-                    if line.strip() and not line.strip().startswith("#")
-                ]
-        except OSError as exc:
-            raise ReproError(f"cannot read batch file: {exc}") from None
-        if not specs:
-            raise ReproError(f"batch file {args.batch} lists no matrices")
-        for spec in specs:
-            ns = argparse.Namespace(
-                mtx=spec if spec.endswith(".mtx") else None,
-                generate=None if spec.endswith(".mtx") else spec,
-            )
-            matrices_in.append((spec, _load_matrix(ns)))
-    else:
-        m = _load_matrix(args)
-        matrices_in.append((args.mtx or args.generate, m))
-
     if args.workers < 1:
         raise ReproError("--workers must be at least 1")
+    if not args.batch:
+        for flag, value in (
+            ("--journal", args.journal),
+            ("--resume", args.resume),
+            ("--fail-fast", args.fail_fast),
+            ("--request-timeout", args.request_timeout),
+            ("--start-method", args.start_method),
+        ):
+            if value:
+                raise ConfigError(f"{flag} requires --batch")
+
+    matrices_in = (
+        _parse_batch_file(args.batch)
+        if args.batch
+        else [(args.mtx or args.generate, _load_matrix(args))]
+    )
     labeled_requests = []
     for label, m in matrices_in:
         k = args.k if args.k else min(m.n_cols, 2048)
@@ -266,16 +352,27 @@ def cmd_run(args) -> int:
         )
 
     records: list = []
-    if args.workers > 1:
+    exit_code = 0
+    if args.batch:
         from .runtime import ParallelExecutor
+        from .runtime.supervisor import SupervisionPolicy
 
+        journal_path, resume = _resolve_journal(args)
+        policy = SupervisionPolicy(
+            request_timeout_s=args.request_timeout,
+            max_retries=args.max_retries,
+            fail_fast=args.fail_fast,
+            start_method=args.start_method,
+        )
         executor = ParallelExecutor(runtime, workers=args.workers)
         batch = [
             request
             for _, request in labeled_requests
             for _ in range(args.repeat)
         ]
-        results = executor.run_batch(batch)
+        results = executor.run_batch(
+            batch, policy=policy, journal=journal_path, resume=resume
+        )
         index = 0
         for label, _ in labeled_requests:
             if not args.json and len(labeled_requests) > 1:
@@ -283,13 +380,16 @@ def cmd_run(args) -> int:
             for _ in range(args.repeat):
                 res = results[index]
                 index += 1
+                if res is None:  # quarantined; detailed on stderr below
+                    continue
                 records.append(res.record)
                 _print_run(args, index, res.record, res.plan, res.cache_hit)
+        _print_batch_summary(args, results)
+        if results.failures:
+            exit_code = 1
     else:
         index = 0
         for label, request in labeled_requests:
-            if not args.json and len(labeled_requests) > 1:
-                print(f"# {label}")
             for _ in range(args.repeat):
                 index += 1
                 outcome = runtime.run(request)
@@ -321,7 +421,7 @@ def cmd_run(args) -> int:
         stats = runtime.cache.stats
         print(f"plan cache: {stats['entries']} entries, "
               f"{stats['hits']} hits, {stats['misses']} misses")
-    return 0
+    return exit_code
 
 
 def _report_one(record, index: int, total: int) -> None:
@@ -590,8 +690,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=1,
         help="process-pool width for batch execution (1 = in-process "
-        "serial; N > 1 fans runs across N worker processes with "
-        "digest-identical records)",
+        "serial; N > 1 fans runs across N supervised worker processes "
+        "with digest-identical records)",
+    )
+    p.add_argument(
+        "--request-timeout", type=float, default=None, metavar="S",
+        help="per-item deadline in seconds for batch workers; a hung "
+        "worker is killed and the item retried (default: no deadline)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-dispatches per failing batch item before it is "
+        "quarantined as a FailedItem (default 2)",
+    )
+    p.add_argument(
+        "--journal", metavar="FILE",
+        help="append every completed batch item to this JSONL run "
+        "journal (crash-safe checkpoint; see docs/RELIABILITY.md)",
+    )
+    p.add_argument(
+        "--resume", metavar="FILE",
+        help="resume a batch from this journal: replay digest-verified "
+        "entries, execute only the remainder, keep journaling to it",
+    )
+    p.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the batch on the first item failure instead of "
+        "retrying and quarantining",
+    )
+    p.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for batch workers "
+        "(default: fork when available, else spawn)",
     )
     p.add_argument(
         "--json", action="store_true",

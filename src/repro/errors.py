@@ -69,3 +69,50 @@ class DeadlineExceededError(EngineError):
 
 class RetryExhaustedError(EngineError):
     """A tile request failed every attempt its retry policy allowed."""
+
+
+class SupervisionError(ReproError):
+    """The supervised batch executor aborted instead of degrading.
+
+    Raised only when the caller asked for it (``fail_fast``) or when the
+    supervisor itself cannot make progress (e.g. the worker pool cannot be
+    started).  Ordinary worker failures never raise — they are returned as
+    structured :class:`~repro.runtime.supervisor.FailedItem` entries.
+    """
+
+
+class WorkerCrashError(SupervisionError):
+    """A worker process died (SIGKILL, OOM, hard crash) mid-request.
+
+    Used as the ``error_type`` of the affected item's
+    :class:`~repro.runtime.supervisor.FailedItem` once retries are
+    exhausted; only raised directly under ``fail_fast``.
+    """
+
+
+class RequestTimeoutError(SupervisionError):
+    """A batch item exceeded its per-request deadline in a worker.
+
+    The supervisor kills the hung worker, respawns a replacement, and
+    retries the item with backoff; the name appears as a
+    :class:`~repro.runtime.supervisor.FailedItem` ``error_type`` when the
+    retry budget runs out.
+    """
+
+
+class HeartbeatLostError(WorkerCrashError):
+    """A worker stopped heartbeating while still registered as alive.
+
+    Distinguishes a frozen process (e.g. SIGSTOP, swap death) from a
+    clean crash; handled exactly like a crash.
+    """
+
+
+class JournalError(ReproError):
+    """A run journal cannot be opened, appended to, or rewritten.
+
+    Corrupt journal *content* is never an error — bad lines are reported
+    as anomalies and their items re-executed (see
+    :mod:`repro.runtime.journal`); this exception covers I/O failures
+    only.
+    """

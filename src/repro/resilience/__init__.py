@@ -29,7 +29,9 @@ from .faults import (
 from .campaign import (
     CampaignConfig,
     CampaignReport,
+    SweepResult,
     run_campaign,
+    run_campaign_sweep,
 )
 
 __all__ = [
@@ -43,5 +45,7 @@ __all__ = [
     "verify_stream",
     "CampaignConfig",
     "CampaignReport",
+    "SweepResult",
     "run_campaign",
+    "run_campaign_sweep",
 ]

@@ -31,17 +31,39 @@ from .plan import (
     SpmmPlan,
     SpmmRequest,
 )
-from .parallel import BatchItemResult, ParallelExecutor, PlanHandle
+from .journal import (
+    JOURNAL_VERSION,
+    JournalReplay,
+    RunJournal,
+    request_fingerprint,
+)
+from .parallel import (
+    BatchItemResult,
+    BatchResult,
+    ParallelExecutor,
+    PlanHandle,
+)
 from .planner import PLANNER_VERSION, Planner
 from .record import RECORD_VERSION, RunRecord
+from .supervisor import (
+    ChaosFault,
+    FailedItem,
+    SupervisionPolicy,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "BatchItemResult",
+    "BatchResult",
     "Capabilities",
     "CacheEntry",
+    "ChaosFault",
     "ExecutionResult",
     "Executor",
     "FULL_CAPABILITIES",
+    "FailedItem",
+    "JOURNAL_VERSION",
+    "JournalReplay",
     "PLANNER_VERSION",
     "PLAN_ALGORITHMS",
     "ParallelExecutor",
@@ -49,12 +71,16 @@ __all__ = [
     "PlanHandle",
     "Planner",
     "RECORD_VERSION",
+    "RunJournal",
     "RunOutcome",
     "RunRecord",
     "SpmmPlan",
     "SpmmRequest",
     "SpmmRuntime",
+    "SupervisionPolicy",
+    "WorkerSupervisor",
     "matrix_fingerprint",
+    "request_fingerprint",
 ]
 
 

@@ -1,50 +1,61 @@
-"""Parallel batch execution: fan SpMM requests across a process pool.
+"""Crash-safe parallel batch execution for SpMM requests.
 
-The corpus-scale campaigns (Fig. 16's ~1k-matrix sweeps) are embarrassingly
-parallel across requests, but the runtime's plan cache and
-:class:`~repro.formats.convert.FormatStore` are in-process objects.  The
-:class:`ParallelExecutor` keeps both properties:
+The corpus-scale campaigns (Fig. 16's ~1k-matrix sweeps) are
+embarrassingly parallel across requests.  This module fans a batch across
+a :class:`~repro.runtime.supervisor.WorkerSupervisor`-owned process pool
+while keeping three properties the serial runtime guarantees:
 
-* the **parent** plans every request first (cheap — SSF + Table 1
-  prediction), so repeats share one cache entry and the parent's plan
-  cache ends up exactly as a serial batch would leave it;
-* each **worker** receives a picklable :class:`PlanHandle` (the plan's
-  ``to_dict`` form plus the request fields), seeds its process-local plan
-  cache with it, and executes through a process-local
-  :class:`~repro.runtime.SpmmRuntime` — so per-worker format stores are
-  built at most once per matrix fingerprint and reused across that
-  worker's items.  With the default ``fork`` start method workers inherit
-  the parent's already-materialized stores copy-on-write;
-* execution is a deterministic function of ``(plan, matrix, dense)``, so
-  worker records are **digest-identical** to serial ones (property-tested
-  in ``tests/runtime/test_parallel.py``), and results return in request
-  order regardless of completion order;
-* when the parent traces, each worker runs under its own tracer and ships
-  its metrics snapshot + span forest home, where they are merged via
-  :meth:`~repro.telemetry.metrics.MetricsRegistry.merge_snapshot` and
-  :meth:`~repro.telemetry.tracer.Tracer.graft`.
+* **determinism** — the parent plans every request (cheap — SSF + Table 1
+  prediction) and ships each worker a picklable :class:`PlanHandle`;
+  execution is a pure function of ``(plan, matrix, dense)``, so worker
+  records are digest-identical to serial ones and results return in
+  request order (property-tested in ``tests/runtime/test_parallel.py``);
+* **resilience** — workers are supervised: crashes, hangs, and poison
+  requests are retried with backoff and ultimately quarantined as
+  structured :class:`~repro.runtime.supervisor.FailedItem` entries on the
+  :class:`BatchResult`; a dead worker can no longer abort the batch
+  (chaos-tested in ``tests/runtime/test_chaos.py``);
+* **durability** — with ``journal=`` every completed item is checkpointed
+  to an append-only :class:`~repro.runtime.journal.RunJournal`, and
+  ``resume=True`` replays digest-verified entries instead of re-executing
+  them (see ``docs/RELIABILITY.md``).
 
-Exposed on the CLI as ``python -m repro run --batch FILE --workers N``.
+Worker processes memoize format stores and runtimes per fingerprint in
+their own process — nothing relies on ``fork`` copy-on-write inheritance,
+so ``spawn`` and ``forkserver`` start methods behave identically (the
+start method is explicit on
+:class:`~repro.runtime.supervisor.SupervisionPolicy`).
+
+When the parent traces, each worker runs under its own tracer and ships
+its metrics snapshot + span forest home, where they are merged via
+:meth:`~repro.telemetry.metrics.MetricsRegistry.merge_snapshot` and
+:meth:`~repro.telemetry.tracer.Tracer.graft` in request-index order.
+
+Exposed on the CLI as ``python -m repro run --batch FILE --workers N
+[--journal FILE | --resume FILE] [--request-timeout S] [--max-retries N]
+[--fail-fast]``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
 from dataclasses import dataclass
 
-from ..errors import ConfigError
+from ..errors import ConfigError, SupervisionError
 from .cache import CacheEntry, PlanCache, matrix_fingerprint
+from .journal import RunJournal, request_fingerprint
 from .plan import FULL_CAPABILITIES, SpmmPlan, SpmmRequest
 from .record import RunRecord
+from .supervisor import FailedItem, SupervisionPolicy, WorkerSupervisor
 
-#: Process-local memo: matrix fingerprint → FormatStore.  Populated in the
-#: parent before the pool spawns (fork inherits it copy-on-write) and in
-#: each worker as it encounters new matrices.
+#: Worker-process-local memo: matrix fingerprint → FormatStore.  Populated
+#: by each worker as it encounters new matrices (works under any start
+#: method — no copy-on-write assumption).
 _WORKER_STORES: dict = {}
 
-#: Process-local memo: (gpu name, ssf threshold) → SpmmRuntime, so one
-#: worker process keeps a single plan cache across all its batch items.
+#: Worker-process-local memo: (gpu name, ssf threshold) → SpmmRuntime, so
+#: one worker process keeps a single plan cache across all its batch items.
 _WORKER_RUNTIMES: dict = {}
 
 
@@ -77,9 +88,52 @@ class BatchItemResult:
     plan: SpmmPlan
     #: whether the *parent's* plan cache already held this request's entry
     cache_hit: bool
+    #: True when the record came from a resumed journal, not execution
+    replayed: bool = False
+
+
+class BatchResult(list):
+    """The outcome of one batch: a list of results plus failure metadata.
+
+    Indexes and iterates like the plain list older callers expect — one
+    :class:`BatchItemResult` per request, in request order, with ``None``
+    at quarantined indexes — and additionally carries the structured
+    failures, supervision counters, and journal summary.
+    """
+
+    def __init__(self, items, failures=(), stats=None, journal_summary=None):
+        super().__init__(items)
+        #: quarantined items, as structured FailedItem entries
+        self.failures: list[FailedItem] = list(failures)
+        #: supervision counters (retries, kills, ...) for this batch
+        self.stats: dict = dict(stats or {})
+        #: the resume-time journal load report, when resuming
+        self.journal_summary: dict | None = journal_summary
+
+    @property
+    def ok(self) -> bool:
+        """True when every item completed (possibly after retries)."""
+        return not self.failures
+
+    @property
+    def n_replayed(self) -> int:
+        """How many items were replayed from the journal."""
+        return sum(1 for r in self if r is not None and r.replayed)
+
+    def summary(self) -> dict:
+        """Plain-JSON batch report (the CLI's ``batch_summary``)."""
+        return {
+            "n_items": len(self),
+            "completed": sum(1 for r in self if r is not None),
+            "replayed": self.n_replayed,
+            "failed": [f.to_dict() for f in self.failures],
+            "supervision": dict(self.stats),
+            "journal": self.journal_summary,
+        }
 
 
 def _handle_to_request(handle: PlanHandle) -> SpmmRequest:
+    """Rebuild the worker-side request a handle describes."""
     return SpmmRequest(
         handle.matrix,
         dense=handle.dense,
@@ -91,6 +145,7 @@ def _handle_to_request(handle: PlanHandle) -> SpmmRequest:
 
 
 def _worker_runtime(config, ssf_threshold):
+    """The worker-process-local runtime for one (gpu, threshold) pair."""
     from . import SpmmRuntime
 
     key = (config.name, ssf_threshold)
@@ -101,16 +156,21 @@ def _worker_runtime(config, ssf_threshold):
     return runtime
 
 
-def _worker_run(config, handle: PlanHandle, traced: bool):
+def execute_handle(ctx, handle: PlanHandle):
     """Execute one pre-planned item in a worker process.
 
-    Returns ``(index, record_json, metrics_snapshot, span_dicts)`` — all
-    plain picklable data; the tracer payloads are ``None`` when the parent
-    is not tracing.
+    The supervisor's task function (module-level so ``spawn`` can pickle
+    it by reference).  ``ctx`` is ``(config, traced)``; returns
+    ``(record_json, metrics_snapshot, span_dicts)`` — all plain picklable
+    data, with the tracer payloads ``None`` when the parent is not
+    tracing.  The format store is rebuilt from the handle's matrix on
+    first use and memoized per fingerprint, so the worker path is correct
+    under every start method.
     """
     from ..formats.convert import FormatStore
     from ..telemetry import Tracer
 
+    config, traced = ctx
     request = _handle_to_request(handle)
     runtime = _worker_runtime(config, handle.ssf_threshold)
     key = PlanCache.key_for(
@@ -132,15 +192,16 @@ def _worker_run(config, handle: PlanHandle, traced: bool):
         spans = [root.to_dict() for root in tracer.roots]
     else:
         snapshot, spans = None, None
-    return handle.index, outcome.record.to_json(), snapshot, spans
+    return outcome.record.to_json(), snapshot, spans
 
 
 class ParallelExecutor:
-    """Fan a batch of :class:`SpmmRequest` across a process pool.
+    """Fan a batch of :class:`SpmmRequest` across a supervised pool.
 
     ``workers=1`` degenerates to serial execution through the parent
     runtime itself (no pool, no pickling) — the reference the parallel
-    path is property-tested against.
+    path is property-tested against.  Journaling, resume, retry, and
+    quarantine semantics are identical in both modes.
     """
 
     def __init__(self, runtime, *, workers: int | None = None):
@@ -152,79 +213,233 @@ class ParallelExecutor:
         self.workers = int(workers)
 
     def run_batch(
-        self, requests: list, *, tracer=None
-    ) -> list[BatchItemResult]:
-        """Execute every request, returning results in request order."""
+        self,
+        requests: list,
+        *,
+        tracer=None,
+        policy: SupervisionPolicy | None = None,
+        journal=None,
+        resume: bool = False,
+        chaos: dict | None = None,
+    ) -> BatchResult:
+        """Execute every request, returning results in request order.
+
+        ``policy`` configures supervision (deadlines, retries, backoff,
+        fail-fast, start method); ``journal`` (a path or
+        :class:`RunJournal`) checkpoints each completed item, and
+        ``resume=True`` first replays the journal's digest-verified
+        entries, executing only the remainder.  ``chaos`` is the
+        fault-injection seam (index →
+        :class:`~repro.runtime.supervisor.ChaosFault`) used by the chaos
+        tests.  Quarantined items surface on ``result.failures``; only a
+        ``fail_fast`` policy makes this method raise for a worker-side
+        failure.
+        """
         tracer = self.runtime.tracer if tracer is None else tracer
+        policy = policy if policy is not None else SupervisionPolicy()
         requests = list(requests)
+        journal, replay, fingerprints = self._prepare_journal(
+            requests, journal, resume, tracer
+        )
         with tracer.span(
-            "batch", n_requests=len(requests), workers=self.workers
+            "batch",
+            n_requests=len(requests),
+            workers=self.workers,
+            resumed=replay is not None,
         ):
             if self.workers == 1:
-                return self._run_serial(requests, tracer)
-            return self._run_parallel(requests, tracer)
+                result = self._run_serial(
+                    requests, tracer, policy, journal, replay, fingerprints
+                )
+            else:
+                result = self._run_parallel(
+                    requests, tracer, policy, journal, replay, fingerprints,
+                    chaos,
+                )
+        if replay is not None:
+            result.journal_summary = replay.summary()
+        return result
 
-    def _run_serial(self, requests, tracer) -> list[BatchItemResult]:
-        results = []
+    # ------------------------------------------------------------ journal
+    def _prepare_journal(self, requests, journal, resume, tracer):
+        """Open/load the journal; returns (journal, replay, fingerprints).
+
+        Fingerprints are computed only when journaling is on (they hash
+        the dense operand); ``replay`` is the verified journal load when
+        resuming, with anomalies compacted away before new appends.
+        """
+        if journal is None:
+            return None, None, None
+        if not isinstance(journal, RunJournal):
+            journal = RunJournal(journal)
+        fingerprints = [
+            request_fingerprint(
+                r, self.runtime.config, self.runtime._effective_threshold(r)
+            )
+            for r in requests
+        ]
+        replay = None
+        if resume:
+            with tracer.span("journal.replay", path=journal.path) as span:
+                replay = RunJournal.load(journal.path)
+                if replay.anomalies:
+                    journal.compact(replay)
+                else:
+                    journal.seed_replayed(replay)
+                if span.enabled:
+                    span.set_attributes(
+                        trusted=len(replay.records),
+                        anomalies=len(replay.anomalies),
+                    )
+                tracer.metrics.counter("journal.anomalies").inc(
+                    len(replay.anomalies)
+                )
+        return journal, replay, fingerprints
+
+    def _replay_item(self, index, record) -> BatchItemResult:
+        """A batch result reconstructed from a journaled record."""
+        return BatchItemResult(
+            index=index,
+            record=record,
+            plan=SpmmPlan.from_dict(record.plan),
+            cache_hit=False,
+            replayed=True,
+        )
+
+    # ------------------------------------------------------------- serial
+    def _run_serial(
+        self, requests, tracer, policy, journal, replay, fingerprints
+    ) -> BatchResult:
+        """In-process execution with the same retry/journal semantics."""
+        results: list = [None] * len(requests)
+        failures: list[FailedItem] = []
+        stats = dict.fromkeys(WorkerSupervisor.STAT_KEYS, 0)
         for i, request in enumerate(requests):
-            outcome = self.runtime.run(request, tracer=tracer)
-            results.append(
-                BatchItemResult(
+            fp = fingerprints[i] if fingerprints is not None else None
+            if replay is not None and fp in replay.records:
+                results[i] = self._replay_item(i, replay.records[fp])
+                tracer.metrics.counter("journal.replayed").inc()
+                continue
+            attempt = 0
+            while True:
+                try:
+                    outcome = self.runtime.run(request, tracer=tracer)
+                except Exception as exc:
+                    if policy.fail_fast:
+                        raise SupervisionError(
+                            f"batch item {i} failed on attempt {attempt + 1} "
+                            f"({type(exc).__name__}: {exc}) and fail_fast "
+                            f"is set"
+                        ) from exc
+                    if attempt < policy.max_retries:
+                        stats["retries"] += 1
+                        tracer.metrics.counter("supervisor.retries").inc()
+                        time.sleep(policy.backoff_s(attempt))
+                        attempt += 1
+                        continue
+                    stats["quarantined"] += 1
+                    tracer.metrics.counter("supervisor.quarantined").inc()
+                    failures.append(
+                        FailedItem(
+                            index=i,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            attempts=attempt + 1,
+                            fingerprint=fp,
+                        )
+                    )
+                    break
+                stats["executed"] += 1
+                results[i] = BatchItemResult(
                     index=i,
                     record=outcome.record,
                     plan=outcome.plan,
                     cache_hit=outcome.cache_hit,
                 )
-            )
-        return results
+                if journal is not None:
+                    if journal.append(fp, outcome.record):
+                        tracer.metrics.counter("journal.appends").inc()
+                break
+        return BatchResult(results, failures, stats)
 
-    def _run_parallel(self, requests, tracer) -> list[BatchItemResult]:
-        handles = []
-        hits = []
-        for i, request in enumerate(requests):
-            plan, store, cache_hit = self.runtime.plan(request, tracer=tracer)
-            fingerprint = matrix_fingerprint(request.matrix)
-            # Seed the worker-store memo pre-fork so workers inherit any
-            # conversions the parent has already materialized (COW).
-            _WORKER_STORES.setdefault(fingerprint, store)
-            hits.append(cache_hit)
-            handles.append(
-                PlanHandle(
+    # ----------------------------------------------------------- parallel
+    def _run_parallel(
+        self, requests, tracer, policy, journal, replay, fingerprints, chaos
+    ) -> BatchResult:
+        """Supervised process-pool execution (see the module docstring)."""
+        n = len(requests)
+        results: list = [None] * n
+        hits: dict[int, bool] = {}
+        plans: dict[int, SpmmPlan] = {}
+        telemetry: dict[int, tuple] = {}
+        traced = bool(tracer.enabled)
+
+        to_run = []
+        for i in range(n):
+            fp = fingerprints[i] if fingerprints is not None else None
+            if replay is not None and fp in replay.records:
+                results[i] = self._replay_item(i, replay.records[fp])
+                tracer.metrics.counter("journal.replayed").inc()
+            else:
+                to_run.append(i)
+
+        def handles():
+            """Lazily plan items as the admission window admits them."""
+            for i in to_run:
+                request = requests[i]
+                plan, _, cache_hit = self.runtime.plan(request, tracer=tracer)
+                hits[i] = cache_hit
+                plans[i] = plan
+                yield i, PlanHandle(
                     index=i,
                     plan=plan.to_dict(),
                     matrix=request.matrix,
-                    fingerprint=fingerprint,
+                    fingerprint=matrix_fingerprint(request.matrix),
                     k=request.k,
                     seed=request.seed,
                     tile_width=request.tile_width,
                     ssf_threshold=request.ssf_threshold,
                     dense=request.dense,
                 )
+
+        def on_payload(index, payload):
+            """Completion checkpoint: assemble the result, journal it."""
+            record_json, snapshot, spans = payload
+            record = RunRecord.from_json(record_json)
+            results[index] = BatchItemResult(
+                index=index,
+                record=record,
+                plan=plans[index],
+                cache_hit=hits[index],
             )
-        traced = bool(tracer.enabled)
-        results: list = [None] * len(requests)
-        try:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = [
-                    pool.submit(_worker_run, self.runtime.config, h, traced)
-                    for h in handles
-                ]
-                # Collect in submission order: deterministic result list
-                # and span/metrics merge order regardless of completion.
-                for handle, future in zip(handles, futures):
-                    index, record_json, snapshot, spans = future.result()
-                    if traced:
-                        tracer.metrics.merge_snapshot(snapshot)
-                        for span_dict in spans:
-                            root = tracer.graft(span_dict)
-                            root.set_attribute("batch_index", index)
-                    results[index] = BatchItemResult(
-                        index=index,
-                        record=RunRecord.from_json(record_json),
-                        plan=SpmmPlan.from_dict(handle.plan),
-                        cache_hit=hits[index],
-                    )
-        finally:
-            # Drop parent-side seeding so stores obey the plan cache's LRU.
-            _WORKER_STORES.clear()
-        return results
+            if traced:
+                telemetry[index] = (snapshot, spans)
+            if journal is not None:
+                if journal.append(fingerprints[index], record):
+                    tracer.metrics.counter("journal.appends").inc()
+
+        supervisor = WorkerSupervisor(
+            execute_handle,
+            (self.runtime.config, traced),
+            workers=self.workers,
+            policy=policy,
+            chaos=chaos,
+        )
+        failures: list[FailedItem] = []
+        if to_run:
+            _, failures = supervisor.run(
+                handles(), tracer=tracer, on_payload=on_payload
+            )
+        if fingerprints is not None:
+            for failed in failures:
+                failed.fingerprint = fingerprints[failed.index]
+        if traced:
+            # Merge in request-index order so gauge last-writer-wins and
+            # span order are deterministic regardless of completion order.
+            for index in sorted(telemetry):
+                snapshot, spans = telemetry[index]
+                tracer.metrics.merge_snapshot(snapshot)
+                for span_dict in spans:
+                    root = tracer.graft(span_dict)
+                    root.set_attribute("batch_index", index)
+        return BatchResult(results, failures, supervisor.stats)

@@ -1,0 +1,590 @@
+"""Supervised worker pool: crash/hang detection, bounded retry, quarantine.
+
+``concurrent.futures.ProcessPoolExecutor`` is all-or-nothing: one worker
+SIGKILLed mid-batch raises ``BrokenProcessPool`` and the whole batch's
+work is gone.  That is fatal for corpus-scale serving, so the batch path
+runs on this supervisor instead — the host-layer analogue of the engine
+model's Fig. 11 request/response discipline (deadlines, retry with
+backoff, failover), applied to real ``multiprocessing.Process`` workers:
+
+* **crash detection** — a worker whose process exits mid-request has its
+  item retried on a replacement worker;
+* **hang detection** — a per-request deadline (``request_timeout_s``)
+  SIGKILLs and replaces a worker stuck on one item, and a heartbeat
+  thread in each worker lets the supervisor notice a *frozen* process
+  (SIGSTOP, swap death) even when no deadline is set;
+* **bounded retry** — failed items re-enter the queue with exponential
+  backoff, up to ``max_retries`` re-dispatches;
+* **quarantine** — an item that exhausts its budget becomes a structured
+  :class:`FailedItem` in the batch result; the batch itself always
+  completes (unless ``fail_fast`` asks for an abort, which raises
+  :class:`~repro.errors.SupervisionError`);
+* **admission control** — at most ``max_pending`` items are materialized
+  ahead of the workers, so a 10k-request batch holds a bounded window of
+  planned handles rather than the whole corpus;
+* **chaos seam** — :class:`ChaosFault` injects kills, hangs, and poison
+  requests *inside* workers deterministically, the same philosophy as the
+  PR 1 engine fault campaigns, driving ``tests/runtime/test_chaos.py``.
+
+The supervisor is task-agnostic: it runs any picklable module-level
+``task_fn(task_ctx, item) -> payload`` over ``(index, item)`` pairs.  The
+batch executor (:mod:`repro.runtime.parallel`) supplies the SpMM task.
+Start method is explicit and validated (``fork``/``spawn``/``forkserver``)
+— nothing here relies on copy-on-write inheritance, so ``spawn`` (the
+macOS / Python ≥ 3.14 default) is fully supported.
+
+Retry/kill/quarantine totals are mirrored into the tracer's metrics under
+``supervisor.*`` (catalog: ``docs/OBSERVABILITY.md``); semantics are
+documented in ``docs/RELIABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _conn_wait
+
+from ..errors import ConfigError, SupervisionError
+from ..telemetry import NULL_TRACER
+
+#: Wire tags for worker → supervisor messages.
+_MSG_HEARTBEAT, _MSG_OK, _MSG_ERR = "hb", "ok", "err"
+
+#: Chaos fault kinds (see :class:`ChaosFault`).
+CHAOS_KILL, CHAOS_HANG, CHAOS_RAISE = "kill", "hang", "raise"
+
+#: How long a hang-injected worker sleeps — effectively forever; the
+#: per-request deadline is what ends it.
+_CHAOS_HANG_S = 3600.0
+
+#: Supervisor event-loop poll quantum (seconds).  Results wake the loop
+#: immediately; this only bounds how late a deadline/heartbeat check or a
+#: backoff expiry can fire.
+_TICK_S = 0.02
+
+#: Grace given to workers to exit on the shutdown sentinel before SIGKILL.
+_SHUTDOWN_GRACE_S = 2.0
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One injected host-layer fault, applied inside the worker.
+
+    ``kind`` is one of ``kill`` (SIGKILL self — a real worker crash),
+    ``hang`` (sleep past any deadline), or ``raise`` (a poison request
+    that raises deterministically).  ``attempts`` lists the dispatch
+    attempts the fault fires on (``None`` = every attempt, the permanent
+    poison pill; the default ``(0,)`` faults only the first try so
+    retries succeed).
+    """
+
+    kind: str
+    attempts: tuple[int, ...] | None = (0,)
+
+    def __post_init__(self):
+        if self.kind not in (CHAOS_KILL, CHAOS_HANG, CHAOS_RAISE):
+            raise ConfigError(f"unknown chaos fault kind {self.kind!r}")
+
+    def applies(self, attempt: int) -> bool:
+        """Whether this fault fires on dispatch attempt ``attempt``."""
+        return self.attempts is None or attempt in self.attempts
+
+
+@dataclass
+class FailedItem:
+    """One batch item given up on — the structured alternative to abort.
+
+    ``error_type`` is the exception class name that exhausted the budget
+    (``WorkerCrashError``, ``RequestTimeoutError``, ``HeartbeatLostError``
+    for supervision failures; the raising type for poison requests) and
+    ``attempts`` counts every dispatch, so ``attempts == max_retries + 1``
+    for a quarantined item.  The resilience sweep reuses this shape with
+    ``phase="campaign"``.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    attempts: int
+    fingerprint: str | None = None
+    phase: str = "execute"
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form, inverse of :meth:`from_dict`."""
+        return {
+            "index": int(self.index),
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": int(self.attempts),
+            "fingerprint": self.fingerprint,
+            "phase": self.phase,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FailedItem":
+        """Rebuild from the :meth:`to_dict` form."""
+        return cls(
+            index=int(d["index"]),
+            error_type=d["error_type"],
+            message=d["message"],
+            attempts=int(d["attempts"]),
+            fingerprint=d.get("fingerprint"),
+            phase=d.get("phase", "execute"),
+        )
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs governing worker supervision; immutable and picklable.
+
+    The defaults favor safety over latency: no per-request deadline (a
+    legitimate huge matrix must not be killed), two retries with 50 ms
+    doubling backoff, half-second heartbeats judged lost after 30 s, and
+    an admission window of 64 planned items.
+    """
+
+    #: per-request wall-clock deadline; None disables hang detection
+    request_timeout_s: float | None = None
+    #: re-dispatches after the first attempt before quarantine
+    max_retries: int = 2
+    #: backoff before retry ``n`` is ``base * factor**n`` seconds
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    #: worker heartbeat cadence; 0 disables heartbeats entirely
+    heartbeat_interval_s: float = 0.5
+    #: silence longer than this marks a live-but-frozen worker lost
+    heartbeat_timeout_s: float = 30.0
+    #: admission-control window: max items planned ahead of the workers
+    max_pending: int = 64
+    #: abort the batch (raise SupervisionError) on the first failure
+    fail_fast: bool = False
+    #: multiprocessing start method; None picks fork when available
+    start_method: str | None = None
+
+    def __post_init__(self):
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ConfigError("request_timeout_s must be positive or None")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ConfigError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.heartbeat_interval_s < 0:
+            raise ConfigError("heartbeat_interval_s must be >= 0")
+        if self.heartbeat_timeout_s <= 0:
+            raise ConfigError("heartbeat_timeout_s must be positive")
+        if self.max_pending < 1:
+            raise ConfigError("max_pending must be >= 1")
+        self.resolve_start_method()  # validate eagerly
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before re-dispatching attempt ``attempt + 1``."""
+        return self.backoff_base_s * self.backoff_factor ** attempt
+
+    def resolve_start_method(self) -> str:
+        """The validated multiprocessing start method to use.
+
+        Explicit selection beats inheriting the platform default: the old
+        pool path silently assumed ``fork`` copy-on-write semantics, which
+        breaks on platforms defaulting to ``spawn``.  ``None`` prefers
+        ``fork`` (cheapest) and falls back to ``spawn``.
+        """
+        available = multiprocessing.get_all_start_methods()
+        if self.start_method is None:
+            return "fork" if "fork" in available else "spawn"
+        if self.start_method not in available:
+            raise ConfigError(
+                f"start method {self.start_method!r} not available here; "
+                f"choose from {available}"
+            )
+        return self.start_method
+
+
+def _worker_main(
+    worker_id, task_fn, task_ctx, task_r, result_w, heartbeat_interval_s,
+    chaos,
+):
+    """Entry point of one supervised worker process.
+
+    Receives ``(index, attempt, item)`` tasks on its private ``task_r``
+    pipe until the ``None`` sentinel (or EOF), answering each with one
+    ``ok`` or ``err`` message on its private ``result_w`` pipe; a
+    background thread posts heartbeats every ``heartbeat_interval_s``.
+
+    Each worker owns both pipe ends exclusively — unlike a shared
+    ``multiprocessing.Queue``, whose cross-process write lock a SIGKILLed
+    worker can take to its grave, deadlocking every survivor.  A kill can
+    only ever corrupt the dying worker's own channel, which the
+    supervisor already treats as a crash.  Module-level on purpose:
+    ``spawn`` pickles the target by qualified name.
+    """
+    stop = threading.Event()
+    send_lock = threading.Lock()  # heartbeat thread + task loop both send
+
+    def send(msg) -> None:
+        try:
+            with send_lock:
+                result_w.send(msg)
+        except Exception:
+            stop.set()  # supervisor hung up; no point continuing to beat
+
+    if heartbeat_interval_s:
+
+        def _beat():
+            while not stop.is_set():
+                send((_MSG_HEARTBEAT, worker_id, None, None, None))
+                stop.wait(heartbeat_interval_s)
+
+        threading.Thread(target=_beat, daemon=True).start()
+    try:
+        while True:
+            try:
+                task = task_r.recv()
+            except (EOFError, OSError):
+                return
+            if task is None:
+                return
+            index, attempt, item = task
+            fault = chaos.get(index) if chaos else None
+            try:
+                if fault is not None and fault.applies(attempt):
+                    if fault.kind == CHAOS_KILL:
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    elif fault.kind == CHAOS_HANG:
+                        time.sleep(_CHAOS_HANG_S)
+                    raise RuntimeError(
+                        f"chaos: injected poison request (item {index})"
+                    )
+                payload = task_fn(task_ctx, item)
+            except Exception as exc:
+                send(
+                    (_MSG_ERR, worker_id, index, attempt,
+                     (type(exc).__name__, str(exc)))
+                )
+                continue
+            send((_MSG_OK, worker_id, index, attempt, payload))
+    finally:
+        stop.set()
+
+
+class _Worker:
+    """Supervisor-side handle for one worker process.
+
+    ``task_w`` / ``result_r`` are the parent's ends of the worker's two
+    private pipes (tasks down, results/heartbeats up).
+    """
+
+    __slots__ = ("id", "process", "task_w", "result_r", "last_beat", "task")
+
+    def __init__(self, worker_id, process, task_w, result_r, now):
+        self.id = worker_id
+        self.process = process
+        self.task_w = task_w
+        self.result_r = result_r
+        self.last_beat = now
+        #: the dispatched (index, attempt, item, started_at), or None (idle)
+        self.task = None
+
+    def close_pipes(self) -> None:
+        """Drop the parent's pipe ends (idempotent; ignores late errors)."""
+        for conn in (self.task_w, self.result_r):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class WorkerSupervisor:
+    """Owns N worker processes and drives a batch through them to the end.
+
+    Construct with the picklable task function and its shared context,
+    then call :meth:`run` with an iterable of ``(index, item)`` pairs.
+    Every index is resolved exactly once — into a payload or a
+    :class:`FailedItem` — and ``BrokenProcessPool``-style batch aborts
+    cannot happen: worker death is a per-item, retryable event.
+    """
+
+    #: every counter :attr:`stats` carries (all zero until :meth:`run`)
+    STAT_KEYS = (
+        "dispatched",
+        "executed",
+        "retries",
+        "quarantined",
+        "worker_crashes",
+        "worker_kills",
+        "deadline_misses",
+        "heartbeat_losses",
+        "worker_respawns",
+    )
+
+    def __init__(
+        self,
+        task_fn,
+        task_ctx,
+        *,
+        workers: int,
+        policy: SupervisionPolicy | None = None,
+        chaos: dict | None = None,
+    ):
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.task_fn = task_fn
+        self.task_ctx = task_ctx
+        self.workers = int(workers)
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        self.chaos = dict(chaos) if chaos else {}
+        #: counters for the last :meth:`run` (see RELIABILITY.md)
+        self.stats: dict[str, int] = dict.fromkeys(self.STAT_KEYS, 0)
+
+    # ----------------------------------------------------------- the loop
+    def run(self, items, *, tracer=NULL_TRACER, on_payload=None):
+        """Execute every ``(index, item)``; returns ``(payloads, failures)``.
+
+        ``payloads`` maps index → the task function's return value;
+        ``failures`` lists one :class:`FailedItem` per quarantined index.
+        ``on_payload(index, payload)`` fires as each item completes (in
+        completion order — this is the journal checkpoint hook).  Items
+        are pulled from the iterable lazily under the admission window.
+        """
+        policy = self.policy
+        ctx = multiprocessing.get_context(policy.resolve_start_method())
+        self.stats = stats = dict.fromkeys(self.STAT_KEYS, 0)
+        metrics = tracer.metrics
+        it = iter(items)
+        window = max(policy.max_pending, self.workers)
+        pending: deque = deque()  # (index, attempt, item, eligible_at)
+        payloads: dict[int, object] = {}
+        failures: list[FailedItem] = []
+        resolved: set[int] = set()
+        seen = 0
+        exhausted = False
+        workers: dict[int, _Worker] = {}
+        next_wid = 0
+
+        def spawn(now, respawn: bool) -> None:
+            nonlocal next_wid
+            task_r, task_w = ctx.Pipe(duplex=False)
+            result_r, result_w = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    next_wid, self.task_fn, self.task_ctx, task_r, result_w,
+                    policy.heartbeat_interval_s, self.chaos,
+                ),
+                daemon=True,
+            )
+            process.start()
+            # The child holds its own copies now; drop ours so each pipe
+            # has exactly one writer and fds don't leak across respawns.
+            task_r.close()
+            result_w.close()
+            workers[next_wid] = _Worker(next_wid, process, task_w, result_r, now)
+            next_wid += 1
+            if respawn:
+                stats["worker_respawns"] += 1
+                metrics.counter("supervisor.worker_respawns").inc()
+
+        def task_failed(index, attempt, item, error_type, message) -> None:
+            """Retry with backoff, or quarantine; honors fail_fast."""
+            if index in resolved:
+                return
+            if policy.fail_fast:
+                raise SupervisionError(
+                    f"batch item {index} failed on attempt {attempt + 1} "
+                    f"({error_type}: {message}) and fail_fast is set"
+                )
+            if attempt < policy.max_retries:
+                stats["retries"] += 1
+                metrics.counter("supervisor.retries").inc()
+                pending.append(
+                    (index, attempt + 1, item,
+                     time.monotonic() + policy.backoff_s(attempt))
+                )
+            else:
+                stats["quarantined"] += 1
+                metrics.counter("supervisor.quarantined").inc()
+                resolved.add(index)
+                failures.append(
+                    FailedItem(
+                        index=index,
+                        error_type=error_type,
+                        message=message,
+                        attempts=attempt + 1,
+                    )
+                )
+
+        def reap(worker, now, error_type, message, *, kill) -> None:
+            """Remove a worker (killing it first if needed), fail its task."""
+            if kill:
+                stats["worker_kills"] += 1
+                metrics.counter("supervisor.worker_kills").inc()
+                worker.process.kill()
+            worker.process.join(timeout=_SHUTDOWN_GRACE_S)
+            workers.pop(worker.id, None)
+            worker.close_pipes()
+            task = worker.task
+            if task is not None:
+                index, attempt, item, _ = task
+                task_failed(index, attempt, item, error_type, message)
+            if not exhausted or len(resolved) < seen:
+                spawn(now, respawn=True)
+
+        try:
+            for _ in range(self.workers):
+                spawn(time.monotonic(), respawn=False)
+            while True:
+                now = time.monotonic()
+                # 1. admission control: top up the planned-item window.
+                while not exhausted and seen - len(resolved) < window:
+                    try:
+                        index, item = next(it)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    seen += 1
+                    pending.append((index, 0, item, now))
+                if exhausted and len(resolved) == seen:
+                    break
+                # 2. dispatch backoff-eligible items to idle workers.
+                idle = [w for w in workers.values() if w.task is None]
+                for worker in idle:
+                    task = self._pop_eligible(pending, now)
+                    if task is None:
+                        break
+                    index, attempt, item, _ = task
+                    worker.task = (index, attempt, item, now)
+                    try:
+                        worker.task_w.send((index, attempt, item))
+                    except OSError:
+                        # Pipe already broken: the worker died between the
+                        # idle check and now.  Put the task back; the
+                        # liveness pass below reaps the corpse (the retry
+                        # there is a no-op since worker.task clears here).
+                        worker.task = None
+                        pending.appendleft((index, attempt, item, now))
+                        continue
+                    stats["dispatched"] += 1
+                # 3. drain worker messages (blocking up to one tick).
+                for msg in self._drain(workers):
+                    tag, wid, index, attempt, body = msg
+                    worker = workers.get(wid)
+                    if tag == _MSG_HEARTBEAT:
+                        if worker is not None:
+                            worker.last_beat = time.monotonic()
+                        continue
+                    # Attribute the message to the worker's dispatched task;
+                    # a reaped worker's late message has already been
+                    # handled (retried/quarantined) by the reap itself.
+                    attributed = (
+                        worker is not None
+                        and worker.task is not None
+                        and worker.task[0] == index
+                    )
+                    item = worker.task[2] if attributed else None
+                    if attributed:
+                        worker.task = None
+                    if tag == _MSG_OK:
+                        if index not in resolved:
+                            resolved.add(index)
+                            payloads[index] = body
+                            stats["executed"] += 1
+                            if on_payload is not None:
+                                on_payload(index, body)
+                    elif attributed:
+                        error_type, message = body
+                        task_failed(index, attempt, item, error_type, message)
+                # 4. liveness: crashes, deadlines, lost heartbeats.
+                now = time.monotonic()
+                for worker in list(workers.values()):
+                    if not worker.process.is_alive():
+                        stats["worker_crashes"] += 1
+                        metrics.counter("supervisor.worker_crashes").inc()
+                        code = worker.process.exitcode
+                        reap(
+                            worker, now, "WorkerCrashError",
+                            f"worker exited with code {code} mid-request",
+                            kill=False,
+                        )
+                    elif (
+                        worker.task is not None
+                        and policy.request_timeout_s is not None
+                        and now - worker.task[3] > policy.request_timeout_s
+                    ):
+                        stats["deadline_misses"] += 1
+                        metrics.counter("supervisor.deadline_misses").inc()
+                        reap(
+                            worker, now, "RequestTimeoutError",
+                            f"request exceeded its "
+                            f"{policy.request_timeout_s:g}s deadline",
+                            kill=True,
+                        )
+                    elif (
+                        policy.heartbeat_interval_s
+                        and now - worker.last_beat > policy.heartbeat_timeout_s
+                    ):
+                        stats["heartbeat_losses"] += 1
+                        metrics.counter("supervisor.heartbeat_losses").inc()
+                        reap(
+                            worker, now, "HeartbeatLostError",
+                            f"no heartbeat for "
+                            f"{policy.heartbeat_timeout_s:g}s",
+                            kill=True,
+                        )
+        finally:
+            self._shutdown(workers)
+        return payloads, failures
+
+    # ------------------------------------------------------------ helpers
+    @staticmethod
+    def _pop_eligible(pending: deque, now: float):
+        """The first pending task whose backoff has expired, or None."""
+        for _ in range(len(pending)):
+            task = pending.popleft()
+            if task[3] <= now:
+                return task
+            pending.append(task)
+        return None
+
+    @staticmethod
+    def _drain(workers: dict) -> list:
+        """Every pending worker message, blocking at most one tick.
+
+        Waits on all workers' private result pipes at once; a dead
+        worker's broken pipe raises ``EOFError``/``OSError`` here, which
+        is simply skipped — the liveness pass reaps the process itself.
+        """
+        messages = []
+        by_conn = {w.result_r: w for w in workers.values()}
+        if not by_conn:
+            time.sleep(_TICK_S)
+            return messages
+        for conn in _conn_wait(list(by_conn), timeout=_TICK_S):
+            try:
+                while conn.poll():
+                    messages.append(conn.recv())
+            except (EOFError, OSError):
+                continue
+        return messages
+
+    @staticmethod
+    def _shutdown(workers: dict) -> None:
+        """Sentinel every worker, SIGKILL stragglers, close all pipes."""
+        for worker in workers.values():
+            try:
+                worker.task_w.send(None)
+            except OSError:
+                pass
+        deadline = time.monotonic() + _SHUTDOWN_GRACE_S
+        for worker in workers.values():
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in workers.values():
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=_SHUTDOWN_GRACE_S)
+            worker.close_pipes()

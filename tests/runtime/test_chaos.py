@@ -1,0 +1,306 @@
+"""Chaos suite: the supervised batch path survives kills, hangs, poison.
+
+The acceptance property for the crash-safe runtime: with workers SIGKILLed
+mid-batch, hangs injected past their deadline, and poison-pill requests in
+the mix, a supervised ``run_batch`` (optionally followed by ``--resume``)
+yields exactly the digests an undisturbed serial run produces — failures
+surface as structured :class:`FailedItem` entries with retry/quarantine
+counters in the trace, never as a ``BrokenProcessPool``-style abort.
+
+Faults are injected *inside* workers via the deterministic
+:class:`ChaosFault` seam (an in-worker ``os.kill(SIGKILL)`` is a genuine
+worker death); the scripted external-kill round-trip lives in
+``tools/chaos_smoke.py``.  Supervisor-level tests use a trivial task
+function, so the process machinery is exercised without SpMM cost.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ConfigError, SupervisionError
+from repro.gpu import GV100
+from repro.matrices import uniform_random
+from repro.runtime import (
+    ChaosFault,
+    ParallelExecutor,
+    SpmmRequest,
+    SpmmRuntime,
+    SupervisionPolicy,
+    WorkerSupervisor,
+)
+from repro.telemetry import Tracer
+
+#: Fast-failure policy shared by most tests: short backoff, two retries.
+FAST = dict(backoff_base_s=0.01, heartbeat_interval_s=0.1)
+
+
+def policy(**kw):
+    merged = dict(FAST)
+    merged.update(kw)
+    return SupervisionPolicy(**merged)
+
+
+@pytest.fixture(scope="module")
+def requests():
+    """Three cheap, distinct requests."""
+    return [
+        SpmmRequest(uniform_random(40, 30, 0.1, seed=s), k=4, seed=7)
+        for s in range(3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_digests(requests):
+    """The undisturbed serial reference digests."""
+    results = ParallelExecutor(SpmmRuntime(GV100), workers=1).run_batch(
+        requests
+    )
+    return [r.record.digest() for r in results]
+
+
+def run_chaos(requests, chaos, *, workers=2, tracer=None, pol=None, **kw):
+    executor = ParallelExecutor(SpmmRuntime(GV100), workers=workers)
+    return executor.run_batch(
+        requests,
+        tracer=tracer,
+        policy=pol if pol is not None else policy(),
+        chaos=chaos,
+        **kw,
+    )
+
+
+# --------------------------------------------------- supervisor-level chaos
+def _square(ctx, item):
+    return item * item
+
+
+def _sigstop_self_once(ctx, item):
+    # Freeze the whole process (heartbeat thread included) on the first
+    # attempt only: a marker file distinguishes attempt 0 from the retry.
+    marker = f"{ctx}/stopped-{item}"
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGSTOP)
+        time.sleep(60)  # unreachable until SIGCONT; killed by supervisor
+    return item * item
+
+
+class TestSupervisor:
+    def test_happy_path_resolves_every_index(self):
+        supervisor = WorkerSupervisor(
+            _square, None, workers=2, policy=policy()
+        )
+        payloads, failures = supervisor.run(enumerate(range(6)))
+        assert failures == []
+        assert payloads == {i: i * i for i in range(6)}
+        assert supervisor.stats["executed"] == 6
+
+    def test_kill_is_retried_not_fatal(self):
+        supervisor = WorkerSupervisor(
+            _square, None, workers=2, policy=policy(),
+            chaos={1: ChaosFault("kill")},
+        )
+        payloads, failures = supervisor.run(enumerate(range(4)))
+        assert failures == []
+        assert payloads[1] == 1
+        assert supervisor.stats["worker_crashes"] >= 1
+        assert supervisor.stats["worker_respawns"] >= 1
+        assert supervisor.stats["retries"] >= 1
+
+    def test_heartbeat_loss_detected_for_frozen_worker(self, tmp_path):
+        supervisor = WorkerSupervisor(
+            _sigstop_self_once, str(tmp_path), workers=2,
+            policy=policy(
+                heartbeat_interval_s=0.05, heartbeat_timeout_s=0.4
+            ),
+        )
+        payloads, failures = supervisor.run(enumerate(range(3)))
+        assert failures == []
+        assert payloads == {0: 0, 1: 1, 2: 4}
+        assert supervisor.stats["heartbeat_losses"] >= 1
+        assert supervisor.stats["worker_kills"] >= 1
+
+    def test_permanent_poison_quarantined_with_attempt_count(self):
+        supervisor = WorkerSupervisor(
+            _square, None, workers=2,
+            policy=policy(max_retries=2),
+            chaos={2: ChaosFault("raise", attempts=None)},
+        )
+        payloads, failures = supervisor.run(enumerate(range(4)))
+        assert len(failures) == 1
+        failed = failures[0]
+        assert failed.index == 2
+        assert failed.error_type == "RuntimeError"
+        assert failed.attempts == 3  # max_retries + 1 dispatches
+        assert 2 not in payloads
+        assert set(payloads) == {0, 1, 3}
+
+    def test_admission_window_bounds_pending_items(self):
+        pulled = []
+
+        def lazy():
+            for i in range(40):
+                pulled.append(i)
+                yield i, i
+
+        supervisor = WorkerSupervisor(
+            _square, None, workers=2, policy=policy(max_pending=4)
+        )
+        payloads, failures = supervisor.run(lazy())
+        assert failures == [] and len(payloads) == 40
+        # the generator was consumed incrementally, not slurped up front
+        assert pulled == list(range(40))
+
+    def test_unknown_chaos_kind_rejected(self):
+        with pytest.raises(ConfigError, match="chaos"):
+            ChaosFault("explode")
+
+    def test_bad_start_method_rejected(self):
+        with pytest.raises(ConfigError, match="start method"):
+            SupervisionPolicy(start_method="not-a-method")
+
+
+# ----------------------------------------------------- executor-level chaos
+class TestExecutorChaos:
+    def test_killed_worker_recovers_digest_identical(
+        self, requests, serial_digests
+    ):
+        """Acceptance: SIGKILL mid-batch, result == clean serial run."""
+        results = run_chaos(requests, {0: ChaosFault("kill")})
+        assert results.ok
+        assert [r.record.digest() for r in results] == serial_digests
+        assert results.stats["worker_crashes"] >= 1
+
+    def test_hang_past_deadline_killed_and_retried(
+        self, requests, serial_digests
+    ):
+        results = run_chaos(
+            requests,
+            {1: ChaosFault("hang")},
+            pol=policy(request_timeout_s=0.75),
+        )
+        assert results.ok
+        assert [r.record.digest() for r in results] == serial_digests
+        assert results.stats["deadline_misses"] >= 1
+        assert results.stats["worker_kills"] >= 1
+
+    def test_poison_pill_quarantined_others_unharmed(
+        self, requests, serial_digests
+    ):
+        results = run_chaos(
+            requests,
+            {1: ChaosFault("raise", attempts=None)},
+            pol=policy(max_retries=1),
+        )
+        assert not results.ok
+        assert results[1] is None
+        assert [results[0].record.digest(), results[2].record.digest()] == [
+            serial_digests[0], serial_digests[2],
+        ]
+        (failed,) = results.failures
+        assert (failed.index, failed.attempts) == (1, 2)
+        assert failed.error_type == "RuntimeError"
+        assert "poison" in failed.message
+
+    def test_fail_fast_raises_supervision_error(self, requests):
+        with pytest.raises(SupervisionError, match="fail_fast"):
+            run_chaos(
+                requests,
+                {0: ChaosFault("raise", attempts=None)},
+                pol=policy(fail_fast=True),
+            )
+
+    def test_counters_visible_in_trace(self, requests):
+        tracer = Tracer()
+        results = run_chaos(
+            requests,
+            {0: ChaosFault("kill"), 2: ChaosFault("raise")},
+            tracer=tracer,
+        )
+        assert results.ok  # both faults fire once; retries succeed
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["supervisor.retries"] >= 2
+        assert counters["supervisor.worker_crashes"] >= 1
+        assert counters["supervisor.worker_respawns"] >= 1
+
+    def test_serial_path_retries_and_quarantines_too(self, requests):
+        """workers=1 honors the same policy surface (parent-side retry)."""
+        calls = {"n": 0}
+        runtime = SpmmRuntime(GV100)
+        original = runtime.run
+
+        def flaky(request, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient parent-side failure")
+            return original(request, **kw)
+
+        runtime.run = flaky
+        executor = ParallelExecutor(runtime, workers=1)
+        results = executor.run_batch(requests, policy=policy(max_retries=1))
+        assert results.ok
+        assert results.stats["retries"] == 1
+
+
+# ------------------------------------------------------- journal round-trip
+class TestChaosResume:
+    def test_chaos_then_resume_matches_serial(
+        self, tmp_path, requests, serial_digests
+    ):
+        """Acceptance: chaos batch + --resume == undisturbed serial run."""
+        journal = tmp_path / "run.jsonl"
+        first = run_chaos(
+            requests,
+            {0: ChaosFault("kill"), 1: ChaosFault("raise", attempts=None)},
+            pol=policy(max_retries=1),
+            journal=journal,
+        )
+        assert not first.ok and first[1] is None
+        assert first.failures[0].fingerprint is not None
+
+        # the poison clears (chaos gone); resume replays the survivors
+        resumed = run_chaos(requests, None, journal=journal, resume=True)
+        assert resumed.ok
+        assert [r.record.digest() for r in resumed] == serial_digests
+        assert resumed.n_replayed == 2
+        assert resumed.stats["executed"] == 1
+        assert [r.replayed for r in resumed] == [True, False, True]
+
+    def test_full_replay_executes_nothing(self, tmp_path, requests):
+        journal = tmp_path / "run.jsonl"
+        run_chaos(requests, None, journal=journal)
+        again = run_chaos(requests, None, journal=journal, resume=True)
+        assert again.ok and again.n_replayed == 3
+        assert again.stats["executed"] == 0
+        assert again.journal_summary["trusted_entries"] == 3
+
+    def test_replay_counter_in_trace(self, tmp_path, requests):
+        journal = tmp_path / "run.jsonl"
+        run_chaos(requests, None, journal=journal)
+        tracer = Tracer()
+        run_chaos(requests, None, journal=journal, resume=True, tracer=tracer)
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["journal.replayed"] == 3
+
+
+# ------------------------------------------------------ start-method parity
+class TestStartMethods:
+    def test_spawn_workers_digest_identical(self, requests, serial_digests):
+        """Regression for the fork/COW assumption: spawn must agree too."""
+        results = run_chaos(
+            requests, None, pol=policy(start_method="spawn")
+        )
+        assert results.ok
+        assert [r.record.digest() for r in results] == serial_digests
+
+    def test_spawn_survives_worker_kill(self, requests, serial_digests):
+        results = run_chaos(
+            requests,
+            {2: ChaosFault("kill")},
+            pol=policy(start_method="spawn"),
+        )
+        assert results.ok
+        assert [r.record.digest() for r in results] == serial_digests

@@ -171,6 +171,99 @@ class TestRun:
         assert leftovers == []  # no temp files left behind
 
 
+class TestRunBatchReliability:
+    """The crash-safe batch surface: journal flags, failures, bad input."""
+
+    def batch_file(self, tmp_path, lines=(GEN, "uniform:128:128:0.05:2")):
+        batch = tmp_path / "batch.txt"
+        batch.write_text("\n".join(lines) + "\n")
+        return str(batch)
+
+    def test_bad_batch_line_blamed_cleanly(self, tmp_path, capsys):
+        batch = self.batch_file(
+            tmp_path, (GEN, "nonsense:10:10:0.1", GEN)
+        )
+        assert main(["run", "--batch", batch, "--k", "16"]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "unknown family" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--journal", "j.jsonl"],
+            ["--resume", "j.jsonl"],
+            ["--fail-fast"],
+            ["--request-timeout", "5"],
+            ["--start-method", "fork"],
+        ],
+    )
+    def test_batch_only_flags_rejected_without_batch(self, flags, capsys):
+        assert main(["run", "--generate", GEN, "--k", "16", *flags]) == 2
+        assert "requires --batch" in capsys.readouterr().err
+
+    def test_journal_resume_round_trip(self, tmp_path, capsys):
+        batch = self.batch_file(tmp_path)
+        journal = tmp_path / "run.jsonl"
+        assert main(
+            ["run", "--batch", batch, "--k", "16", "--repeat", "1",
+             "--journal", str(journal)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2/2 completed" in out
+        assert main(
+            ["run", "--batch", batch, "--k", "16", "--repeat", "1",
+             "--resume", str(journal)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 replayed" in out
+        assert "2 trusted entries" in out
+
+    def test_journal_refuses_clobber_without_force(self, tmp_path, capsys):
+        batch = self.batch_file(tmp_path)
+        journal = tmp_path / "run.jsonl"
+        journal.write_text("precious\n")
+        assert main(
+            ["run", "--batch", batch, "--k", "16",
+             "--journal", str(journal)]
+        ) == 2
+        assert "--force" in capsys.readouterr().err
+        assert journal.read_text() == "precious\n"
+
+    def test_journal_and_resume_mutually_exclusive(self, tmp_path, capsys):
+        batch = self.batch_file(tmp_path)
+        assert main(
+            ["run", "--batch", batch, "--journal", "a.jsonl",
+             "--resume", "b.jsonl"]
+        ) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_resume_requires_existing_journal(self, tmp_path, capsys):
+        batch = self.batch_file(tmp_path)
+        assert main(
+            ["run", "--batch", batch,
+             "--resume", str(tmp_path / "absent.jsonl")]
+        ) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_quarantined_item_exits_one_with_failure_report(
+        self, tmp_path, capsys
+    ):
+        # An impossible deadline (the item alone needs ~8x longer): it is
+        # killed and quarantined, the CLI reports it on stderr and exits
+        # 1 — never a traceback.
+        batch = self.batch_file(tmp_path, ("uniform:2000:1500:0.05:1",))
+        assert main(
+            ["run", "--batch", batch, "--k", "512", "--repeat", "1",
+             "--workers", "2", "--request-timeout", "0.02",
+             "--max-retries", "0"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "failed item 0: RequestTimeoutError" in captured.err
+        assert "0/1 completed" in captured.out
+
+
 class TestRunTrace:
     def test_jsonl_trace_has_run_root_with_children(self, tmp_path, capsys):
         dest = tmp_path / "trace.jsonl"

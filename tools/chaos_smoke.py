@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Scripted external-kill round trip for the supervised batch CLI.
+
+The chaos *test suite* injects faults from inside workers; this tool is
+the outside-in complement used by the CI ``chaos-smoke`` job: it launches
+a real ``python -m repro run --batch --workers 2 --journal`` subprocess,
+SIGKILLs one of its worker children mid-flight (found via ``/proc``),
+lets the run finish, resumes it from the journal, and asserts the final
+digest set matches an undisturbed ``--workers 1`` reference run.
+
+Exit status: 0 on digest parity (a missed kill only warns — the batch is
+short, so the race is tolerated), nonzero on any mismatch or CLI failure.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+N_ITEMS = 8
+SPEC = "uniform:1200:900:0.05:{seed}"
+
+
+def cli(args, **kw):
+    """Run ``python -m repro`` with src/ on the path."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env, cwd=REPO, capture_output=True, text=True, **kw,
+    )
+
+
+def journal_digests(path):
+    """The set of record digests a run journal holds."""
+    digests = set()
+    with open(path) as fh:
+        for line in fh:
+            if line.strip():
+                digests.add(json.loads(line)["digest"])
+    return digests
+
+
+def children_of(pid):
+    """Direct child PIDs of ``pid``, via /proc (Linux only)."""
+    kids = []
+    task_dir = f"/proc/{pid}/task"
+    try:
+        for tid in os.listdir(task_dir):
+            with open(f"{task_dir}/{tid}/children") as fh:
+                kids.extend(int(p) for p in fh.read().split())
+    except OSError:
+        pass
+    return kids
+
+
+def run_with_kill(args, journal):
+    """Run the batch CLI, SIGKILLing the first worker child that appears."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run", *args],
+        env=env, cwd=REPO,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    killed = None
+    deadline = time.monotonic() + 120
+    while proc.poll() is None and time.monotonic() < deadline:
+        if killed is None:
+            workers = children_of(proc.pid)
+            if workers:
+                victim = workers[0]
+                time.sleep(0.15)  # let it get a request in flight
+                try:
+                    os.kill(victim, signal.SIGKILL)
+                    killed = victim
+                except ProcessLookupError:
+                    pass  # worker finished first; keep hunting
+        time.sleep(0.01)
+    try:
+        out, err = proc.communicate(timeout=180)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        print("FAIL: chaos batch run hung", file=sys.stderr)
+        sys.exit(1)
+    return proc.returncode, out, err, killed
+
+
+def main():
+    tmp = tempfile.mkdtemp(prefix="chaos-smoke-")
+    batch = os.path.join(tmp, "batch.txt")
+    serial_journal = os.path.join(tmp, "serial.jsonl")
+    chaos_journal = os.path.join(tmp, "chaos.jsonl")
+    with open(batch, "w") as fh:
+        for seed in range(N_ITEMS):
+            fh.write(SPEC.format(seed=seed) + "\n")
+    common = ["--batch", batch, "--k", "256", "--repeat", "1", "--json"]
+
+    print("== serial reference (--workers 1) ==")
+    ref = cli(["run", *common, "--workers", "1",
+               "--journal", serial_journal])
+    if ref.returncode != 0:
+        print(ref.stderr, file=sys.stderr)
+        print("FAIL: serial reference run failed", file=sys.stderr)
+        return 1
+    want = journal_digests(serial_journal)
+    print(f"   {len(want)} reference digests")
+
+    print("== chaos run (--workers 2, external SIGKILL) ==")
+    code, out, err, killed = run_with_kill(
+        [*common, "--workers", "2", "--journal", chaos_journal,
+         "--max-retries", "3"],
+        chaos_journal,
+    )
+    if killed:
+        print(f"   SIGKILLed worker pid {killed}")
+    else:
+        print("   WARNING: no worker caught in time; parity still checked")
+    if code != 0:
+        print(err, file=sys.stderr)
+        print(f"FAIL: chaos run exited {code} "
+              f"(a killed worker must be retried, not fatal)",
+              file=sys.stderr)
+        return 1
+    summary = json.loads(err.strip().splitlines()[-1])
+    crashes = summary["supervision"].get("worker_crashes", 0)
+    print(f"   completed {summary['completed']}/{summary['n_items']}, "
+          f"worker_crashes={crashes}")
+
+    print("== resume from the chaos journal ==")
+    res = cli(["run", *common, "--workers", "2",
+               "--resume", chaos_journal])
+    if res.returncode != 0:
+        print(res.stderr, file=sys.stderr)
+        print("FAIL: resume run failed", file=sys.stderr)
+        return 1
+    resumed = json.loads(res.stderr.strip().splitlines()[-1])
+    print(f"   replayed {resumed['replayed']}/{resumed['n_items']}")
+    if resumed["replayed"] != N_ITEMS:
+        print("FAIL: resume did not replay the full batch", file=sys.stderr)
+        return 1
+
+    got = journal_digests(chaos_journal)
+    if got != want:
+        print(f"FAIL: digest mismatch — chaos {len(got)} vs "
+              f"serial {len(want)}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(got)} digests identical across serial, "
+          f"chaos, and resume runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
