@@ -40,7 +40,7 @@ import numpy as np
 
 from . import analysis, gpu, kernels, matrices, telemetry
 from .errors import ReproError
-from .formats import read_matrix_market, to_format
+from .formats import to_format
 from .util import human_bytes
 
 
@@ -48,37 +48,9 @@ def _load_matrix(args):
     if args.mtx and args.generate:
         raise ReproError("pass either --mtx or --generate, not both")
     if args.mtx:
-        try:
-            return read_matrix_market(args.mtx)
-        except FileNotFoundError:
-            raise ReproError(f"matrix file not found: {args.mtx}") from None
-        except OSError as exc:
-            raise ReproError(
-                f"cannot read matrix file {args.mtx}: {exc}"
-            ) from None
+        return matrices.from_spec(args.mtx, is_file=True)
     if args.generate:
-        parts = args.generate.split(":")
-        if len(parts) not in (4, 5):
-            raise ReproError(
-                "generator spec must be family:n_rows:n_cols:density[:seed]"
-            )
-        family, n_rows, n_cols, density = parts[:4]
-        fn = matrices.GENERATORS.get(family)
-        if fn is None:
-            raise ReproError(
-                f"unknown family {family!r}; available: "
-                f"{sorted(matrices.GENERATORS)}"
-            )
-        try:
-            rows_i, cols_i = int(n_rows), int(n_cols)
-            density_f = float(density)
-            seed = int(parts[4]) if len(parts) == 5 else 0
-        except ValueError:
-            raise ReproError(
-                f"malformed generator spec {args.generate!r}: n_rows, "
-                "n_cols, and seed must be integers and density a float"
-            ) from None
-        return fn(rows_i, cols_i, density_f, seed=seed)
+        return matrices.from_spec(args.generate, is_file=False)
     raise ReproError("a matrix is required: --mtx <file> or --generate <spec>")
 
 
@@ -240,12 +212,8 @@ def _parse_batch_file(path: str) -> list:
         raise ReproError(f"batch file {path} lists no matrices")
     out = []
     for lineno, spec in specs:
-        ns = argparse.Namespace(
-            mtx=spec if spec.endswith(".mtx") else None,
-            generate=None if spec.endswith(".mtx") else spec,
-        )
         try:
-            out.append((spec, _load_matrix(ns)))
+            out.append((spec, matrices.from_spec(spec)))
         except ReproError as exc:
             raise ConfigError(
                 f"batch file {path} line {lineno}: {exc}"
@@ -305,6 +273,7 @@ def _print_batch_summary(args, results) -> None:
     journal = summary["journal"]
     if journal is not None:
         print(f"journal: {journal['trusted_entries']} trusted entries, "
+              f"{journal.get('appended', 0)} appended, "
               f"{len(journal['anomalies'])} anomalies "
               f"({journal['path']})")
 
@@ -422,6 +391,46 @@ def cmd_run(args) -> int:
         print(f"plan cache: {stats['entries']} entries, "
               f"{stats['hits']} hits, {stats['misses']} misses")
     return exit_code
+
+
+def cmd_serve(args) -> int:
+    """Run the resident SpMM service until drained (see docs/SERVICE.md)."""
+    from .runtime.supervisor import SupervisionPolicy
+    from .service import AdmissionConfig, ServiceConfig, SpmmService
+
+    config = ServiceConfig(
+        socket_path=args.socket,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        gpu=args.gpu,
+        ssf_threshold=args.ssf_threshold,
+        admission=AdmissionConfig(
+            max_pending=args.max_pending,
+            target_wait_s=args.target_wait,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+        ),
+        policy=SupervisionPolicy(
+            request_timeout_s=args.request_timeout,
+            max_retries=args.max_retries,
+            start_method=args.start_method,
+        ),
+        cache_entries=args.cache_entries,
+        tenant_cache_entries=args.tenant_cache_entries,
+    )
+    service = SpmmService(config)
+    print(f"serving on {args.socket} "
+          f"(state: {args.state_dir}, workers: {args.workers}, "
+          f"gpu: {args.gpu})", flush=True)
+    summary = service.run()
+    print(f"drained: {summary['completed']} completed, "
+          f"{summary['failed']} failed, {summary['shed']} shed, "
+          f"{summary['recovered']} recovered")
+    if summary["dispatch_error"]:
+        print(f"error: dispatcher died: {summary['dispatch_error']}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _report_one(record, index: int, total: int) -> None:
@@ -745,6 +754,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="overwrite existing --record-out / --trace files",
     )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resident SpMM service on a Unix socket "
+        "(admission control, multi-tenant plan cache, crash-safe "
+        "journaling; see docs/SERVICE.md)",
+    )
+    p.add_argument("--socket", required=True, help="Unix socket path")
+    p.add_argument(
+        "--state-dir", required=True,
+        help="durable state directory (intent log + run journal)",
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--gpu", default="gv100", help="gv100 or tu116")
+    p.add_argument(
+        "--ssf-threshold", type=float, default=kernels.SSF_TH_DEFAULT
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=64,
+        help="ceiling on queued-but-undispatched requests",
+    )
+    p.add_argument(
+        "--target-wait", type=float, default=2.0, metavar="S",
+        help="queueing-delay budget that sizes the admission window",
+    )
+    p.add_argument(
+        "--tenant-rate", type=float, default=50.0,
+        help="per-tenant sustained admission rate (requests/second)",
+    )
+    p.add_argument(
+        "--tenant-burst", type=int, default=16,
+        help="per-tenant burst allowance (token-bucket capacity)",
+    )
+    p.add_argument(
+        "--request-timeout", type=float, default=None, metavar="S",
+        help="per-request worker deadline (default: none)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-dispatches per failing request before quarantine",
+    )
+    p.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for workers",
+    )
+    p.add_argument(
+        "--cache-entries", type=int, default=128,
+        help="shared plan-cache entry budget across tenants",
+    )
+    p.add_argument(
+        "--tenant-cache-entries", type=int, default=32,
+        help="per-tenant plan-cache entry budget",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "report",

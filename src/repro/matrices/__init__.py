@@ -13,6 +13,7 @@ from .generators import (
     tall_skinny,
     uniform_random,
 )
+from .spec import from_spec
 from .stats import (
     MatrixStats,
     matrix_stats,
@@ -36,6 +37,7 @@ __all__ = [
     "bipartite_graph",
     "pruned_dnn_layer",
     "kronecker_graph",
+    "from_spec",
     "MatrixStats",
     "matrix_stats",
     "nnz_per_row",

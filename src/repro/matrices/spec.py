@@ -1,0 +1,60 @@
+"""Matrix specs: the one-string form of "which matrix" used everywhere.
+
+A spec is either a Matrix Market path (``*.mtx``) or a generator spec
+``family:n_rows:n_cols:density[:seed]`` (e.g.
+``block_diagonal:2048:2048:0.02:7``).  The CLI flags ``--mtx`` /
+``--generate``, batch-file lines, and service submit requests all resolve
+matrices through :func:`from_spec`, so the accepted grammar — and every
+error message — is identical across entry points.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .generators import GENERATORS
+
+
+def from_spec(spec: str, *, is_file: bool | None = None):
+    """Resolve one matrix spec to a sparse-matrix container.
+
+    ``is_file`` forces the interpretation (the CLI knows which flag the
+    spec came from); ``None`` infers it from the ``.mtx`` suffix, the rule
+    batch files and service requests use.  Raises
+    :class:`~repro.errors.ReproError` with a message naming exactly what
+    was wrong — callers wrap it with their own location context (batch
+    line number, request id).
+    """
+    if is_file is None:
+        is_file = spec.endswith(".mtx")
+    if is_file:
+        from ..formats import read_matrix_market
+
+        try:
+            return read_matrix_market(spec)
+        except FileNotFoundError:
+            raise ReproError(f"matrix file not found: {spec}") from None
+        except OSError as exc:
+            raise ReproError(
+                f"cannot read matrix file {spec}: {exc}"
+            ) from None
+    parts = spec.split(":")
+    if len(parts) not in (4, 5):
+        raise ReproError(
+            "generator spec must be family:n_rows:n_cols:density[:seed]"
+        )
+    family, n_rows, n_cols, density = parts[:4]
+    fn = GENERATORS.get(family)
+    if fn is None:
+        raise ReproError(
+            f"unknown family {family!r}; available: {sorted(GENERATORS)}"
+        )
+    try:
+        rows_i, cols_i = int(n_rows), int(n_cols)
+        density_f = float(density)
+        seed = int(parts[4]) if len(parts) == 5 else 0
+    except ValueError:
+        raise ReproError(
+            f"malformed generator spec {spec!r}: n_rows, "
+            "n_cols, and seed must be integers and density a float"
+        ) from None
+    return fn(rows_i, cols_i, density_f, seed=seed)

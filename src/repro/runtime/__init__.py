@@ -155,9 +155,16 @@ class SpmmRuntime:
                     "plan_cache.hits" if entry is not None else
                     "plan_cache.misses"
                 ).inc()
-                total = stats["hits"] + stats["misses"]
                 tracer.metrics.gauge("plan_cache.hit_ratio").set(
-                    stats["hits"] / total if total else 0.0
+                    stats["hit_rate"]
+                )
+                # cache.* mirrors for SLO checks (docs/OBSERVABILITY.md):
+                # consumers read the precomputed rate/eviction gauges
+                # instead of recomputing from raw hit/miss counters.
+                tracer.metrics.gauge("cache.hit_rate").set(stats["hit_rate"])
+                tracer.metrics.gauge("cache.entries").set(stats["entries"])
+                tracer.metrics.gauge("cache.evictions").set(
+                    stats["evictions"]
                 )
         if entry is not None:
             return entry.plan, entry.store, True

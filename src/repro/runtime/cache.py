@@ -66,6 +66,7 @@ class PlanCache:
     _entries: OrderedDict = field(default_factory=OrderedDict)
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     def __post_init__(self):
         if self.max_entries <= 0:
@@ -103,21 +104,44 @@ class PlanCache:
         entry.hits += 1
         return entry
 
-    def insert(self, key: tuple, entry: CacheEntry) -> None:
-        """Store ``entry`` under ``key``, evicting LRU entries over the bound."""
+    def insert(self, key: tuple, entry: CacheEntry) -> list:
+        """Store ``entry`` under ``key``, evicting LRU entries over the bound.
+
+        Returns the evicted ``(key, entry)`` pairs (usually empty, at most
+        one unless ``max_entries`` shrank) so multi-tenant wrappers can
+        charge evictions to the owning tenant.
+        """
         self._entries[key] = entry
         self._entries.move_to_end(key)
+        evicted = []
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted.append(self._entries.popitem(last=False))
+            self.evictions += 1
+        return evicted
+
+    def evict(self, key: tuple) -> CacheEntry | None:
+        """Drop one entry by key (targeted eviction); counts as an eviction."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.evictions += 1
+        return entry
 
     def __len__(self) -> int:
         return len(self._entries)
 
     @property
+    def hit_rate(self) -> float:
+        """Lifetime hit fraction over all lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
     def stats(self) -> dict:
-        """Current entry count plus lifetime hit/miss totals."""
+        """Entry count plus lifetime hit/miss/eviction totals and hit rate."""
         return {
             "entries": len(self._entries),
             "hits": int(self.hits),
             "misses": int(self.misses),
+            "evictions": int(self.evictions),
+            "hit_rate": float(self.hit_rate),
         }

@@ -152,6 +152,8 @@ class RunJournal:
     def __init__(self, path):
         self.path = str(path)
         self._appended: set[str] = set()
+        #: lines durably written by this instance (dedupes excluded)
+        self.appends = 0
 
     # -------------------------------------------------------------- writes
     def append(self, fingerprint: str, record: RunRecord) -> bool:
@@ -174,6 +176,7 @@ class RunJournal:
                 f"cannot append to journal {self.path}: {exc}"
             ) from None
         self._appended.add(fingerprint)
+        self.appends += 1
         return True
 
     def seed_replayed(self, replay: JournalReplay) -> None:

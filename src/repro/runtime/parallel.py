@@ -44,7 +44,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError, SupervisionError
 from .cache import CacheEntry, PlanCache, matrix_fingerprint
-from .journal import RunJournal, request_fingerprint
+from .journal import JOURNAL_VERSION, RunJournal, request_fingerprint
 from .plan import FULL_CAPABILITIES, SpmmPlan, SpmmRequest
 from .record import RunRecord
 from .supervisor import FailedItem, SupervisionPolicy, WorkerSupervisor
@@ -77,6 +77,11 @@ class PlanHandle:
     tile_width: int
     ssf_threshold: float | None
     dense: object = None
+    #: serialized Capabilities the parent planned under (None = full).
+    #: Shipping this keeps a demoted plan from being installed under the
+    #: full-capability cache key in the worker, which would silently
+    #: demote later full-capability requests for the same matrix.
+    capabilities: dict | None = None
 
 
 @dataclass
@@ -169,12 +174,18 @@ def execute_handle(ctx, handle: PlanHandle):
     """
     from ..formats.convert import FormatStore
     from ..telemetry import Tracer
+    from .plan import Capabilities
 
     config, traced = ctx
     request = _handle_to_request(handle)
     runtime = _worker_runtime(config, handle.ssf_threshold)
+    capabilities = (
+        Capabilities.from_dict(handle.capabilities)
+        if handle.capabilities is not None
+        else FULL_CAPABILITIES
+    )
     key = PlanCache.key_for(
-        request, runtime.config, FULL_CAPABILITIES,
+        request, runtime.config, capabilities,
         runtime._effective_threshold(request),
     )
     if key not in runtime.cache._entries:
@@ -186,7 +197,10 @@ def execute_handle(ctx, handle: PlanHandle):
             key, CacheEntry(plan=SpmmPlan.from_dict(handle.plan), store=store)
         )
     tracer = Tracer() if traced else None
-    outcome = runtime.run(request, tracer=tracer)
+    outcome = runtime.run(
+        request, capabilities=capabilities,
+        enforce_ladder=handle.capabilities is not None, tracer=tracer,
+    )
     if traced:
         snapshot = tracer.metrics.snapshot()
         spans = [root.to_dict() for root in tracer.roots]
@@ -256,8 +270,24 @@ class ParallelExecutor:
                     requests, tracer, policy, journal, replay, fingerprints,
                     chaos,
                 )
-        if replay is not None:
-            result.journal_summary = replay.summary()
+        if journal is not None:
+            # Always report the journal — a fresh run reports its appends,
+            # a resume additionally reports the load-time trust/anomaly
+            # audit, and a resume that replayed *everything* (no live
+            # items) still carries a complete summary.
+            if replay is not None:
+                summary = replay.summary()
+            else:
+                summary = {
+                    "path": journal.path,
+                    "schema_version": JOURNAL_VERSION,
+                    "total_lines": int(journal.appends),
+                    "trusted_entries": int(journal.appends),
+                    "anomalies": [],
+                    "anomaly_counts": {},
+                }
+            summary["appended"] = int(journal.appends)
+            result.journal_summary = summary
         return result
 
     # ------------------------------------------------------------ journal

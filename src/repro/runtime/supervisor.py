@@ -70,6 +70,13 @@ _TICK_S = 0.02
 #: Grace given to workers to exit on the shutdown sentinel before SIGKILL.
 _SHUTDOWN_GRACE_S = 2.0
 
+#: Streaming sentinel an item iterable may yield to say "no work available
+#: right now, keep the loop (heartbeats, deadlines, retries) ticking".
+#: Unlike ``StopIteration`` it does not end the run — the resident service
+#: front end uses this to feed an open-ended request stream to one
+#: long-lived supervisor.
+NO_ITEM = object()
+
 
 @dataclass(frozen=True)
 class ChaosFault:
@@ -208,9 +215,15 @@ class SupervisionPolicy:
 
 def _worker_main(
     worker_id, task_fn, task_ctx, task_r, result_w, heartbeat_interval_s,
-    chaos,
+    chaos, close_fds=(),
 ):
     """Entry point of one supervised worker process.
+
+    ``close_fds`` lists inherited file descriptors a forked child must
+    drop immediately — e.g. a resident server's listening socket, which
+    would otherwise keep the socket's accept backlog alive in orphaned
+    workers after the parent is SIGKILLed, wedging clients that connect
+    to the stale socket during a restart.
 
     Receives ``(index, attempt, item)`` tasks on its private ``task_r``
     pipe until the ``None`` sentinel (or EOF), answering each with one
@@ -224,6 +237,11 @@ def _worker_main(
     supervisor already treats as a crash.  Module-level on purpose:
     ``spawn`` pickles the target by qualified name.
     """
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
     stop = threading.Event()
     send_lock = threading.Lock()  # heartbeat thread + task loop both send
 
@@ -339,18 +357,28 @@ class WorkerSupervisor:
         self.workers = int(workers)
         self.policy = policy if policy is not None else SupervisionPolicy()
         self.chaos = dict(chaos) if chaos else {}
+        #: inherited fds every *forked* child closes at startup (set by
+        #: resident servers to their listening socket; read per spawn so
+        #: respawned workers honor it too; ignored under ``spawn``, whose
+        #: children inherit nothing and whose fd numbers mean other files)
+        self.child_close_fds: tuple = ()
         #: counters for the last :meth:`run` (see RELIABILITY.md)
         self.stats: dict[str, int] = dict.fromkeys(self.STAT_KEYS, 0)
 
     # ----------------------------------------------------------- the loop
-    def run(self, items, *, tracer=NULL_TRACER, on_payload=None):
+    def run(self, items, *, tracer=NULL_TRACER, on_payload=None,
+            on_failure=None):
         """Execute every ``(index, item)``; returns ``(payloads, failures)``.
 
         ``payloads`` maps index → the task function's return value;
         ``failures`` lists one :class:`FailedItem` per quarantined index.
         ``on_payload(index, payload)`` fires as each item completes (in
-        completion order — this is the journal checkpoint hook).  Items
-        are pulled from the iterable lazily under the admission window.
+        completion order — this is the journal checkpoint hook) and
+        ``on_failure(failed_item)`` as each item is quarantined, so a
+        streaming caller can answer per item without waiting for the run
+        to end.  Items are pulled from the iterable lazily under the
+        admission window; an iterable may yield :data:`NO_ITEM` to keep
+        the loop alive while it waits for more work (streaming mode).
         """
         policy = self.policy
         ctx = multiprocessing.get_context(policy.resolve_start_method())
@@ -369,13 +397,18 @@ class WorkerSupervisor:
 
         def spawn(now, respawn: bool) -> None:
             nonlocal next_wid
+            close_fds = (
+                tuple(self.child_close_fds)
+                if ctx.get_start_method() == "fork"
+                else ()
+            )
             task_r, task_w = ctx.Pipe(duplex=False)
             result_r, result_w = ctx.Pipe(duplex=False)
             process = ctx.Process(
                 target=_worker_main,
                 args=(
                     next_wid, self.task_fn, self.task_ctx, task_r, result_w,
-                    policy.heartbeat_interval_s, self.chaos,
+                    policy.heartbeat_interval_s, self.chaos, close_fds,
                 ),
                 daemon=True,
             )
@@ -410,14 +443,15 @@ class WorkerSupervisor:
                 stats["quarantined"] += 1
                 metrics.counter("supervisor.quarantined").inc()
                 resolved.add(index)
-                failures.append(
-                    FailedItem(
-                        index=index,
-                        error_type=error_type,
-                        message=message,
-                        attempts=attempt + 1,
-                    )
+                failed = FailedItem(
+                    index=index,
+                    error_type=error_type,
+                    message=message,
+                    attempts=attempt + 1,
                 )
+                failures.append(failed)
+                if on_failure is not None:
+                    on_failure(failed)
 
         def reap(worker, now, error_type, message, *, kill) -> None:
             """Remove a worker (killing it first if needed), fail its task."""
@@ -443,10 +477,13 @@ class WorkerSupervisor:
                 # 1. admission control: top up the planned-item window.
                 while not exhausted and seen - len(resolved) < window:
                     try:
-                        index, item = next(it)
+                        task = next(it)
                     except StopIteration:
                         exhausted = True
                         break
+                    if task is NO_ITEM:
+                        break  # stream idle; try again next tick
+                    index, item = task
                     seen += 1
                     pending.append((index, 0, item, now))
                 if exhausted and len(resolved) == seen:

@@ -1,0 +1,70 @@
+"""Resident SpMM service: admission, tenancy, durability, degradation.
+
+This package promotes ``python -m repro run --batch`` into a long-lived
+server (``python -m repro serve``): an asyncio front end over a Unix
+socket that dispatches to the same supervised worker pool, journals
+every accepted request, and — under overload — degrades honestly
+(bounded queues, per-tenant quotas, 429 + Retry-After, deadline-driven
+demotion down the degradation ladder) instead of queueing without bound
+or failing silently.
+
+Module map:
+
+- :mod:`.protocol` — the NDJSON wire grammar and its validation;
+- :mod:`.admission` — utilization-derived windows, token-bucket quotas,
+  deadline demotion (pure logic, no I/O);
+- :mod:`.tenancy` — the shared, size-budgeted multi-tenant plan cache;
+- :mod:`.state` — the durable accepted-intent log beside the run journal;
+- :mod:`.server` — the service itself (event loop + dispatcher thread);
+- :mod:`.client` — the blocking client used by tests and the smoke tool.
+
+Operational docs: ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from .client import ServiceClient, ServiceClientError
+from .protocol import (
+    LANES,
+    STATUS_BAD_REQUEST,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_UNAVAILABLE,
+    ProtocolError,
+    SubmitRequest,
+    service_fingerprint,
+)
+from .server import LADDER, ServiceConfig, SpmmService
+from .state import ServiceState
+from .tenancy import MultiTenantPlanCache, TenantCacheView
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "LADDER",
+    "LANES",
+    "MultiTenantPlanCache",
+    "ProtocolError",
+    "STATUS_BAD_REQUEST",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "STATUS_UNAVAILABLE",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceState",
+    "SpmmService",
+    "SubmitRequest",
+    "TenantCacheView",
+    "TokenBucket",
+    "service_fingerprint",
+]

@@ -1,0 +1,165 @@
+"""Blocking client for the resident SpMM service.
+
+Speaks the :mod:`.protocol` NDJSON framing over the service's Unix
+socket.  One client owns one connection and one request id sequence;
+responses may arrive out of submission order (submits complete as the
+pool finishes them), so the client buffers frames by id until the one it
+is waiting for appears.  The instance is locked around each
+request/response exchange — for concurrent load, open one client per
+thread (connections are cheap; the SLO tests do exactly this).
+
+Connecting retries briefly by default so a test or smoke driver can
+start the server and a client together without racing the bind.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from ..errors import ReproError
+from .protocol import decode_message, encode_message
+
+
+class ServiceClientError(ReproError):
+    """The service connection failed or returned an unreadable frame."""
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.SpmmService`."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        timeout_s: float = 120.0,
+        connect_timeout_s: float = 5.0,
+    ):
+        self.socket_path = str(socket_path)
+        self.timeout_s = float(timeout_s)
+        self._next_id = 0
+        self._pending: dict[str, dict] = {}
+        import threading
+
+        self._lock = threading.Lock()
+        deadline = time.monotonic() + connect_timeout_s
+        while True:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                self._sock.connect(self.socket_path)
+                break
+            except OSError as exc:
+                self._sock.close()
+                if time.monotonic() >= deadline:
+                    raise ServiceClientError(
+                        f"cannot connect to {self.socket_path}: {exc}"
+                    ) from None
+                time.sleep(0.05)
+        self._sock.settimeout(self.timeout_s)
+        self._file = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------ plumbing
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _request(self, doc: dict) -> dict:
+        """Send one frame; block until *its* response arrives."""
+        with self._lock:
+            self._next_id += 1
+            rid = f"c{self._next_id}"
+            doc = dict(doc, id=rid)
+            try:
+                self._sock.sendall(encode_message(doc))
+            except OSError as exc:
+                raise ServiceClientError(f"send failed: {exc}") from None
+            while True:
+                resp = self._pending.pop(rid, None)
+                if resp is not None:
+                    return resp
+                try:
+                    line = self._file.readline()
+                except OSError as exc:
+                    raise ServiceClientError(
+                        f"connection lost: {exc}"
+                    ) from None
+                if not line:
+                    raise ServiceClientError(
+                        "connection closed by the service"
+                    )
+                try:
+                    resp = decode_message(line)
+                except ReproError:
+                    raise ServiceClientError(
+                        f"unreadable response frame: {line[:200]!r}"
+                    ) from None
+                got = resp.get("id")
+                if got == rid:
+                    return resp
+                if isinstance(got, str):
+                    self._pending[got] = resp
+
+    # ------------------------------------------------------------ requests
+    def submit(
+        self,
+        matrix: str,
+        *,
+        tenant: str = "default",
+        k: int = 8,
+        seed: int = 0,
+        tile_width: int = 64,
+        lane: str = "interactive",
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Submit one SpMM request; returns the full response doc.
+
+        Check ``resp["status"]``: 200 carries ``resp["result"]`` (digest,
+        variant, rung, ...), 429 carries ``resp["retry_after_s"]``, 500
+        carries ``resp["failure"]``.
+        """
+        doc = {
+            "op": "submit",
+            "tenant": tenant,
+            "matrix": matrix,
+            "k": k,
+            "seed": seed,
+            "tile_width": tile_width,
+            "lane": lane,
+        }
+        if deadline_s is not None:
+            doc["deadline_s"] = deadline_s
+        return self._request(doc)
+
+    def health(self) -> dict:
+        """The service's health report (``result`` of the response)."""
+        return self._expect_ok({"op": "health"})
+
+    def stats(self) -> dict:
+        """Metrics snapshot + cache/supervisor/admission stats."""
+        return self._expect_ok({"op": "stats"})
+
+    def drain(self) -> dict:
+        """Gracefully drain the service; returns the drain summary."""
+        return self._expect_ok({"op": "drain"})
+
+    def _expect_ok(self, doc: dict) -> dict:
+        resp = self._request(doc)
+        if resp.get("status") != 200:
+            raise ServiceClientError(
+                f"{doc['op']} failed: {json.dumps(resp, sort_keys=True)}"
+            )
+        return resp["result"]

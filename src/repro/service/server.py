@@ -1,0 +1,718 @@
+"""The resident SpMM service: asyncio front end over the supervised pool.
+
+``python -m repro serve`` promotes the batch executor into a long-lived
+server.  One process, two cooperating threads:
+
+* the **event loop** (this module's asyncio side) owns the Unix socket,
+  parses and validates requests, runs admission control
+  (:mod:`.admission`), durably logs every acceptance (:mod:`.state`),
+  and parks each submit on a future;
+* the **dispatcher thread** feeds one long-lived
+  :class:`~repro.runtime.supervisor.WorkerSupervisor` through its
+  streaming seam (:data:`~repro.runtime.supervisor.NO_ITEM`): it pops
+  admitted requests from the priority lanes, plans them through the
+  tenant's view of the shared :class:`.tenancy.MultiTenantPlanCache`,
+  and yields picklable :class:`~repro.runtime.parallel.PlanHandle` items
+  exactly like the batch path — so worker records are digest-identical
+  to serial runs, and worker crash/hang/retry/quarantine semantics are
+  inherited wholesale from the supervisor.
+
+Completions flow back on the supervisor's ``on_payload``/``on_failure``
+callbacks (dispatcher thread), which journal the record, update the
+admission EWMAs, and resolve the client future via
+``loop.call_soon_threadsafe`` — the only cross-thread handoff.  The
+supervisor's admission window is pinned to the worker count, so the
+backlog lives in the service's lanes where priority ordering and
+backpressure apply, not in the supervisor's FIFO.
+
+Crash contract (chaos-tested in ``tests/service/``): a request is
+acknowledged only after its intent is fsynced; every completion is
+fsynced to the run journal before the client sees 200.  SIGKILL the
+server at any instant and a restart replays the journal, re-executes
+``accepted - journaled`` before reopening the socket, and answers
+duplicate submits from the journal — digest-identical, no silent loss.
+
+Graceful shutdown: the ``drain`` op (or SIGTERM/SIGINT) stops admission
+(new submits get 503), lets the lanes and in-flight work finish, then
+shuts the pool down and returns a drain summary.
+
+The telemetry tracer's span stack is synchronous and single-threaded, so
+the service emits **metrics only** (``service.*``; catalog in
+``docs/OBSERVABILITY.md``) — spans stay inside the workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from ..errors import JournalError, ReproError
+from ..gpu import get_config
+from ..matrices import from_spec
+from ..runtime import (
+    FULL_CAPABILITIES,
+    Capabilities,
+    FailedItem,
+    Planner,
+    PlanHandle,
+    RunRecord,
+    SpmmRequest,
+    SpmmRuntime,
+    SupervisionPolicy,
+    WorkerSupervisor,
+    matrix_fingerprint,
+    request_fingerprint,
+)
+from ..runtime.journal import RunJournal
+from ..runtime.parallel import execute_handle
+from ..runtime.supervisor import NO_ITEM
+from ..telemetry import MetricsRegistry
+from .admission import AdmissionConfig, AdmissionController, N_RUNGS
+from .protocol import (
+    LANES,
+    STATUS_BAD_REQUEST,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_UNAVAILABLE,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    parse_request,
+    parse_submit,
+    request_id,
+    service_fingerprint,
+)
+from .state import ServiceState
+from .tenancy import MultiTenantPlanCache
+
+#: The degradation ladder by rung: ``None`` means full capability (plain
+#: run, no ladder enforcement); rung 1 rules out the online engine; rung
+#: 2 falls all the way back to untiled CSR.  Indexed by
+#: :meth:`.admission.AdmissionController.choose_rung`.
+LADDER: tuple = (
+    None,
+    FULL_CAPABILITIES.without_online(),
+    Capabilities(online_allowed=False, offline_tiled_available=False),
+)
+assert len(LADDER) == N_RUNGS
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything one :class:`SpmmService` instance is configured by."""
+
+    #: Unix socket to listen on (created on start, removed on drain)
+    socket_path: str
+    #: durable state directory (intent log + run journal; see state.py)
+    state_dir: str
+    workers: int = 2
+    gpu: str = "gv100"
+    ssf_threshold: float | None = None
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: worker supervision knobs; ``max_pending`` is overridden to the
+    #: worker count so the backlog stays in the service's lanes
+    policy: SupervisionPolicy = field(default_factory=SupervisionPolicy)
+    #: shared plan-cache entry budget across all tenants
+    cache_entries: int = 128
+    #: per-tenant plan-cache entry budget
+    tenant_cache_entries: int = 32
+    #: per-tenant cache hit-rate SLO floor (health endpoint verdicts)
+    cache_hit_rate_slo: float = 0.5
+    #: chaos seam: dispatch index -> ChaosFault, injected in workers
+    chaos: dict | None = None
+
+
+@dataclass
+class _Pending:
+    """One admitted request between acceptance and resolution."""
+
+    index: int
+    rid: str
+    fingerprint: str
+    tenant: str
+    lane: str
+    rung: int
+    request: SpmmRequest
+    #: asyncio future the submit handler awaits; None for recovery work
+    future: object | None
+    enqueued_at: float
+    dispatched_at: float = 0.0
+    recovery: bool = False
+
+
+class SpmmService:
+    """One resident service instance (see the module docstring).
+
+    Construct, then either ``await serve()`` inside an event loop or call
+    :meth:`run` to own one.  A single instance serves one lifetime; make
+    a new instance (same ``state_dir``) to restart.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.gpu_config = get_config(config.gpu)
+        self.ssf_threshold = Planner(
+            self.gpu_config, config.ssf_threshold
+        ).ssf_threshold
+        self.state = ServiceState(config.state_dir)
+        self.metrics = MetricsRegistry()
+        self.admission = AdmissionController(
+            config.admission, workers=config.workers
+        )
+        self.cache = MultiTenantPlanCache(
+            max_entries=config.cache_entries,
+            tenant_max_entries=config.tenant_cache_entries,
+            hit_rate_slo=config.cache_hit_rate_slo,
+        )
+        self.supervisor = WorkerSupervisor(
+            execute_handle,
+            (self.gpu_config, False),
+            workers=config.workers,
+            policy=replace(config.policy, max_pending=config.workers),
+            chaos=config.chaos,
+        )
+        self._runtimes: dict[str, SpmmRuntime] = {}
+        self._lanes: dict[str, deque] = {lane: deque() for lane in LANES}
+        self._inflight: dict[int, _Pending] = {}
+        self._lock = threading.Lock()
+        self._completed: dict[str, RunRecord] = {}
+        self._failures: list[FailedItem] = []
+        self._counts = {"completed": 0, "replayed": 0, "failed": 0,
+                        "shed": 0, "recovered": 0}
+        self._next_index = 0
+        self._draining = False
+        self._recovery_pending = 0
+        self._dispatch_error: str | None = None
+        self._started_at = time.monotonic()
+        self._loop = None
+        self._drained: asyncio.Event | None = None
+        self._dispatcher: threading.Thread | None = None
+        self._tasks: set = set()
+
+    # =================================================== lifecycle (async)
+    async def serve(self) -> dict:
+        """Serve until drained; returns the drain summary."""
+        self._loop = asyncio.get_running_loop()
+        self._drained = asyncio.Event()
+        self._recover()
+        # The service owns its socket path: a stale file left by a
+        # SIGKILLed predecessor would otherwise block the bind.
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
+        server = await asyncio.start_unix_server(
+            self._handle_connection, path=self.config.socket_path
+        )
+        # Forked workers must not inherit the listening socket: an
+        # orphaned worker would keep the accept backlog alive after a
+        # SIGKILL, wedging clients that connect to the stale socket while
+        # a replacement restarts.  Registered before the dispatcher (and
+        # so any worker) starts; respawns re-read it.
+        self.supervisor.child_close_fds = tuple(
+            sock.fileno() for sock in (server.sockets or ())
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="spmm-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        handled_signals = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(sig, self.request_drain)
+                handled_signals.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # not the main thread (in-process test servers)
+        try:
+            await self._drained.wait()
+        finally:
+            # Close only the listener (``wait_closed`` would wait for
+            # every connected client to hang up first); per-line response
+            # tasks are gathered below so in-flight replies still land.
+            server.close()
+            for sig in handled_signals:
+                try:
+                    self._loop.remove_signal_handler(sig)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
+            self._draining = True
+            if self._tasks:
+                await asyncio.gather(*self._tasks, return_exceptions=True)
+            await self._loop.run_in_executor(None, self._dispatcher.join)
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+        return self.drain_summary()
+
+    def run(self) -> dict:
+        """Blocking convenience wrapper: own an event loop, serve, return."""
+        return asyncio.run(self.serve())
+
+    def request_drain(self) -> None:
+        """Stop admitting; finish queued + in-flight work; then stop.
+
+        Idempotent and thread/signal-safe: it only flips a flag the
+        dispatcher polls every tick.
+        """
+        self._draining = True
+
+    def drain_summary(self) -> dict:
+        """What a drain (or SIGTERM) reports back."""
+        return {
+            "completed": self._counts["completed"],
+            "replayed": self._counts["replayed"],
+            "failed": len(self._failures),
+            "shed": self._counts["shed"],
+            "recovered": self._counts["recovered"],
+            "recovery_pending_at_start": self._recovery_pending,
+            "supervisor": dict(self.supervisor.stats),
+            "dispatch_error": self._dispatch_error,
+        }
+
+    # ============================================================ recovery
+    def _recover(self) -> None:
+        """Replay the journal; re-queue accepted-but-unjournaled intents.
+
+        Runs before the socket opens, so a client can never observe the
+        window between restart and recovery.
+        """
+        replay = RunJournal.load(self.state.journal_path)
+        if replay.anomalies:
+            self.state.journal.compact(replay)
+        else:
+            self.state.journal.seed_replayed(replay)
+        self._completed = dict(replay.records)
+        intents = self.state.load_accepted()
+        outstanding = [
+            i for i in intents if i["fingerprint"] not in self._completed
+        ]
+        self.state.compact_accepted(outstanding)
+        for intent in outstanding:
+            try:
+                matrix = from_spec(str(intent["matrix"]))
+                request = SpmmRequest(
+                    matrix,
+                    k=int(intent["k"]),
+                    seed=int(intent["seed"]),
+                    tile_width=int(intent["tile_width"]),
+                )
+            except (ReproError, TypeError, ValueError) as exc:
+                self._failures.append(
+                    FailedItem(
+                        index=-1,
+                        error_type=type(exc).__name__,
+                        message=f"unrecoverable intent: {exc}",
+                        attempts=0,
+                        fingerprint=str(intent["fingerprint"]),
+                        phase="recover",
+                    )
+                )
+                continue
+            lane = intent["lane"] if intent["lane"] in LANES else "batch"
+            rung = min(max(int(intent["rung"]), 0), N_RUNGS - 1)
+            with self._lock:
+                index = self._next_index
+                self._next_index += 1
+                self._lanes[lane].append(
+                    _Pending(
+                        index=index,
+                        rid="",
+                        fingerprint=str(intent["fingerprint"]),
+                        tenant=str(intent["tenant"]),
+                        lane=lane,
+                        rung=rung,
+                        request=request,
+                        future=None,
+                        enqueued_at=time.monotonic(),
+                        recovery=True,
+                    )
+                )
+            self._recovery_pending += 1
+        self.metrics.gauge("service.recovery_pending").set(
+            self._recovery_pending
+        )
+
+    # ================================================== dispatcher thread
+    def _runtime(self, tenant: str) -> SpmmRuntime:
+        """This tenant's runtime over its view of the shared plan cache."""
+        runtime = self._runtimes.get(tenant)
+        if runtime is None:
+            runtime = SpmmRuntime(
+                self.gpu_config,
+                ssf_threshold=self.config.ssf_threshold,
+                cache=self.cache.view(tenant),
+            )
+            self._runtimes[tenant] = runtime
+        return runtime
+
+    def _stream(self):
+        """The supervisor's item stream: lanes in priority order, or idle.
+
+        Ends (StopIteration) only when draining with empty lanes and no
+        in-flight work — which is exactly when the supervisor run, and
+        with it the dispatcher thread, finishes.
+        """
+        while True:
+            pend = None
+            with self._lock:
+                for lane in LANES:
+                    if self._lanes[lane]:
+                        pend = self._lanes[lane].popleft()
+                        break
+                if pend is None:
+                    if self._draining and not self._inflight:
+                        return
+                else:
+                    self._inflight[pend.index] = pend
+            if pend is None:
+                yield NO_ITEM
+                continue
+            pend.dispatched_at = time.monotonic()
+            try:
+                handle = self._plan_handle(pend)
+            except Exception as exc:  # planning failed: structured 500
+                self._on_failure(
+                    FailedItem(
+                        index=pend.index,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        attempts=1,
+                        phase="plan",
+                    )
+                )
+                continue
+            yield pend.index, handle
+
+    def _plan_handle(self, pend: _Pending) -> PlanHandle:
+        """Plan one request at its rung; package it for the workers."""
+        runtime = self._runtime(pend.tenant)
+        caps = LADDER[pend.rung]
+        plan, _, _ = runtime.plan(
+            pend.request, caps if caps is not None else FULL_CAPABILITIES
+        )
+        return PlanHandle(
+            index=pend.index,
+            plan=plan.to_dict(),
+            matrix=pend.request.matrix,
+            fingerprint=matrix_fingerprint(pend.request.matrix),
+            k=pend.request.k,
+            seed=pend.request.seed,
+            tile_width=pend.request.tile_width,
+            ssf_threshold=pend.request.ssf_threshold,
+            dense=None,
+            capabilities=caps.to_dict() if caps is not None else None,
+        )
+
+    def _dispatch_loop(self) -> None:
+        """The dispatcher thread body: one supervisor run for the lifetime."""
+        try:
+            self.supervisor.run(
+                self._stream(),
+                on_payload=self._on_payload,
+                on_failure=self._on_failure,
+            )
+        except BaseException as exc:  # supervisor itself died: fail all
+            self._dispatch_error = f"{type(exc).__name__}: {exc}"
+            with self._lock:
+                orphans = list(self._inflight.values())
+                self._inflight.clear()
+                for lane in LANES:
+                    orphans.extend(self._lanes[lane])
+                    self._lanes[lane].clear()
+            for pend in orphans:
+                self._on_orphan(pend)
+        finally:
+            self._notify_drained()
+
+    def _notify_drained(self) -> None:
+        if self._loop is None or self._drained is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._drained.set)
+        except RuntimeError:
+            pass  # loop already closed
+
+    # ------------------------------------------- completion path (callbacks)
+    def _on_payload(self, index: int, payload) -> None:
+        """Supervisor completion hook: journal, account, resolve."""
+        record_json, _, _ = payload
+        record = RunRecord.from_json(record_json)
+        with self._lock:
+            pend = self._inflight.pop(index, None)
+        if pend is None:
+            return
+        self.admission.observe_completion(
+            time.monotonic() - pend.dispatched_at
+        )
+        try:
+            if self.state.journal.append(pend.fingerprint, record):
+                self.metrics.counter("service.journal_appends").inc()
+        except JournalError:
+            # Durability is degraded but the answer is correct; restart
+            # will simply re-execute (at-least-once, never silent loss).
+            self.metrics.counter("service.journal_errors").inc()
+        self._completed[pend.fingerprint] = record
+        self._counts["completed"] += 1
+        self.metrics.counter("service.completed").inc()
+        if pend.recovery:
+            self._counts["recovered"] += 1
+            self.metrics.counter("service.recovered").inc()
+        self._update_gauges()
+        self._resolve(pend, self._ok_result(pend, record, replayed=False))
+
+    def _on_failure(self, failed: FailedItem) -> None:
+        """Supervisor quarantine hook: structured 500, never a hang."""
+        with self._lock:
+            pend = self._inflight.pop(failed.index, None)
+        if pend is None:
+            return
+        failed.fingerprint = pend.fingerprint
+        self._failures.append(failed)
+        self._counts["failed"] += 1
+        self.metrics.counter("service.failed").inc()
+        self._update_gauges()
+        self._resolve(
+            pend, {"status": STATUS_FAILED, "failure": failed.to_dict()}
+        )
+
+    def _on_orphan(self, pend: _Pending) -> None:
+        """Fail one request stranded by a dispatcher crash."""
+        failed = FailedItem(
+            index=pend.index,
+            error_type="SupervisionError",
+            message=f"dispatcher died: {self._dispatch_error}",
+            attempts=0,
+            fingerprint=pend.fingerprint,
+            phase="dispatch",
+        )
+        self._failures.append(failed)
+        self._counts["failed"] += 1
+        self._resolve(
+            pend, {"status": STATUS_FAILED, "failure": failed.to_dict()}
+        )
+
+    def _resolve(self, pend: _Pending, resp: dict) -> None:
+        """Hand a response doc to the waiting submit handler, cross-thread."""
+        future = pend.future
+        if future is None:
+            return
+
+        def _set() -> None:
+            if not future.done():
+                future.set_result(resp)
+
+        try:
+            self._loop.call_soon_threadsafe(_set)
+        except RuntimeError:
+            pass  # loop gone; the client connection is gone with it
+
+    def _ok_result(self, pend: _Pending, record, *, replayed: bool) -> dict:
+        return {
+            "status": STATUS_OK,
+            "result": {
+                "fingerprint": pend.fingerprint,
+                "digest": record.digest(),
+                "variant": record.variant,
+                "algorithm": record.algorithm,
+                "time_s": record.time_s,
+                "tenant": pend.tenant,
+                "lane": pend.lane,
+                "rung": pend.rung,
+                "replayed": replayed,
+            },
+        }
+
+    def _update_gauges(self) -> None:
+        with self._lock:
+            queued = sum(len(q) for q in self._lanes.values())
+            inflight = len(self._inflight)
+        self.metrics.gauge("service.queue_depth").set(queued)
+        self.metrics.gauge("service.inflight").set(inflight)
+        self.metrics.gauge("service.utilization").set(
+            self.admission.utilization()
+        )
+        self.metrics.gauge("service.window").set(self.admission.window())
+        stats = self.cache.cache.stats
+        self.metrics.gauge("cache.hit_rate").set(stats["hit_rate"])
+        self.metrics.gauge("cache.entries").set(stats["entries"])
+        self.metrics.gauge("cache.evictions").set(stats["evictions"])
+
+    # ========================================================= socket side
+    async def _handle_connection(self, reader, writer) -> None:
+        """One client connection: any number of pipelined NDJSON requests."""
+        wlock = asyncio.Lock()
+        conn_tasks: set = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, wlock)
+                )
+                for pool in (conn_tasks, self._tasks):
+                    pool.add(task)
+                    task.add_done_callback(pool.discard)
+        except (ConnectionResetError, OSError):
+            pass
+        finally:
+            if conn_tasks:
+                await asyncio.gather(*conn_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _serve_line(self, line: bytes, writer, wlock) -> None:
+        rid = ""
+        try:
+            doc = decode_message(line)
+            rid = request_id(doc)
+            op = parse_request(doc)
+            if op == "submit":
+                resp = await self._op_submit(doc)
+            elif op == "health":
+                resp = self._op_health()
+            elif op == "stats":
+                resp = self._op_stats()
+            else:
+                resp = await self._op_drain()
+        except ProtocolError as exc:
+            resp = {"status": STATUS_BAD_REQUEST, "error": str(exc)}
+        except Exception as exc:  # never kill the connection for one line
+            resp = {
+                "status": STATUS_FAILED,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        resp["id"] = rid
+        async with wlock:
+            try:
+                writer.write(encode_message(resp))
+                await writer.drain()
+            except (ConnectionResetError, OSError):
+                pass  # client hung up; admitted work still completes
+
+    # ------------------------------------------------------------ handlers
+    async def _op_submit(self, doc: dict) -> dict:
+        if self._draining:
+            return {
+                "status": STATUS_UNAVAILABLE,
+                "error": "service is draining",
+            }
+        req = parse_submit(doc)
+        try:
+            matrix = from_spec(req.matrix_spec)
+            request = SpmmRequest(
+                matrix, k=req.k, seed=req.seed, tile_width=req.tile_width
+            )
+        except ReproError as exc:
+            raise ProtocolError(str(exc)) from None
+        base_fp = request_fingerprint(
+            request, self.gpu_config, self.ssf_threshold
+        )
+        with self._lock:
+            queued_total = sum(len(q) for q in self._lanes.values())
+            queued_batch = len(self._lanes["batch"])
+            backlog = queued_total + len(self._inflight)
+        rung = self.admission.choose_rung(req.deadline_s, backlog=backlog)
+        if rung > 0:
+            self.metrics.counter("service.demoted").inc()
+        fingerprint = service_fingerprint(base_fp, rung)
+        record = self._completed.get(fingerprint)
+        if record is not None:
+            # Journal fast path: already durably computed (this lifetime
+            # or a previous one) — answer without consuming any quota.
+            self._counts["replayed"] += 1
+            self.metrics.counter("service.replayed").inc()
+            pend = _Pending(
+                index=-1, rid=req.id, fingerprint=fingerprint,
+                tenant=req.tenant, lane=req.lane, rung=rung,
+                request=request, future=None, enqueued_at=time.monotonic(),
+            )
+            return self._ok_result(pend, record, replayed=True)
+        decision = self.admission.admit(
+            req.tenant, req.lane,
+            queued_total=queued_total, queued_batch=queued_batch,
+        )
+        if not decision.admitted:
+            self._counts["shed"] += 1
+            self.metrics.counter("service.shed").inc()
+            return {
+                "status": STATUS_SHED,
+                "error": f"admission refused ({decision.reason})",
+                "reason": decision.reason,
+                "retry_after_s": round(decision.retry_after_s, 6),
+            }
+        # Durability ordering: fsync the intent *before* the request can
+        # be dispatched (or this handler acknowledge anything).
+        self.state.record_accepted({
+            "fingerprint": fingerprint,
+            "tenant": req.tenant,
+            "matrix": req.matrix_spec,
+            "k": req.k,
+            "seed": req.seed,
+            "tile_width": req.tile_width,
+            "lane": req.lane,
+            "rung": rung,
+        })
+        future = self._loop.create_future()
+        with self._lock:
+            index = self._next_index
+            self._next_index += 1
+            pend = _Pending(
+                index=index, rid=req.id, fingerprint=fingerprint,
+                tenant=req.tenant, lane=req.lane, rung=rung,
+                request=request, future=future,
+                enqueued_at=time.monotonic(),
+            )
+            self._lanes[req.lane].append(pend)
+        self.metrics.counter("service.admitted").inc()
+        return await future
+
+    def _op_health(self) -> dict:
+        with self._lock:
+            queued = {lane: len(q) for lane, q in self._lanes.items()}
+            inflight = len(self._inflight)
+        return {
+            "status": STATUS_OK,
+            "result": {
+                "state": "draining" if self._draining else "ok",
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "workers": self.config.workers,
+                "queued": queued,
+                "inflight": inflight,
+                "counts": dict(self._counts),
+                "failed": len(self._failures),
+                "recovery_pending_at_start": self._recovery_pending,
+                "admission": self.admission.snapshot(),
+                "cache": self.cache.stats,
+                "cache_slo": self.cache.slo_report(),
+                "failures": [f.to_dict() for f in self._failures[-20:]],
+                "dispatch_error": self._dispatch_error,
+            },
+        }
+
+    def _op_stats(self) -> dict:
+        self._update_gauges()
+        return {
+            "status": STATUS_OK,
+            "result": {
+                "metrics": self.metrics.snapshot(),
+                "supervisor": dict(self.supervisor.stats),
+                "cache": self.cache.stats,
+                "admission": self.admission.snapshot(),
+            },
+        }
+
+    async def _op_drain(self) -> dict:
+        self.request_drain()
+        await self._drained.wait()
+        return {"status": STATUS_OK, "result": self.drain_summary()}

@@ -1,0 +1,161 @@
+"""Durable service state: the accepted-intent log beside the run journal.
+
+The batch executor's :class:`~repro.runtime.journal.RunJournal` records
+*completions*; a resident service additionally needs to remember
+*acceptances*, because its crash contract is stronger than a batch's: a
+request the server said yes to must survive the server.  The state
+directory holds both halves::
+
+    <state_dir>/accepted.jsonl   one line per admitted request (this module)
+    <state_dir>/journal.jsonl    one line per completed record (RunJournal)
+
+The write discipline mirrors the journal's: an intent is one complete
+JSON line written with a single ``write`` + flush + fsync *before* the
+request is queued, so a crash can lose at most the request being
+accepted at that instant — and that client never got its 200, so nothing
+admitted is ever silently dropped.  On restart,
+``accepted - journaled = the recovery set``: exactly the requests that
+were in flight when the process died, re-executed before the socket
+reopens.
+
+Intent lines are self-describing (schema v1)::
+
+    {"version": 1, "kind": "accepted", "fingerprint": "<service fp>",
+     "tenant": "...", "matrix": "<spec>", "k": 8, "seed": 7,
+     "tile_width": 64, "lane": "batch", "rung": 0}
+
+``fingerprint`` is the :func:`~repro.service.protocol.service_fingerprint`
+(request fingerprint x ladder rung), ``matrix`` a
+:func:`~repro.matrices.from_spec` spec — everything needed to rebuild and
+re-run the request at the same rung it was admitted at.  Loading
+tolerates a torn tail line and skips anything it cannot trust (a
+distrusted intent can only cause a redundant re-execution, which the
+journal dedupes — never a loss).  :meth:`ServiceState.compact_accepted`
+rewrites the log atomically with only still-outstanding intents so it
+stays bounded across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from ..errors import JournalError
+from ..runtime.journal import RunJournal
+
+#: Intent-line schema version; bump on incompatible change.
+STATE_VERSION = 1
+
+#: Fields every trusted intent line must carry.
+_REQUIRED = ("fingerprint", "tenant", "matrix", "k", "seed", "tile_width",
+             "lane", "rung")
+
+
+class ServiceState:
+    """One service instance's durable state directory (see module doc)."""
+
+    def __init__(self, state_dir: str):
+        self.state_dir = str(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.accepted_path = os.path.join(self.state_dir, "accepted.jsonl")
+        self.journal_path = os.path.join(self.state_dir, "journal.jsonl")
+        #: the completion journal (shared instance so appends dedupe)
+        self.journal = RunJournal(self.journal_path)
+        self._accepted_fps: set[str] = set()
+
+    # -------------------------------------------------------------- writes
+    def record_accepted(self, intent: dict) -> bool:
+        """Durably log one admitted request; returns False on dedupe.
+
+        Must be called *before* the request becomes visible to the
+        dispatcher — the ordering is the crash-safety argument.
+        """
+        fp = intent["fingerprint"]
+        if fp in self._accepted_fps:
+            return False
+        doc = {"version": STATE_VERSION, "kind": "accepted"}
+        doc.update({k: intent[k] for k in _REQUIRED})
+        line = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        try:
+            with open(self.accepted_path, "a") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise JournalError(
+                f"cannot append to intent log {self.accepted_path}: {exc}"
+            ) from None
+        self._accepted_fps.add(fp)
+        return True
+
+    def compact_accepted(self, outstanding: list) -> None:
+        """Atomically rewrite the intent log with only ``outstanding``.
+
+        Called after recovery planning: intents whose records are already
+        journaled are dropped (temp file + rename, so a crash mid-compact
+        leaves the previous log intact).
+        """
+        directory = self.state_dir or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".accepted.")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                for intent in outstanding:
+                    doc = {"version": STATE_VERSION, "kind": "accepted"}
+                    doc.update({k: intent[k] for k in _REQUIRED})
+                    fh.write(
+                        json.dumps(doc, sort_keys=True,
+                                   separators=(",", ":")) + "\n"
+                    )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.accepted_path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise JournalError(
+                f"cannot compact intent log {self.accepted_path}: {exc}"
+            ) from None
+        self._accepted_fps = {i["fingerprint"] for i in outstanding}
+
+    # --------------------------------------------------------------- reads
+    def load_accepted(self) -> list:
+        """Every trusted intent, deduped by fingerprint, in append order.
+
+        Never raises on content: undecodable or structurally wrong lines
+        (including a torn tail) are skipped — the affected request was
+        never acknowledged, or will simply be re-accepted by its client.
+        """
+        try:
+            with open(self.accepted_path) as fh:
+                text = fh.read()
+        except FileNotFoundError:
+            return []
+        except OSError as exc:
+            raise JournalError(
+                f"cannot read intent log {self.accepted_path}: {exc}"
+            ) from None
+        intents, seen = [], set()
+        for line in text.split("\n"):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (
+                not isinstance(doc, dict)
+                or doc.get("version") != STATE_VERSION
+                or doc.get("kind") != "accepted"
+                or any(k not in doc for k in _REQUIRED)
+                or not isinstance(doc["fingerprint"], str)
+            ):
+                continue
+            if doc["fingerprint"] in seen:
+                continue
+            seen.add(doc["fingerprint"])
+            intents.append({k: doc[k] for k in _REQUIRED})
+        self._accepted_fps |= seen
+        return intents

@@ -14,6 +14,7 @@ worker death); the scripted external-kill round-trip lives in
 function, so the process machinery is exercised without SpMM cost.
 """
 
+import multiprocessing
 import os
 import signal
 import time
@@ -77,6 +78,15 @@ def _square(ctx, item):
     return item * item
 
 
+def _probe_fd_open(ctx, item):
+    # True when the inherited fd named by ctx is still open in the worker.
+    try:
+        os.fstat(ctx)
+        return True
+    except OSError:
+        return False
+
+
 def _sigstop_self_once(ctx, item):
     # Freeze the whole process (heartbeat thread included) on the first
     # attempt only: a marker file distinguishes attempt 0 from the retry.
@@ -97,6 +107,34 @@ class TestSupervisor:
         assert failures == []
         assert payloads == {i: i * i for i in range(6)}
         assert supervisor.stats["executed"] == 6
+
+    def test_child_close_fds_dropped_in_forked_workers(self, tmp_path):
+        # A resident server registers its listening socket here so
+        # SIGKILLed parents never leave the accept backlog alive inside
+        # orphaned workers.  Forked children must see the fd closed.
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        keep = os.open(str(tmp_path / "listener"), os.O_CREAT | os.O_RDWR)
+        try:
+            supervisor = WorkerSupervisor(
+                _probe_fd_open, keep, workers=1,
+                policy=policy(start_method="fork"),
+            )
+            payloads, failures = supervisor.run(enumerate(range(1)))
+            assert failures == []
+            assert payloads[0] is True  # inherited by default
+
+            supervisor = WorkerSupervisor(
+                _probe_fd_open, keep, workers=1,
+                policy=policy(start_method="fork"),
+            )
+            supervisor.child_close_fds = (keep,)
+            payloads, failures = supervisor.run(enumerate(range(1)))
+            assert failures == []
+            assert payloads[0] is False  # closed at worker startup
+            os.fstat(keep)  # parent's copy is untouched
+        finally:
+            os.close(keep)
 
     def test_kill_is_retried_not_fatal(self):
         supervisor = WorkerSupervisor(

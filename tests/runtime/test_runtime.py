@@ -48,7 +48,13 @@ class TestPlanCache:
         warm = runtime.run(req)
         assert cold.cache_hit is False
         assert warm.cache_hit is True
-        assert runtime.cache.stats == {"entries": 1, "hits": 1, "misses": 1}
+        assert runtime.cache.stats == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "hit_rate": 0.5,
+        }
 
     def test_hit_record_bit_identical(self, skewed):
         """ISSUE acceptance: cache hit reproduces the cold record exactly."""

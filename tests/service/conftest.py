@@ -1,0 +1,80 @@
+"""Shared helpers for the resident-service tests.
+
+``service_factory`` starts a real :class:`SpmmService` — event loop,
+dispatcher thread, worker pool, Unix socket — inside the test process,
+and guarantees it is drained and joined at teardown whatever the test
+did.  Tests talk to it through the real :class:`ServiceClient`, so every
+assertion crosses the actual wire protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime.supervisor import SupervisionPolicy
+from repro.service import ServiceConfig, SpmmService
+
+#: Fast supervision for tests: short backoff, quick heartbeats.
+FAST = dict(backoff_base_s=0.01, heartbeat_interval_s=0.1)
+
+#: Cheap distinct matrix specs (one plan + one execution each).
+SPECS = [
+    "block_diagonal:48:48:0.08:1",
+    "banded:48:48:0.1:2",
+    "uniform:40:30:0.1:3",
+]
+
+
+class RunningService:
+    """A live in-process service plus its drain summary after teardown."""
+
+    def __init__(self, service: SpmmService, thread: threading.Thread):
+        self.service = service
+        self.thread = thread
+        self.summary: dict | None = None
+
+    @property
+    def socket_path(self) -> str:
+        return self.service.config.socket_path
+
+    def stop(self, timeout: float = 60.0) -> dict:
+        """Drain, join, and return the drain summary (idempotent)."""
+        self.service.request_drain()
+        self.thread.join(timeout=timeout)
+        assert not self.thread.is_alive(), "service failed to drain"
+        return self.summary
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Start in-process services; drain every one of them at teardown."""
+    running: list[RunningService] = []
+
+    def start(*, workers: int = 2, policy: dict | None = None,
+              state_name: str = "state", **config_kw) -> RunningService:
+        merged = dict(FAST)
+        merged.update(policy or {})
+        config = ServiceConfig(
+            socket_path=str(tmp_path / f"{state_name}.sock"),
+            state_dir=str(tmp_path / state_name),
+            workers=workers,
+            policy=SupervisionPolicy(**merged),
+            **config_kw,
+        )
+        service = SpmmService(config)
+        handle = RunningService(service, None)
+
+        def run():
+            handle.summary = service.run()
+
+        thread = threading.Thread(target=run, daemon=True)
+        handle.thread = thread
+        thread.start()
+        running.append(handle)
+        return handle
+
+    yield start
+    for handle in running:
+        handle.stop()

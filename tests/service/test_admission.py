@@ -1,0 +1,181 @@
+"""Admission controller unit tests: quotas, windows, demotion, backoff.
+
+Everything here drives :class:`AdmissionController` directly with
+explicit clocks and observation streams — no sockets, no threads — so
+each decision rule is pinned down deterministically.  The service-level
+behavior of the same rules under real load lives in
+``test_service_slo.py``.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    N_RUNGS,
+    TokenBucket,
+)
+
+
+def controller(workers=2, **kw):
+    return AdmissionController(AdmissionConfig(**kw), workers=workers)
+
+
+# --------------------------------------------------------------- validation
+@pytest.mark.parametrize(
+    "kw",
+    [
+        dict(max_pending=0),
+        dict(target_wait_s=0.0),
+        dict(batch_share=0.0),
+        dict(batch_share=1.5),
+        dict(tenant_rate=0.0),
+        dict(tenant_burst=0),
+        dict(ewma_alpha=0.0),
+    ],
+)
+def test_config_rejects_bad_knobs(kw):
+    with pytest.raises(ConfigError):
+        AdmissionConfig(**kw)
+
+
+def test_controller_rejects_zero_workers():
+    with pytest.raises(ConfigError):
+        controller(workers=0)
+
+
+# -------------------------------------------------------------- token bucket
+def test_token_bucket_burst_then_refill():
+    bucket = TokenBucket(rate=10.0, burst=2, now=0.0)
+    assert bucket.try_take(0.0) == 0.0
+    assert bucket.try_take(0.0) == 0.0
+    wait = bucket.try_take(0.0)
+    assert wait == pytest.approx(0.1)  # one token at 10/s
+    # After the quoted wait, exactly one token is available again.
+    assert bucket.try_take(wait) == 0.0
+    assert bucket.try_take(wait) > 0.0
+
+
+def test_token_bucket_never_exceeds_burst():
+    bucket = TokenBucket(rate=100.0, burst=3, now=0.0)
+    bucket.try_take(1000.0)  # long idle: tokens cap at burst
+    assert bucket.tokens == pytest.approx(2.0)
+
+
+# ------------------------------------------------------------------- quotas
+def test_quota_shed_blames_quota_and_quotes_refill():
+    c = controller(tenant_rate=1.0, tenant_burst=1, max_pending=100)
+    first = c.admit("a", "interactive", queued_total=0, queued_batch=0,
+                    now=0.0)
+    assert first.admitted
+    shed = c.admit("a", "interactive", queued_total=0, queued_batch=0,
+                   now=0.0)
+    assert not shed.admitted and shed.reason == "quota"
+    assert shed.retry_after_s >= 1.0  # a whole token at 1/s
+    # Another tenant is untouched by a's exhausted bucket.
+    other = c.admit("b", "interactive", queued_total=0, queued_batch=0,
+                    now=0.0)
+    assert other.admitted
+
+
+def test_consecutive_sheds_escalate_retry_after():
+    c = controller(tenant_rate=0.001, tenant_burst=1, max_pending=100)
+    c.admit("a", "interactive", queued_total=0, queued_batch=0, now=0.0)
+    waits = [
+        c.admit("a", "interactive", queued_total=0, queued_batch=0,
+                now=0.0).retry_after_s
+        for _ in range(3)
+    ]
+    # The bucket quote dominates here (~1000 s/token): Retry-After is
+    # truthful, not a polite constant.
+    assert all(w > 900.0 for w in waits)
+    retry = c.config.retry
+    backoffs = [retry.backoff_s(n) for n in (1, 2, 3)]
+    assert backoffs[0] < backoffs[1] < backoffs[2]
+
+
+def test_admission_resets_consecutive_sheds():
+    c = controller(max_pending=2)
+    c.service_time_s = 1.0  # window -> small
+    full = c.admit("a", "interactive", queued_total=2, queued_batch=0,
+                   now=0.0)
+    assert not full.admitted
+    ok = c.admit("a", "interactive", queued_total=0, queued_batch=0, now=1.0)
+    assert ok.admitted
+    assert c.snapshot()["tenants"]["a"]["consecutive_sheds"] == 0
+
+
+# ------------------------------------------------------------- backpressure
+def test_window_opens_to_ceiling_before_evidence():
+    c = controller(max_pending=64)
+    assert c.window() == 64
+
+
+def test_window_tracks_service_time():
+    c = controller(workers=2, max_pending=64, target_wait_s=1.0)
+    c.service_time_s = 0.1
+    assert c.window() == 20  # 1.0s budget / (0.1s / 2 workers)
+    c.service_time_s = 10.0
+    assert c.window() == 2  # floored at the worker count
+
+
+def test_backpressure_shed_quotes_drain_time():
+    c = controller(workers=2, max_pending=4, target_wait_s=0.1)
+    c.service_time_s = 1.0  # window clamps to workers=2
+    shed = c.admit("a", "interactive", queued_total=3, queued_batch=0,
+                   now=0.0)
+    assert not shed.admitted and shed.reason == "backpressure"
+    assert shed.retry_after_s >= 1.0  # >= (3 - 2 + 1) * 1.0 / 2
+
+
+def test_batch_lane_cannot_fill_the_window():
+    c = controller(workers=2, max_pending=10, batch_share=0.5)
+    # Window is 10 (no evidence); batch lane caps at 5.
+    batch = c.admit("a", "batch", queued_total=5, queued_batch=5, now=0.0)
+    assert not batch.admitted and batch.reason == "backpressure"
+    interactive = c.admit("a", "interactive", queued_total=5, queued_batch=5,
+                          now=0.0)
+    assert interactive.admitted
+
+
+# ------------------------------------------------------------- utilization
+def test_utilization_estimates_rho():
+    c = controller(workers=2)
+    c.service_time_s = 1.0
+    # 4 arrivals/s against 2 workers at 1 s/request: rho = 2.
+    for i in range(50):
+        c.admit("a", "interactive", queued_total=0, queued_batch=0,
+                now=i * 0.25)
+    assert c.utilization() == pytest.approx(2.0, rel=0.2)
+
+
+# ---------------------------------------------------------------- demotion
+def test_no_deadline_or_no_evidence_runs_full():
+    c = controller()
+    assert c.choose_rung(None, backlog=100) == 0
+    assert c.choose_rung(0.001, backlog=100) == 0  # no service-time yet
+
+
+def test_rung_thresholds():
+    c = controller(workers=2)
+    c.service_time_s = 10.0
+    # backlog 0: estimate = one service time = 10 s.
+    assert c.choose_rung(15.0, backlog=0) == 0
+    assert c.choose_rung(6.0, backlog=0) == 1  # 10 <= 2 * 6
+    assert c.choose_rung(0.5, backlog=0) == N_RUNGS - 1
+    # Backlog pushes the estimate up: 4 queued -> 10*(4/2) + 10 = 30 s.
+    assert c.choose_rung(15.0, backlog=4) == 1
+    assert c.counters["demoted"] == 3
+
+
+def test_snapshot_is_plain_json():
+    import json
+
+    c = controller()
+    c.admit("a", "interactive", queued_total=0, queued_batch=0, now=0.0)
+    c.observe_completion(0.5)
+    snap = c.snapshot()
+    json.dumps(snap)
+    assert snap["counters"]["admitted"] == 1
+    assert snap["service_time_s"] == pytest.approx(0.5)

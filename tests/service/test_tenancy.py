@@ -1,0 +1,121 @@
+"""Multi-tenant plan cache: ownership, budgets, eviction accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.cache import CacheEntry
+from repro.service.tenancy import MultiTenantPlanCache
+
+
+def entry(tag):
+    """A stand-in CacheEntry (the cache never inspects plan/store)."""
+    return CacheEntry(plan=tag, store=tag)
+
+
+def key(i):
+    return ("m", i)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        MultiTenantPlanCache(tenant_max_entries=0)
+    with pytest.raises(ConfigError):
+        MultiTenantPlanCache(hit_rate_slo=1.5)
+
+
+def test_per_tenant_hit_miss_accounting():
+    cache = MultiTenantPlanCache()
+    assert cache.lookup("a", key(1)) is None
+    cache.insert("a", key(1), entry("e1"))
+    assert cache.lookup("a", key(1)) is not None
+    assert cache.lookup("b", key(1)) is not None  # cross-tenant hit is a hit
+    a, b = cache.tenant_stats("a"), cache.tenant_stats("b")
+    assert (a["hits"], a["misses"]) == (1, 1)
+    assert (b["hits"], b["misses"]) == (1, 0)
+    assert a["hit_rate"] == pytest.approx(0.5)
+    assert b["hit_rate"] == pytest.approx(1.0)
+
+
+def test_tenant_budget_evicts_own_lru_not_neighbors():
+    cache = MultiTenantPlanCache(max_entries=100, tenant_max_entries=2)
+    cache.insert("noisy", key(1), entry("n1"))
+    cache.insert("quiet", key(100), entry("q1"))
+    cache.insert("noisy", key(2), entry("n2"))
+    # Third insert for "noisy" must evict noisy's own LRU (key 1),
+    # never quiet's entry.
+    cache.insert("noisy", key(3), entry("n3"))
+    assert cache.lookup("quiet", key(100)) is not None
+    assert cache.lookup("noisy", key(1)) is None
+    assert cache.tenant_stats("noisy")["evictions"] == 1
+    assert cache.tenant_stats("quiet")["evictions"] == 0
+    assert cache.tenant_stats("noisy")["entries"] == 2
+
+
+def test_tenant_budget_respects_recency():
+    cache = MultiTenantPlanCache(tenant_max_entries=2)
+    cache.insert("a", key(1), entry("e1"))
+    cache.insert("a", key(2), entry("e2"))
+    cache.lookup("a", key(1))  # refresh: key 2 becomes a's LRU
+    cache.insert("a", key(3), entry("e3"))
+    assert cache.lookup("a", key(1)) is not None
+    assert cache.lookup("a", key(2)) is None
+
+
+def test_shared_overflow_charged_to_owner():
+    cache = MultiTenantPlanCache(max_entries=2, tenant_max_entries=10)
+    cache.insert("a", key(1), entry("a1"))
+    cache.insert("b", key(2), entry("b1"))
+    # Shared budget is full; b's next insert evicts the global LRU,
+    # which is a's entry — charged to a.
+    cache.insert("b", key(3), entry("b2"))
+    assert cache.tenant_stats("a")["evictions"] == 1
+    assert cache.tenant_stats("b")["evictions"] == 0
+    assert cache.tenant_stats("a")["entries"] == 0
+    assert cache.cache.stats["evictions"] == 1
+
+
+def test_reinsert_transfers_ownership_without_charging():
+    cache = MultiTenantPlanCache()
+    cache.insert("a", key(1), entry("v1"))
+    cache.insert("b", key(1), entry("v2"))
+    assert cache.tenant_stats("a")["evictions"] == 0
+    assert cache.tenant_stats("a")["entries"] == 0
+    assert cache.tenant_stats("b")["entries"] == 1
+
+
+def test_view_is_plancache_shaped():
+    cache = MultiTenantPlanCache()
+    view = cache.view("a")
+    assert view.lookup(key(1)) is None
+    view.insert(key(1), entry("e"))
+    assert view.lookup(key(1)) is not None
+    stats = view.stats
+    assert set(stats) == {"entries", "hits", "misses", "evictions",
+                          "hit_rate"}
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def test_aggregate_stats_nest_tenants():
+    cache = MultiTenantPlanCache()
+    cache.insert("a", key(1), entry("e"))
+    cache.lookup("b", key(1))
+    stats = cache.stats
+    assert stats["entries"] == 1
+    assert set(stats["tenants"]) == {"a", "b"}
+
+
+def test_slo_report_withholds_judgement_on_cold_tenants():
+    cache = MultiTenantPlanCache(tenant_max_entries=4, hit_rate_slo=0.5)
+    cache.lookup("cold", key(1))
+    report = cache.slo_report()
+    assert report["cold"]["ok"] is None
+    # Warm tenant above the floor.
+    cache.insert("warm", key(2), entry("e"))
+    for _ in range(7):
+        cache.lookup("warm", key(2))
+    report = cache.slo_report()
+    assert report["warm"]["ok"] is True
+    # Warm tenant below the floor.
+    for i in range(10, 30):
+        cache.lookup("churn", key(i))
+    assert cache.slo_report()["churn"]["ok"] is False

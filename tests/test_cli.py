@@ -220,6 +220,27 @@ class TestRunBatchReliability:
         assert "2 replayed" in out
         assert "2 trusted entries" in out
 
+    def test_journal_summary_reports_appended_counts(self, tmp_path, capsys):
+        batch = self.batch_file(tmp_path)
+        journal = tmp_path / "run.jsonl"
+        # Fresh journal: every completion is appended and the run says so.
+        assert main(
+            ["run", "--batch", batch, "--k", "16", "--repeat", "1",
+             "--journal", str(journal)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "journal:" in out
+        assert "2 appended" in out
+        # Full replay: summary still prints (0 appended) and exit stays 0.
+        assert main(
+            ["run", "--batch", batch, "--k", "16", "--repeat", "1",
+             "--resume", str(journal)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 appended" in out
+        assert "2 replayed" in out
+        assert "2/2 completed" in out
+
     def test_journal_refuses_clobber_without_force(self, tmp_path, capsys):
         batch = self.batch_file(tmp_path)
         journal = tmp_path / "run.jsonl"
