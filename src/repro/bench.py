@@ -276,6 +276,97 @@ def bench_batch_parallel(quick: bool) -> dict:
     )
 
 
+def bench_store_shipping(quick: bool) -> dict:
+    """Operand plane: batch on one matrix, bytes shared vs bytes pickled.
+
+    Every request reuses one matrix, so the registry ships a single
+    shared-memory segment while the pre-operand-plane design would have
+    pickled the matrix into every handle; ``meta`` reports both byte
+    counts (``bytes_pickled_equiv`` is the avoided cost) alongside the
+    batch wall time.
+    """
+    from .gpu import get_config
+    from .matrices import GENERATORS
+    from .runtime import ParallelExecutor, SpmmRequest, SpmmRuntime
+    from .store import pickled_nbytes
+    from .telemetry import Tracer
+
+    n = 128 if quick else 512
+    k = _dense_k(quick)
+    m = GENERATORS["uniform"](n, n, 0.02, seed=13)
+    requests = [SpmmRequest(m, k=k, seed=0) for _ in range(8 if quick else 32)]
+    executor = ParallelExecutor(SpmmRuntime(get_config("gv100")), workers=2)
+    tracer = Tracer()
+
+    def run():
+        executor.run_batch(requests, tracer=tracer)
+
+    wall = _best_wall_s(run, reps=1)
+    counters = tracer.metrics.snapshot()["counters"]
+    return _result(
+        wall, 1, len(requests), "requests",
+        workers=2, n=n, k=k,
+        bytes_shared=int(counters.get("store.bytes_shipped", 0)),
+        bytes_pickled=int(counters.get("store.bytes_pickled", 0)),
+        bytes_pickled_equiv=pickled_nbytes(m) * len(requests),
+    )
+
+
+def bench_store_warmstart(quick: bool) -> dict:
+    """Persistent store: cold conversion cost vs warm-start reload cost.
+
+    The cold pass plans, converts, and spills into a fresh store
+    directory; the warm pass simulates a process restart (new runtime,
+    new cache, new store instance over the same directory) and reloads
+    everything with zero conversions.  ``ops_per_s`` reports warm starts;
+    ``meta`` carries both phases and the speedup.
+    """
+    import shutil
+    import tempfile
+
+    from .gpu import get_config
+    from .matrices import GENERATORS
+    from .runtime import PlanCache, SpmmRequest, SpmmRuntime
+    from .store import PersistentFormatStore
+
+    n = 128 if quick else 512
+    k = _dense_k(quick)
+    m = GENERATORS["uniform"](n, n, 0.02, seed=13)
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        request = SpmmRequest(m, k=k, seed=0)
+        runtime = SpmmRuntime(
+            get_config("gv100"),
+            cache=PlanCache(persist=PersistentFormatStore(root)),
+        )
+        t0 = time.perf_counter()
+        runtime.run(request)
+        cold_s = time.perf_counter() - t0
+
+        # One warm start is a couple of milliseconds — too short to time
+        # stably — so each measurement performs a batch of them.
+        starts = 8
+
+        def warm():
+            for _ in range(starts):
+                fresh = SpmmRuntime(
+                    get_config("gv100"),
+                    cache=PlanCache(persist=PersistentFormatStore(root)),
+                )
+                fresh.run(SpmmRequest(m, k=k, seed=0))
+
+        reps = 3 if quick else 5
+        warm_s = _best_wall_s(warm, reps=reps)
+        per_start = warm_s / starts
+        return _result(
+            warm_s, reps, starts, "warm_starts",
+            n=n, k=k, cold_s=cold_s,
+            speedup=cold_s / per_start if per_start > 0 else 0.0,
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 #: name → callable(quick) — ordered as reported.
 BENCHMARKS = {
     "calibration.matmul": bench_calibration,
@@ -287,6 +378,8 @@ BENCHMARKS = {
     "kernels.online_spmm": bench_kernels_online,
     "planner.cache_replay": bench_planner_cache,
     "batch.parallel": bench_batch_parallel,
+    "store.operand_shipping": bench_store_shipping,
+    "store.warm_start": bench_store_warmstart,
 }
 
 #: The benchmark every other one is normalized by during comparisons.

@@ -289,8 +289,14 @@ def cmd_run(args) -> int:
         from .telemetry import Tracer
 
         tracer = Tracer()
+    cache = None
+    if args.store_dir:
+        from .runtime import PlanCache
+        from .store import PersistentFormatStore
+
+        cache = PlanCache(persist=PersistentFormatStore(args.store_dir))
     runtime = SpmmRuntime(
-        config, ssf_threshold=args.ssf_threshold, tracer=tracer
+        config, ssf_threshold=args.ssf_threshold, tracer=tracer, cache=cache
     )
     if args.repeat < 1:
         raise ReproError("--repeat must be at least 1")
@@ -303,9 +309,12 @@ def cmd_run(args) -> int:
             ("--fail-fast", args.fail_fast),
             ("--request-timeout", args.request_timeout),
             ("--start-method", args.start_method),
+            ("--threads", args.threads),
         ):
             if value:
                 raise ConfigError(f"{flag} requires --batch")
+    if args.threads and args.start_method:
+        raise ConfigError("--threads and --start-method are exclusive")
 
     matrices_in = (
         _parse_batch_file(args.batch)
@@ -333,7 +342,9 @@ def cmd_run(args) -> int:
             fail_fast=args.fail_fast,
             start_method=args.start_method,
         )
-        executor = ParallelExecutor(runtime, workers=args.workers)
+        executor = ParallelExecutor(
+            runtime, workers=args.workers, threads=args.threads
+        )
         batch = [
             request
             for _, request in labeled_requests
@@ -417,6 +428,7 @@ def cmd_serve(args) -> int:
         ),
         cache_entries=args.cache_entries,
         tenant_cache_entries=args.tenant_cache_entries,
+        store_dir=args.store_dir,
     )
     service = SpmmService(config)
     print(f"serving on {args.socket} "
@@ -703,6 +715,18 @@ def build_parser() -> argparse.ArgumentParser:
         "with digest-identical records)",
     )
     p.add_argument(
+        "--threads", action="store_true",
+        help="with --batch and --workers N: execute on an in-process "
+        "thread pool over shared operand buffers instead of a process "
+        "pool (no pickling; records stay digest-identical)",
+    )
+    p.add_argument(
+        "--store-dir", metavar="DIR",
+        help="persistent format/plan store directory; runs warm-start "
+        "from prior conversions and spill new ones for the next process "
+        "(docs/STORAGE.md)",
+    )
+    p.add_argument(
         "--request-timeout", type=float, default=None, metavar="S",
         help="per-item deadline in seconds for batch workers; a hung "
         "worker is killed and the item retried (default: no deadline)",
@@ -806,6 +830,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--tenant-cache-entries", type=int, default=32,
         help="per-tenant plan-cache entry budget",
+    )
+    p.add_argument(
+        "--store-dir", metavar="DIR",
+        help="persistent format/plan store; a restart against the same "
+        "directory warm-starts planning and pre-attaches hot operands "
+        "before the socket opens (docs/STORAGE.md)",
     )
     p.set_defaults(func=cmd_serve)
 

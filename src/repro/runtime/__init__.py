@@ -22,7 +22,13 @@ from dataclasses import dataclass
 from ..formats.convert import FormatStore
 from ..gpu.config import GPUConfig
 from ..telemetry import NULL_TRACER, span_summary
-from .cache import CacheEntry, PlanCache, matrix_fingerprint
+from .cache import (
+    CacheEntry,
+    PlanCache,
+    invalidate_fingerprint,
+    matrix_fingerprint,
+    seed_fingerprint,
+)
 from .executor import ExecutionResult, Executor
 from .plan import (
     FULL_CAPABILITIES,
@@ -79,8 +85,10 @@ __all__ = [
     "SpmmRuntime",
     "SupervisionPolicy",
     "WorkerSupervisor",
+    "invalidate_fingerprint",
     "matrix_fingerprint",
     "request_fingerprint",
+    "seed_fingerprint",
 ]
 
 
@@ -166,6 +174,16 @@ class SpmmRuntime:
                 tracer.metrics.gauge("cache.evictions").set(
                     stats["evictions"]
                 )
+                if "disk_hits" in stats:
+                    # store.* mirrors for the persistence tier
+                    # (docs/STORAGE.md, docs/OBSERVABILITY.md).
+                    tracer.metrics.gauge("store.disk_hits").set(
+                        stats["disk_hits"]
+                    )
+                    tracer.metrics.gauge("store.spills").set(stats["spills"])
+                    tracer.metrics.gauge("store.disk_entries").set(
+                        stats["disk_entries"]
+                    )
         if entry is not None:
             return entry.plan, entry.store, True
         plan = self.planner.plan(request, capabilities, tracer=tracer)
@@ -235,6 +253,18 @@ class SpmmRuntime:
                 tracer=tracer,
             )
             record = RunRecord.from_execution(execution)
+            writeback = getattr(self.cache, "writeback", None)
+            if writeback is not None:
+                # Conversions materialize lazily during execution; flush
+                # them to the persistence tier (no-op without one).
+                writeback(
+                    PlanCache.key_for(
+                        request,
+                        self.config,
+                        capabilities,
+                        self._effective_threshold(request),
+                    )
+                )
         if tracer.enabled:
             record.extras["trace_summary"] = span_summary(root)
         return RunOutcome(

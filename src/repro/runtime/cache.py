@@ -24,29 +24,71 @@ from ..gpu.config import GPUConfig
 from .plan import Capabilities, SpmmPlan, SpmmRequest
 
 
+def _canonical_fingerprint_array(arr) -> np.ndarray:
+    """``arr`` normalized for hashing: contiguous, native-endian.
+
+    Byte layout — not memory layout — is the identity, so a sliced,
+    transposed, or big-endian view of the same triplets hashes the same
+    as its plain contiguous form (property-tested in
+    ``tests/runtime/test_fingerprint.py``).  This is what makes persisted
+    store keys portable across machines.
+    """
+    a = np.ascontiguousarray(arr)
+    if a.dtype.byteorder not in ("=", "|"):
+        native = a.dtype.newbyteorder("=")
+        if native != a.dtype:
+            a = a.astype(native)
+    return a
+
+
 def matrix_fingerprint(matrix) -> str:
     """Content hash of a sparse matrix: shape, nnz, and the COO triplets.
 
     Stable across container formats describing the same logical matrix in
-    the same triplet order; cached on the container after the first call
-    (the arrays are immutable by convention).
+    the same triplet order; cached on the container after the first call.
+    The memo carries the shape/nnz it was computed for and is ignored when
+    they no longer match, so the common mutation (replacing the triplet
+    arrays wholesale) cannot leak a stale digest — callers that mutate
+    values in place must call :func:`invalidate_fingerprint` themselves.
     """
+    shape = (matrix.n_rows, matrix.n_cols)
+    nnz = matrix.nnz
     cached = getattr(matrix, "_repro_fingerprint", None)
     if cached is not None:
-        return cached
+        digest, memo_shape, memo_nnz = cached
+        if memo_shape == shape and memo_nnz == nnz:
+            return digest
     rows, cols, vals = matrix.to_coo_arrays()
     h = hashlib.sha256()
-    h.update(f"{matrix.n_rows}x{matrix.n_cols}:{matrix.nnz}".encode())
+    h.update(f"{matrix.n_rows}x{matrix.n_cols}:{nnz}".encode())
     for arr in (rows, cols, vals):
-        a = np.ascontiguousarray(arr)
-        h.update(str(a.dtype).encode())
+        a = _canonical_fingerprint_array(arr)
+        h.update(a.dtype.name.encode())
         h.update(a.tobytes())
     digest = h.hexdigest()
+    seed_fingerprint(matrix, digest)
+    return digest
+
+
+def seed_fingerprint(matrix, digest: str) -> None:
+    """Install a known fingerprint memo (skips rehashing on attach/reload)."""
     try:
-        matrix._repro_fingerprint = digest
+        matrix._repro_fingerprint = (digest, (matrix.n_rows, matrix.n_cols), matrix.nnz)
     except AttributeError:  # __slots__ or frozen containers: skip the memo
         pass
-    return digest
+
+
+def invalidate_fingerprint(matrix) -> None:
+    """Drop the fingerprint memo after an in-place mutation.
+
+    The memo's shape/nnz sanity check only catches mutations that change
+    either; editing values in place changes neither, so mutating callers
+    must invalidate explicitly before the next cache-keyed operation.
+    """
+    try:
+        del matrix._repro_fingerprint
+    except AttributeError:
+        pass
 
 
 @dataclass
@@ -60,13 +102,26 @@ class CacheEntry:
 
 @dataclass
 class PlanCache:
-    """LRU cache of :class:`CacheEntry`, bounded by ``max_entries``."""
+    """LRU cache of :class:`CacheEntry`, bounded by ``max_entries``.
+
+    With ``persist`` set (a
+    :class:`~repro.store.persist.PersistentFormatStore`) the cache grows a
+    write-through disk tier: inserts spill to disk, RAM misses fall
+    through to a disk load, and :meth:`writeback` incrementally persists
+    conversions that materialized after the insert.  A disk hit counts as
+    a hit (plus ``disk_hits``); it is promoted into RAM only when there is
+    room — the promotion path never evicts, so wrappers that account for
+    evictions (multi-tenant ownership) see them only from :meth:`insert`.
+    """
 
     max_entries: int = 64
+    persist: object | None = None
     _entries: OrderedDict = field(default_factory=OrderedDict)
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
+    spills: int = 0
 
     def __post_init__(self):
         if self.max_entries <= 0:
@@ -97,6 +152,15 @@ class PlanCache:
         """
         entry = self._entries.get(key)
         if entry is None:
+            if self.persist is not None:
+                loaded = self.persist.get(key)
+                if loaded is not None:
+                    self.hits += 1
+                    self.disk_hits += 1
+                    loaded.hits += 1
+                    if len(self._entries) < self.max_entries:
+                        self._entries[key] = loaded
+                    return loaded
             self.misses += 1
             return None
         self._entries.move_to_end(key)
@@ -109,7 +173,9 @@ class PlanCache:
 
         Returns the evicted ``(key, entry)`` pairs (usually empty, at most
         one unless ``max_entries`` shrank) so multi-tenant wrappers can
-        charge evictions to the owning tenant.
+        charge evictions to the owning tenant.  With a persistence tier
+        the insert is written through to disk (evicted RAM entries stay
+        loadable from there).
         """
         self._entries[key] = entry
         self._entries.move_to_end(key)
@@ -117,7 +183,28 @@ class PlanCache:
         while len(self._entries) > self.max_entries:
             evicted.append(self._entries.popitem(last=False))
             self.evictions += 1
+        if self.persist is not None:
+            if self.persist.put(key, entry):
+                self.spills += 1
         return evicted
+
+    def writeback(self, key: tuple) -> bool:
+        """Persist conversions that accrued on ``key``'s entry since insert.
+
+        Format conversions and engine artifacts materialize lazily during
+        execution — *after* the write-through insert — so the runtime
+        calls this once per run.  No-op (``False``) without a persistence
+        tier, when the key is not resident, or when nothing new accrued.
+        """
+        if self.persist is None:
+            return False
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        if self.persist.put(key, entry):
+            self.spills += 1
+            return True
+        return False
 
     def evict(self, key: tuple) -> CacheEntry | None:
         """Drop one entry by key (targeted eviction); counts as an eviction."""
@@ -137,11 +224,21 @@ class PlanCache:
 
     @property
     def stats(self) -> dict:
-        """Entry count plus lifetime hit/miss/eviction totals and hit rate."""
-        return {
+        """Entry count plus lifetime hit/miss/eviction totals and hit rate.
+
+        The disk-tier keys (``disk_hits``, ``spills``, ``disk_entries``)
+        appear only when a persistence tier is configured, keeping the
+        stats shape unchanged for RAM-only caches.
+        """
+        stats = {
             "entries": len(self._entries),
             "hits": int(self.hits),
             "misses": int(self.misses),
             "evictions": int(self.evictions),
             "hit_rate": float(self.hit_rate),
         }
+        if self.persist is not None:
+            stats["disk_hits"] = int(self.disk_hits)
+            stats["spills"] = int(self.spills)
+            stats["disk_entries"] = len(self.persist)
+        return stats

@@ -10,6 +10,13 @@ while keeping three properties the serial runtime guarantees:
   execution is a pure function of ``(plan, matrix, dense)``, so worker
   records are digest-identical to serial ones and results return in
   request order (property-tested in ``tests/runtime/test_parallel.py``);
+* **zero-copy operands** — handles carry
+  :class:`~repro.store.layout.SegmentDescriptor` recipes instead of the
+  operands themselves: the parent publishes each matrix (and explicit
+  dense operand) into shared memory once per fingerprint via
+  :class:`~repro.store.registry.SharedOperandRegistry`, and workers
+  attach read-only views (``store.*`` counters make the shipped/pickled
+  byte split measurable; see ``docs/STORAGE.md``);
 * **resilience** — workers are supervised: crashes, hangs, and poison
   requests are retried with backoff and ultimately quarantined as
   structured :class:`~repro.runtime.supervisor.FailedItem` entries on the
@@ -31,9 +38,14 @@ its metrics snapshot + span forest home, where they are merged via
 :meth:`~repro.telemetry.metrics.MetricsRegistry.merge_snapshot` and
 :meth:`~repro.telemetry.tracer.Tracer.graft` in request-index order.
 
+``--threads`` swaps the process pool for an in-process thread pool that
+executes directly on the shared :class:`~repro.formats.convert.FormatStore`
+buffers (planning stays serial in the parent) — no pickling and no
+shipping at all, with the same digest-identity contract.
+
 Exposed on the CLI as ``python -m repro run --batch FILE --workers N
-[--journal FILE | --resume FILE] [--request-timeout S] [--max-retries N]
-[--fail-fast]``.
+[--threads] [--journal FILE | --resume FILE] [--request-timeout S]
+[--max-retries N] [--fail-fast]``.
 """
 
 from __future__ import annotations
@@ -82,6 +94,12 @@ class PlanHandle:
     #: full-capability cache key in the worker, which would silently
     #: demote later full-capability requests for the same matrix.
     capabilities: dict | None = None
+    #: :class:`~repro.store.layout.SegmentDescriptor` for the matrix when
+    #: it was published to shared memory — ``matrix`` is then ``None`` and
+    #: workers attach zero-copy views instead of unpickling a copy.
+    operand: object = None
+    #: descriptor for an explicit dense operand shipped the same way.
+    dense_operand: object = None
 
 
 @dataclass
@@ -137,16 +155,37 @@ class BatchResult(list):
         }
 
 
-def _handle_to_request(handle: PlanHandle) -> SpmmRequest:
-    """Rebuild the worker-side request a handle describes."""
-    return SpmmRequest(
-        handle.matrix,
-        dense=handle.dense,
+def _handle_to_request(handle: PlanHandle) -> tuple[SpmmRequest, list]:
+    """Rebuild the worker-side request a handle describes.
+
+    Operands shipped through the operand plane are attached as zero-copy
+    shared-memory views (memoized per worker process); pickled fallbacks
+    are used verbatim.  Returns ``(request, attach_events)`` where each
+    event is ``(fresh, nbytes)`` for the ``store.attaches`` /
+    ``store.attach_hits`` counters.
+    """
+    from ..store.registry import attach_dense, attach_matrix
+    from .cache import seed_fingerprint
+
+    events = []
+    matrix = handle.matrix
+    if matrix is None and handle.operand is not None:
+        matrix, fresh = attach_matrix(handle.operand)
+        seed_fingerprint(matrix, handle.fingerprint)
+        events.append((fresh, handle.operand.total_bytes))
+    dense = handle.dense
+    if dense is None and handle.dense_operand is not None:
+        dense, fresh = attach_dense(handle.dense_operand)
+        events.append((fresh, handle.dense_operand.total_bytes))
+    request = SpmmRequest(
+        matrix,
+        dense=dense,
         k=handle.k,
         seed=handle.seed,
         tile_width=handle.tile_width,
         ssf_threshold=handle.ssf_threshold,
     )
+    return request, events
 
 
 def _worker_runtime(config, ssf_threshold):
@@ -177,7 +216,7 @@ def execute_handle(ctx, handle: PlanHandle):
     from .plan import Capabilities
 
     config, traced = ctx
-    request = _handle_to_request(handle)
+    request, attach_events = _handle_to_request(handle)
     runtime = _worker_runtime(config, handle.ssf_threshold)
     capabilities = (
         Capabilities.from_dict(handle.capabilities)
@@ -191,12 +230,19 @@ def execute_handle(ctx, handle: PlanHandle):
     if key not in runtime.cache._entries:
         store = _WORKER_STORES.get(handle.fingerprint)
         if store is None:
-            store = FormatStore(handle.matrix)
+            store = FormatStore(request.matrix)
             _WORKER_STORES[handle.fingerprint] = store
         runtime.cache.insert(
             key, CacheEntry(plan=SpmmPlan.from_dict(handle.plan), store=store)
         )
     tracer = Tracer() if traced else None
+    if traced:
+        for fresh, nbytes in attach_events:
+            tracer.metrics.counter(
+                "store.attaches" if fresh else "store.attach_hits"
+            ).inc()
+            if fresh:
+                tracer.metrics.counter("store.attached_bytes").inc(nbytes)
     outcome = runtime.run(
         request, capabilities=capabilities,
         enforce_ladder=handle.capabilities is not None, tracer=tracer,
@@ -218,13 +264,18 @@ class ParallelExecutor:
     quarantine semantics are identical in both modes.
     """
 
-    def __init__(self, runtime, *, workers: int | None = None):
+    def __init__(
+        self, runtime, *, workers: int | None = None, threads: bool = False
+    ):
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         self.runtime = runtime
         self.workers = int(workers)
+        #: True = in-process thread pool over shared operand buffers
+        #: instead of a supervised process pool (no pickling at all).
+        self.threads = bool(threads)
 
     def run_batch(
         self,
@@ -263,6 +314,14 @@ class ParallelExecutor:
         ):
             if self.workers == 1:
                 result = self._run_serial(
+                    requests, tracer, policy, journal, replay, fingerprints
+                )
+            elif self.threads:
+                if chaos:
+                    raise ConfigError(
+                        "chaos injection requires process workers, not --threads"
+                    )
+                result = self._run_threaded(
                     requests, tracer, policy, journal, replay, fingerprints
                 )
             else:
@@ -413,23 +472,49 @@ class ParallelExecutor:
             else:
                 to_run.append(i)
 
+        from ..store.registry import SharedOperandRegistry, pickled_nbytes
+
+        registry = SharedOperandRegistry()
+
         def handles():
-            """Lazily plan items as the admission window admits them."""
+            """Lazily plan items as the admission window admits them.
+
+            Each item's matrix (and any explicit dense operand) is
+            published to shared memory once per fingerprint — repeat
+            requests over the same matrix ship only a descriptor.
+            Containers without an array adapter fall back to pickling,
+            counted as ``store.bytes_pickled`` so the fallback is visible.
+            """
             for i in to_run:
                 request = requests[i]
                 plan, _, cache_hit = self.runtime.plan(request, tracer=tracer)
                 hits[i] = cache_hit
                 plans[i] = plan
+                fingerprint = matrix_fingerprint(request.matrix)
+                operand = registry.publish_matrix(
+                    request.matrix, fingerprint=fingerprint
+                )
+                if operand is None and traced:
+                    tracer.metrics.counter("store.bytes_pickled").inc(
+                        pickled_nbytes(request.matrix)
+                    )
+                dense_operand = None
+                dense = request.dense
+                if dense is not None:
+                    dense_operand = registry.publish_dense(dense)
+                    dense = None
                 yield i, PlanHandle(
                     index=i,
                     plan=plan.to_dict(),
-                    matrix=request.matrix,
-                    fingerprint=matrix_fingerprint(request.matrix),
+                    matrix=None if operand is not None else request.matrix,
+                    fingerprint=fingerprint,
                     k=request.k,
                     seed=request.seed,
                     tile_width=request.tile_width,
                     ssf_threshold=request.ssf_threshold,
-                    dense=request.dense,
+                    dense=dense,
+                    operand=operand,
+                    dense_operand=dense_operand,
                 )
 
         def on_payload(index, payload):
@@ -456,10 +541,26 @@ class ParallelExecutor:
             chaos=chaos,
         )
         failures: list[FailedItem] = []
-        if to_run:
-            _, failures = supervisor.run(
-                handles(), tracer=tracer, on_payload=on_payload
-            )
+        try:
+            if to_run:
+                _, failures = supervisor.run(
+                    handles(), tracer=tracer, on_payload=on_payload
+                )
+        finally:
+            if traced:
+                s = registry.stats
+                tracer.metrics.counter("store.bytes_shipped").inc(
+                    s["bytes_shipped"]
+                )
+                tracer.metrics.counter("store.segments").inc(
+                    s["segments_created"]
+                )
+                tracer.metrics.counter("store.publish_hits").inc(
+                    s["publish_hits"]
+                )
+            # Workers have drained (or died) by now; the batch's segments
+            # are unlinked here regardless of outcome.
+            registry.close()
         if fingerprints is not None:
             for failed in failures:
                 failed.fingerprint = fingerprints[failed.index]
@@ -473,3 +574,148 @@ class ParallelExecutor:
                     root = tracer.graft(span_dict)
                     root.set_attribute("batch_index", index)
         return BatchResult(results, failures, supervisor.stats)
+
+    # ----------------------------------------------------------- threaded
+    def _run_threaded(
+        self, requests, tracer, policy, journal, replay, fingerprints
+    ) -> BatchResult:
+        """In-process thread-pool execution over shared operand buffers.
+
+        The operand plane's no-pickling mode: planning, cache bookkeeping,
+        and dense-operand resolution happen serially in the parent (in
+        submission order, so plan-cache semantics match ``workers=1``),
+        then execution fans out across a thread pool whose workers read
+        the *same* :class:`~repro.formats.convert.FormatStore` containers —
+        zero bytes shipped, zero bytes pickled.  Each item is a pure
+        function of ``(plan, matrix, dense)``, so records stay
+        digest-identical to serial execution (property-tested in
+        ``tests/store/test_threaded.py``).
+        """
+        import concurrent.futures
+
+        from ..telemetry import Tracer, span_summary
+
+        n = len(requests)
+        results: list = [None] * n
+        failures: list[FailedItem] = []
+        stats = dict.fromkeys(WorkerSupervisor.STAT_KEYS, 0)
+        traced = bool(tracer.enabled)
+        planned: dict[int, tuple] = {}
+        to_run = []
+        for i, request in enumerate(requests):
+            fp = fingerprints[i] if fingerprints is not None else None
+            if replay is not None and fp in replay.records:
+                results[i] = self._replay_item(i, replay.records[fp])
+                tracer.metrics.counter("journal.replayed").inc()
+                continue
+            plan, store, cache_hit = self.runtime.plan(request, tracer=tracer)
+            dense = self.runtime._resolve_dense(request, store)
+            planned[i] = (plan, store, cache_hit, dense)
+            to_run.append(i)
+
+        def job(i):
+            """One item: execute (with retries) on the shared store."""
+            request = requests[i]
+            plan, store, cache_hit, dense = planned[i]
+            attempt = 0
+            while True:
+                try:
+                    item_tracer = Tracer() if traced else None
+                    use = item_tracer if traced else self.runtime.tracer
+                    with use.span("run") as root:
+                        execution = self.runtime.executor.execute(
+                            plan,
+                            request.matrix,
+                            dense,
+                            store=store,
+                            request=request,
+                            tracer=use,
+                        )
+                        record = RunRecord.from_execution(execution)
+                        if root.enabled:
+                            root.set_attributes(
+                                algorithm=execution.plan.algorithm,
+                                cache_hit=cache_hit,
+                                dense_cols=request.dense_cols,
+                                gpu=self.runtime.config.name,
+                                threaded=True,
+                            )
+                    if traced:
+                        record.extras["trace_summary"] = span_summary(root)
+                except Exception as exc:
+                    if policy.fail_fast:
+                        raise SupervisionError(
+                            f"batch item {i} failed on attempt {attempt + 1} "
+                            f"({type(exc).__name__}: {exc}) and fail_fast "
+                            f"is set"
+                        ) from exc
+                    if attempt < policy.max_retries:
+                        time.sleep(policy.backoff_s(attempt))
+                        attempt += 1
+                        continue
+                    return ("failed", i, exc, attempt + 1)
+                return ("ok", i, record, execution.plan, cache_hit,
+                        attempt, item_tracer)
+
+        telemetry: dict[int, object] = {}
+        pool_size = min(self.workers, max(1, len(to_run)))
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=pool_size
+        ) as pool:
+            futures = [pool.submit(job, i) for i in to_run]
+            for future in concurrent.futures.as_completed(futures):
+                outcome = future.result()  # re-raises fail_fast errors
+                if outcome[0] == "failed":
+                    _, i, exc, attempts = outcome
+                    stats["retries"] += attempts - 1
+                    stats["quarantined"] += 1
+                    tracer.metrics.counter("supervisor.quarantined").inc()
+                    failures.append(
+                        FailedItem(
+                            index=i,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            attempts=attempts,
+                            fingerprint=(
+                                fingerprints[i]
+                                if fingerprints is not None
+                                else None
+                            ),
+                        )
+                    )
+                    continue
+                _, i, record, plan, cache_hit, retries, item_tracer = outcome
+                stats["retries"] += retries
+                if retries:
+                    tracer.metrics.counter("supervisor.retries").inc(retries)
+                stats["executed"] += 1
+                results[i] = BatchItemResult(
+                    index=i, record=record, plan=plan, cache_hit=cache_hit
+                )
+                if item_tracer is not None:
+                    telemetry[i] = item_tracer
+                if journal is not None:
+                    if journal.append(fingerprints[i], record):
+                        tracer.metrics.counter("journal.appends").inc()
+        # Single-writer persistence flush, after every thread has finished
+        # mutating the shared stores.
+        writeback = getattr(self.runtime.cache, "writeback", None)
+        if writeback is not None:
+            for i in to_run:
+                request = requests[i]
+                writeback(
+                    PlanCache.key_for(
+                        request,
+                        self.runtime.config,
+                        FULL_CAPABILITIES,
+                        self.runtime._effective_threshold(request),
+                    )
+                )
+        if traced:
+            for index in sorted(telemetry):
+                item_tracer = telemetry[index]
+                tracer.metrics.merge_snapshot(item_tracer.metrics.snapshot())
+                for span in item_tracer.roots:
+                    root = tracer.graft(span.to_dict())
+                    root.set_attribute("batch_index", index)
+        return BatchResult(results, failures, stats)

@@ -289,6 +289,15 @@ def _worker_main(
             send((_MSG_OK, worker_id, index, attempt, payload))
     finally:
         stop.set()
+        # Drop any shared-memory operand attachments before exit so the
+        # worker never outlives its mappings (the parent owns segment
+        # lifetime; see repro.store.registry).
+        try:
+            from ..store.registry import detach_all
+
+            detach_all()
+        except Exception:
+            pass
 
 
 class _Worker:

@@ -71,6 +71,7 @@ from ..runtime import (
 from ..runtime.journal import RunJournal
 from ..runtime.parallel import execute_handle
 from ..runtime.supervisor import NO_ITEM
+from ..store import PersistentFormatStore, SharedOperandRegistry
 from ..telemetry import MetricsRegistry
 from .admission import AdmissionConfig, AdmissionController, N_RUNGS
 from .protocol import (
@@ -126,6 +127,11 @@ class ServiceConfig:
     cache_hit_rate_slo: float = 0.5
     #: chaos seam: dispatch index -> ChaosFault, injected in workers
     chaos: dict | None = None
+    #: persistent format/plan store directory (docs/STORAGE.md); None
+    #: disables the disk tier.  A restart against the same directory
+    #: warm-starts planning and pre-attaches hot operands before the
+    #: socket opens.
+    store_dir: str | None = None
 
 
 @dataclass
@@ -165,10 +171,21 @@ class SpmmService:
         self.admission = AdmissionController(
             config.admission, workers=config.workers
         )
+        self.persist = (
+            PersistentFormatStore(config.store_dir)
+            if config.store_dir
+            else None
+        )
         self.cache = MultiTenantPlanCache(
             max_entries=config.cache_entries,
             tenant_max_entries=config.tenant_cache_entries,
             hit_rate_slo=config.cache_hit_rate_slo,
+            persist=self.persist,
+        )
+        #: the operand plane: every dispatched matrix is published here
+        #: once per fingerprint and shipped to workers as a descriptor
+        self.operands = SharedOperandRegistry(
+            lease_dir=os.path.join(config.state_dir, "operand-leases")
         )
         self.supervisor = WorkerSupervisor(
             execute_handle,
@@ -201,6 +218,7 @@ class SpmmService:
         self._loop = asyncio.get_running_loop()
         self._drained = asyncio.Event()
         self._recover()
+        self._preattach()
         # The service owns its socket path: a stale file left by a
         # SIGKILLed predecessor would otherwise block the bind.
         try:
@@ -245,6 +263,10 @@ class SpmmService:
             if self._tasks:
                 await asyncio.gather(*self._tasks, return_exceptions=True)
             await self._loop.run_in_executor(None, self._dispatcher.join)
+            # Workers are down; unlink every operand segment this
+            # lifetime published (a crash instead of a drain leaves them
+            # for the next lifetime's orphan sweep).
+            self.operands.close()
             try:
                 os.unlink(self.config.socket_path)
             except OSError:
@@ -339,6 +361,29 @@ class SpmmService:
             self._recovery_pending
         )
 
+    def _preattach(self) -> None:
+        """Warm the operand plane before the socket opens.
+
+        Sweeps crash-orphaned segments left by a SIGKILLed predecessor,
+        then publishes every matrix the persistent store knows about —
+        the service's "hot" set — so the first submit of a known matrix
+        ships only a descriptor.  Runs before ``start_unix_server``, so a
+        client can never observe a cold operand plane after a restart.
+        """
+        swept = self.operands.sweep_orphans()
+        if swept:
+            self.metrics.counter("store.orphans_swept").inc(swept)
+        if self.persist is None:
+            return
+        for fingerprint in self.persist.fingerprints():
+            matrix = self.persist.load_matrix(fingerprint)
+            if matrix is None:
+                continue
+            if self.operands.publish_matrix(
+                matrix, fingerprint=fingerprint
+            ) is not None:
+                self.metrics.counter("store.preattached").inc()
+
     # ================================================== dispatcher thread
     def _runtime(self, tenant: str) -> SpmmRuntime:
         """This tenant's runtime over its view of the shared plan cache."""
@@ -391,23 +436,38 @@ class SpmmService:
             yield pend.index, handle
 
     def _plan_handle(self, pend: _Pending) -> PlanHandle:
-        """Plan one request at its rung; package it for the workers."""
+        """Plan one request at its rung; package it for the workers.
+
+        The matrix goes through the operand plane: published to shared
+        memory once per fingerprint (a pre-attached hot operand is a
+        publish hit) and shipped as a descriptor, with the resident bytes
+        charged to the requesting tenant's accounting.
+        """
         runtime = self._runtime(pend.tenant)
         caps = LADDER[pend.rung]
         plan, _, _ = runtime.plan(
             pend.request, caps if caps is not None else FULL_CAPABILITIES
         )
+        fingerprint = matrix_fingerprint(pend.request.matrix)
+        operand = self.operands.publish_matrix(
+            pend.request.matrix, fingerprint=fingerprint
+        )
+        if operand is not None:
+            self.cache.charge_segment(
+                pend.tenant, fingerprint, operand.total_bytes
+            )
         return PlanHandle(
             index=pend.index,
             plan=plan.to_dict(),
-            matrix=pend.request.matrix,
-            fingerprint=matrix_fingerprint(pend.request.matrix),
+            matrix=None if operand is not None else pend.request.matrix,
+            fingerprint=fingerprint,
             k=pend.request.k,
             seed=pend.request.seed,
             tile_width=pend.request.tile_width,
             ssf_threshold=pend.request.ssf_threshold,
             dense=None,
             capabilities=caps.to_dict() if caps is not None else None,
+            operand=operand,
         )
 
     def _dispatch_loop(self) -> None:
@@ -543,6 +603,24 @@ class SpmmService:
         self.metrics.gauge("cache.hit_rate").set(stats["hit_rate"])
         self.metrics.gauge("cache.entries").set(stats["entries"])
         self.metrics.gauge("cache.evictions").set(stats["evictions"])
+        # store.* gauges: the operand plane + persistence tier
+        # (docs/STORAGE.md, docs/OBSERVABILITY.md).
+        operands = self.operands.stats
+        self.metrics.gauge("store.resident_segments").set(
+            len(self.operands.descriptors)
+        )
+        self.metrics.gauge("store.bytes_shipped").set(
+            operands["bytes_shipped"]
+        )
+        self.metrics.gauge("store.publish_hits").set(
+            operands["publish_hits"]
+        )
+        if "disk_entries" in stats:
+            self.metrics.gauge("store.disk_entries").set(
+                stats["disk_entries"]
+            )
+            self.metrics.gauge("store.disk_hits").set(stats["disk_hits"])
+            self.metrics.gauge("store.spills").set(stats["spills"])
 
     # ========================================================= socket side
     async def _handle_connection(self, reader, writer) -> None:
@@ -709,6 +787,15 @@ class SpmmService:
                 "supervisor": dict(self.supervisor.stats),
                 "cache": self.cache.stats,
                 "admission": self.admission.snapshot(),
+                "store": {
+                    "operands": dict(self.operands.stats),
+                    "resident_segments": len(self.operands.descriptors),
+                    "persist": (
+                        dict(self.persist.stats)
+                        if self.persist is not None
+                        else None
+                    ),
+                },
             },
         }
 

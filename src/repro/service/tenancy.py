@@ -56,6 +56,10 @@ class TenantCacheView:
         """Shared insert owned by this view's tenant."""
         return self._shared.insert(self._tenant, key, entry)
 
+    def writeback(self, key: tuple) -> bool:
+        """Flush lazily-materialized conversions to the persistence tier."""
+        return self._shared.cache.writeback(key)
+
     @property
     def stats(self) -> dict:
         """This tenant's stats, in the :attr:`PlanCache.stats` shape."""
@@ -71,12 +75,13 @@ class MultiTenantPlanCache:
         max_entries: int = 128,
         tenant_max_entries: int = 32,
         hit_rate_slo: float = 0.5,
+        persist=None,
     ):
         if tenant_max_entries < 1:
             raise ConfigError("tenant_max_entries must be >= 1")
         if not 0.0 <= hit_rate_slo <= 1.0:
             raise ConfigError("hit_rate_slo must be in [0, 1]")
-        self.cache = PlanCache(max_entries=max_entries)
+        self.cache = PlanCache(max_entries=max_entries, persist=persist)
         self.tenant_max_entries = int(tenant_max_entries)
         self.hit_rate_slo = float(hit_rate_slo)
         #: key -> owning tenant (the tenant whose miss paid for the entry)
@@ -85,6 +90,11 @@ class MultiTenantPlanCache:
         #: refreshed on hit so the head is the tenant's LRU victim)
         self._tenant_keys: dict[str, dict] = {}
         self._counts: dict[str, dict] = {}
+        #: tenant -> {fingerprint: resident shared-memory segment bytes};
+        #: charged by the server when it publishes an operand on the
+        #: tenant's behalf (docs/STORAGE.md).  Idempotent per pair, so
+        #: repeat requests over a resident matrix don't double-charge.
+        self._segments: dict[str, dict] = {}
 
     # ------------------------------------------------------------ plumbing
     def view(self, tenant: str) -> TenantCacheView:
@@ -163,9 +173,32 @@ class MultiTenantPlanCache:
             evicted.append(pair)
         return evicted
 
+    # ------------------------------------------------------- operand plane
+    def charge_segment(self, tenant: str, fingerprint: str, nbytes: int) -> None:
+        """Charge ``tenant`` for a resident shared-memory operand segment.
+
+        Idempotent per ``(tenant, fingerprint)`` — the server calls this
+        on every dispatch, but a matrix resident once is charged once.
+        """
+        self._tenant(tenant)
+        self._segments.setdefault(tenant, {})[fingerprint] = int(nbytes)
+
+    def release_segments(self, fingerprint: str) -> None:
+        """Drop every tenant's charge for an unlinked segment."""
+        for charges in self._segments.values():
+            charges.pop(fingerprint, None)
+
+    def resident_bytes(self, tenant: str) -> int:
+        """Total shared-memory bytes currently charged to ``tenant``."""
+        return sum(self._segments.get(tenant, {}).values())
+
     # ------------------------------------------------------------ reports
     def tenant_stats(self, tenant: str) -> dict:
-        """One tenant's stats in the :attr:`PlanCache.stats` shape."""
+        """One tenant's stats in the :attr:`PlanCache.stats` shape.
+
+        ``resident_bytes`` extends that shape with the tenant's operand-
+        plane footprint (shared-memory segments published on its behalf).
+        """
         counts = self._tenant(tenant)
         total = counts["hits"] + counts["misses"]
         return {
@@ -174,6 +207,7 @@ class MultiTenantPlanCache:
             "misses": counts["misses"],
             "evictions": counts["evictions"],
             "hit_rate": counts["hits"] / total if total else 0.0,
+            "resident_bytes": self.resident_bytes(tenant),
         }
 
     def hit_rate(self, tenant: str) -> float:

@@ -1,0 +1,50 @@
+"""The operand plane: zero-copy shared operands + a persistent format store.
+
+Two halves, one goal — pay for data transformation once (the paper's
+amortization argument) no matter how many processes or process lifetimes
+consume the result:
+
+- :class:`SharedOperandRegistry` ships operand arrays into
+  ``multiprocessing.shared_memory`` segments described by picklable
+  :class:`SegmentDescriptor` recipes; workers :func:`attach_matrix` /
+  :func:`attach_dense` zero-copy views instead of unpickling copies.
+- :class:`PersistentFormatStore` spills plan-cache entries (plans, format
+  conversions, engine artifacts, seeded dense operands) to mmap-backed
+  ``.npy`` segments with an fsynced manifest, so a fresh process
+  warm-starts with zero conversions.
+
+See ``docs/STORAGE.md`` for the layout, lifecycle, and warm-start
+contract.
+"""
+
+from __future__ import annotations
+
+from .layout import ADAPTERS, ArraySpec, SegmentDescriptor
+from .persist import MANIFEST_VERSION, PersistentFormatStore, encode_key
+from .registry import (
+    SharedOperandRegistry,
+    attach_dense,
+    attach_matrix,
+    default_lease_dir,
+    detach_all,
+    pickled_nbytes,
+)
+from .threaded import csr_spmm_rows, row_ranges, threaded_csr_spmm
+
+__all__ = [
+    "ADAPTERS",
+    "ArraySpec",
+    "MANIFEST_VERSION",
+    "PersistentFormatStore",
+    "SegmentDescriptor",
+    "SharedOperandRegistry",
+    "attach_dense",
+    "attach_matrix",
+    "csr_spmm_rows",
+    "default_lease_dir",
+    "detach_all",
+    "encode_key",
+    "pickled_nbytes",
+    "row_ranges",
+    "threaded_csr_spmm",
+]

@@ -1,0 +1,355 @@
+"""Shared-memory operand registry: ship each operand once, attach many times.
+
+:class:`SharedOperandRegistry` is the owning side of the operand plane.
+``publish_matrix`` / ``publish_dense`` place an operand's backing arrays
+into one ``multiprocessing.shared_memory`` segment (laid out by
+:mod:`repro.store.layout`) keyed by the matrix fingerprint, memoized so a
+batch of requests over the same matrix ships it exactly once.  Workers
+receive only the :class:`~repro.store.layout.SegmentDescriptor` and call
+:func:`attach_matrix` / :func:`attach_dense` to map zero-copy, read-only
+ndarray views — no pickling, no per-process copies, identical under
+``fork`` and ``spawn`` start methods.
+
+Lifecycle is refcounted: each :meth:`SharedOperandRegistry.acquire`
+registers interest, :meth:`release` drops it, and a segment is unlinked
+when its count reaches zero (or unconditionally on :meth:`close`).  Every
+live segment is recorded as a *lease* file (``<lease_dir>/<segment>.json``
+with the owner's pid), so :meth:`sweep_orphans` in any later process can
+detect segments whose owner died without unlinking — the crash-orphan
+path — and reclaim them.
+
+Attach-side caveat: Python's ``resource_tracker`` would otherwise adopt
+attached segments and unlink them when the *worker* exits, destroying the
+parent's copy.  :func:`_attach_segment` opts out (``track=False`` on
+3.13+, the documented ``unregister`` workaround before that).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .layout import (
+    SegmentDescriptor,
+    matrix_arrays,
+    matrix_from_arrays,
+    native_contiguous,
+    pack_specs,
+    read_arrays,
+    write_arrays,
+)
+
+#: Stat names every registry reports (zeroed at construction).
+STAT_KEYS = (
+    "segments_created",
+    "bytes_shipped",
+    "publish_hits",
+    "orphans_swept",
+    "releases",
+    "unlinked",
+)
+
+
+def default_lease_dir() -> str:
+    """The per-user lease directory used when none is configured."""
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-operand-leases-{uid}")
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker adoption."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        return shm
+
+
+def _unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink ``shm``, keeping the resource tracker balanced.
+
+    An attach in this process (or a forked child sharing our tracker)
+    already unregistered the name via :func:`_attach_segment`, so the
+    unregister that ``unlink`` performs would hit a missing entry and the
+    tracker process would print a KeyError traceback at exit.  Re-register
+    first — registration is a set-add, so this is a no-op when the name is
+    still tracked.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+    shm.close()
+    shm.unlink()
+
+
+def pickled_nbytes(obj) -> int:
+    """Size of ``obj`` pickled — the cost the operand plane avoids."""
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class SharedOperandRegistry:
+    """Owner of the shared-memory segments for one process's operands."""
+
+    def __init__(self, *, lease_dir: str | None = None):
+        self.lease_dir = lease_dir if lease_dir is not None else default_lease_dir()
+        os.makedirs(self.lease_dir, exist_ok=True)
+        #: token -> (SharedMemory, SegmentDescriptor)
+        self._segments: dict[str, tuple] = {}
+        #: token -> refcount (publishers + explicit acquires)
+        self._refs: dict[str, int] = {}
+        self._counter = 0
+        self.stats = dict.fromkeys(STAT_KEYS, 0)
+
+    # ---------------------------------------------------------- publishing
+    def _segment_name(self, token: str) -> str:
+        self._counter += 1
+        return f"repro-{token[:12]}-{os.getpid()}-{self._counter}"
+
+    def _publish(self, token: str, kind: str, shape, arrays: dict) -> SegmentDescriptor:
+        specs, total = pack_specs(arrays)
+        shm = shared_memory.SharedMemory(
+            create=True, size=total, name=self._segment_name(token)
+        )
+        write_arrays(shm.buf, specs, arrays)
+        descriptor = SegmentDescriptor(
+            segment=shm.name,
+            token=token,
+            kind=kind,
+            shape=tuple(shape),
+            arrays=specs,
+            total_bytes=total,
+        )
+        self._segments[token] = (shm, descriptor)
+        self._refs[token] = 1
+        self._write_lease(descriptor)
+        self.stats["segments_created"] += 1
+        self.stats["bytes_shipped"] += total
+        return descriptor
+
+    def publish_matrix(self, matrix, *, fingerprint: str) -> SegmentDescriptor | None:
+        """Ship ``matrix`` into shared memory (once per fingerprint).
+
+        Returns the descriptor, or ``None`` when the container has no
+        registered array adapter (callers fall back to pickling and should
+        count ``store.bytes_pickled``).  Repeat publishes of the same
+        fingerprint bump the refcount and return the existing descriptor.
+        """
+        held = self._segments.get(fingerprint)
+        if held is not None:
+            self._refs[fingerprint] += 1
+            self.stats["publish_hits"] += 1
+            return held[1]
+        arrays = matrix_arrays(matrix)
+        if arrays is None:
+            return None
+        return self._publish(fingerprint, matrix.format_name, matrix.shape, arrays)
+
+    def publish_dense(self, dense, *, token: str | None = None) -> SegmentDescriptor:
+        """Ship a dense operand; ``token`` defaults to a content hash."""
+        a = native_contiguous(np.asarray(dense))
+        if token is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(f"dense:{a.dtype.str}:{a.shape}".encode())
+            h.update(a.tobytes())
+            token = h.hexdigest()
+        held = self._segments.get(token)
+        if held is not None:
+            self._refs[token] += 1
+            self.stats["publish_hits"] += 1
+            return held[1]
+        return self._publish(token, "dense", a.shape, {"dense": a})
+
+    # ------------------------------------------------------------ lifecycle
+    def acquire(self, token: str) -> None:
+        """Register one more consumer of ``token``'s segment."""
+        if token not in self._segments:
+            raise KeyError(f"no segment published for {token!r}")
+        self._refs[token] += 1
+
+    def release(self, token: str) -> bool:
+        """Drop one reference; unlink the segment when the count hits zero.
+
+        Returns ``True`` if this release unlinked the segment.
+        """
+        if token not in self._segments:
+            return False
+        self.stats["releases"] += 1
+        self._refs[token] -= 1
+        if self._refs[token] > 0:
+            return False
+        self._unlink(token)
+        return True
+
+    def _unlink(self, token: str) -> None:
+        shm, descriptor = self._segments.pop(token)
+        self._refs.pop(token, None)
+        self._remove_lease(descriptor.segment)
+        try:
+            _unlink_segment(shm)
+        except FileNotFoundError:  # already swept by another process
+            pass
+        self.stats["unlinked"] += 1
+
+    def close(self) -> None:
+        """Unlink every owned segment regardless of refcounts."""
+        for token in list(self._segments):
+            self._unlink(token)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    @property
+    def descriptors(self) -> dict:
+        """token -> live :class:`SegmentDescriptor`."""
+        return {token: held[1] for token, held in self._segments.items()}
+
+    # --------------------------------------------------------------- leases
+    def _lease_path(self, segment: str) -> str:
+        return os.path.join(self.lease_dir, f"{segment}.json")
+
+    def _write_lease(self, descriptor: SegmentDescriptor) -> None:
+        lease = {
+            "segment": descriptor.segment,
+            "token": descriptor.token,
+            "pid": os.getpid(),
+            "bytes": descriptor.total_bytes,
+        }
+        path = self._lease_path(descriptor.segment)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(lease, fh)
+        os.replace(tmp, path)
+
+    def _remove_lease(self, segment: str) -> None:
+        try:
+            os.unlink(self._lease_path(segment))
+        except FileNotFoundError:
+            pass
+
+    def sweep_orphans(self) -> int:
+        """Reclaim segments whose owning process died without unlinking.
+
+        Scans the lease directory; any lease whose pid is no longer alive
+        has its segment unlinked and its lease removed.  Returns the number
+        of orphaned segments reclaimed (counted in ``orphans_swept``).
+        """
+        swept = 0
+        try:
+            names = os.listdir(self.lease_dir)
+        except FileNotFoundError:
+            return 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.lease_dir, name)
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    lease = json.load(fh)
+                pid = int(lease["pid"])
+            except (OSError, ValueError, KeyError):
+                continue
+            if _pid_alive(pid):
+                continue
+            try:
+                shm = _attach_segment(lease["segment"])
+                _unlink_segment(shm)
+                swept += 1
+            except FileNotFoundError:
+                pass  # segment already gone; just drop the stale lease
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        self.stats["orphans_swept"] += swept
+        return swept
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+# -------------------------------------------------------------- attach side
+#: Process-local attach memo: segment name -> (SharedMemory, arrays dict).
+#: Keeping the SharedMemory object referenced keeps the mapping alive.
+_ATTACHED: dict[str, tuple] = {}
+
+#: Process-local rebuilt operands: segment name -> container / ndarray.
+_MATERIALIZED: dict[str, object] = {}
+
+
+def _attached_arrays(descriptor: SegmentDescriptor) -> tuple[dict, bool]:
+    """Read-only array views for ``descriptor``; ``True`` if freshly mapped."""
+    held = _ATTACHED.get(descriptor.segment)
+    if held is not None:
+        return held[1], False
+    shm = _attach_segment(descriptor.segment)
+    arrays = read_arrays(shm.buf, descriptor.arrays)
+    _ATTACHED[descriptor.segment] = (shm, arrays)
+    return arrays, True
+
+
+def attach_matrix(descriptor: SegmentDescriptor) -> tuple[object, bool]:
+    """Rebuild the shipped matrix over shared memory, memoized per process.
+
+    Returns ``(matrix, fresh)`` where ``fresh`` is ``True`` on the first
+    attach in this process (``False`` = attach hit).  The container's
+    arrays are zero-copy read-only views over the mapped segment.
+    """
+    cached = _MATERIALIZED.get(descriptor.segment)
+    if cached is not None:
+        return cached, False
+    arrays, _ = _attached_arrays(descriptor)
+    matrix = matrix_from_arrays(descriptor.kind, descriptor.shape, arrays)
+    _MATERIALIZED[descriptor.segment] = matrix
+    return matrix, True
+
+
+def attach_dense(descriptor: SegmentDescriptor) -> tuple[np.ndarray, bool]:
+    """Attach a shipped dense operand; returns ``(array, fresh)``."""
+    cached = _MATERIALIZED.get(descriptor.segment)
+    if cached is not None:
+        return cached, False
+    arrays, _ = _attached_arrays(descriptor)
+    dense = arrays["dense"]
+    _MATERIALIZED[descriptor.segment] = dense
+    return dense, True
+
+
+def detach_all() -> None:
+    """Drop every process-local attachment (test/shutdown hygiene)."""
+    _MATERIALIZED.clear()
+    for shm, _ in _ATTACHED.values():
+        try:
+            shm.close()
+        except Exception:
+            pass
+    _ATTACHED.clear()

@@ -1,0 +1,77 @@
+"""Thread-parallel SpMM over shared buffers via row-range partitioning.
+
+The operand plane makes all of a matrix's containers visible to every
+thread for free (threads share the address space; the buffers may live in
+a shared-memory segment or an mmapped ``.npy``).  This module supplies
+the classic row-range decomposition over that shared CSR — the dmlc SpMV
+idiom — where each thread owns a contiguous ``[start, end)`` row slab of
+the output and reads the operands without copying or locking.
+
+Because every output row is computed by exactly one thread with exactly
+the serial per-row expression ``values[s:e] @ B[col_idx[s:e]]``, the
+result is **bit-identical** for any thread count — the property the
+in-process ``--threads`` executor and its tests lean on.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import numpy as np
+
+
+def row_ranges(n_rows: int, parts: int) -> list:
+    """Split ``range(n_rows)`` into ``parts`` contiguous ``(start, end)`` slabs.
+
+    Remainder rows go to the leading slabs (sizes differ by at most one);
+    empty slabs are dropped, so fewer than ``parts`` ranges come back for
+    tiny matrices.
+    """
+    parts = max(1, int(parts))
+    base, extra = divmod(int(n_rows), parts)
+    ranges = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def csr_spmm_rows(csr, dense: np.ndarray, out: np.ndarray, start: int, end: int) -> None:
+    """Serial reference kernel for one row slab, writing ``out[start:end]``."""
+    row_ptr, col_idx, values = csr.row_ptr, csr.col_idx, csr.values
+    for i in range(start, end):
+        s, e = row_ptr[i], row_ptr[i + 1]
+        if s == e:
+            out[i] = 0.0
+        else:
+            out[i] = values[s:e] @ dense[col_idx[s:e]]
+
+
+def threaded_csr_spmm(csr, dense: np.ndarray, *, threads: int = 1) -> np.ndarray:
+    """``csr @ dense`` with rows partitioned across ``threads``.
+
+    Bit-identical to ``threads=1`` for any thread count: each row is
+    produced by the same serial expression regardless of which thread
+    owns its slab.  Operand buffers are only read, so shared-memory and
+    mmap-backed (read-only) containers work unchanged.
+    """
+    n_rows = csr.n_rows
+    k = dense.shape[1]
+    out = np.zeros((n_rows, k), dtype=np.result_type(csr.values.dtype, dense.dtype))
+    ranges = row_ranges(n_rows, threads)
+    if len(ranges) <= 1:
+        if ranges:
+            csr_spmm_rows(csr, dense, out, ranges[0][0], ranges[0][1])
+        return out
+    with concurrent.futures.ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+        futures = [
+            pool.submit(csr_spmm_rows, csr, dense, out, start, end)
+            for start, end in ranges
+        ]
+        for future in futures:
+            future.result()
+    return out

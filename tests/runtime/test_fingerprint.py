@@ -1,0 +1,184 @@
+"""Matrix fingerprint: memo hazards and byte-layout invariance.
+
+The fingerprint is the identity key for the plan cache, the shared
+operand registry, and the persistent store, so two hazards matter:
+
+* a **stale memo** leaking an old digest after the matrix mutates;
+* the digest depending on **memory layout** (contiguity, endianness,
+  index dtype) rather than content, which would break persisted store
+  keys across machines.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.coo import COOMatrix
+from repro.matrices import uniform_random
+from repro.runtime import (
+    invalidate_fingerprint,
+    matrix_fingerprint,
+    seed_fingerprint,
+)
+
+
+def coo(n=8, seed=0):
+    return uniform_random(n, n, 0.4, seed=seed)
+
+
+class StubMatrix:
+    """Duck-typed matrix: exactly what matrix_fingerprint consumes.
+
+    Bypasses COOMatrix's constructor normalization so the property tests
+    can feed the hasher raw views (sliced, big-endian, narrow dtypes).
+    """
+
+    def __init__(self, shape, rows, cols, values):
+        self.n_rows, self.n_cols = shape
+        self._arrays = (rows, cols, values)
+
+    @property
+    def nnz(self):
+        return int(len(self._arrays[2]))
+
+    def to_coo_arrays(self):
+        return self._arrays
+
+
+# ----------------------------------------------------------- memo hazards
+def test_fingerprint_memoized_on_container():
+    m = coo()
+    d1 = matrix_fingerprint(m)
+    assert m._repro_fingerprint[0] == d1
+    assert matrix_fingerprint(m) == d1
+
+
+def test_wholesale_array_swap_cannot_leak_stale_digest():
+    """Replacing the triplet arrays (nnz changes) must re-hash."""
+    m = coo()
+    stale = matrix_fingerprint(m)
+    fresh = coo(n=6, seed=1)  # different nnz trips the memo sanity check
+    assert fresh.nnz != m.nnz
+    m.rows, m.cols, m.values = fresh.rows, fresh.cols, fresh.values
+    recomputed = matrix_fingerprint(m)
+    assert recomputed != stale
+
+
+def test_shape_change_invalidates_memo():
+    m = coo()
+    stale = matrix_fingerprint(m)
+    m.shape = (m.n_rows + 1, m.n_cols)
+    assert matrix_fingerprint(m) != stale
+
+
+def test_inplace_value_edit_requires_explicit_invalidation():
+    """Same shape/nnz: the memo cannot notice, so callers must."""
+    m = coo()
+    stale = matrix_fingerprint(m)
+    m.values[0] += 1.0
+    # The sanity check passes (shape/nnz unchanged) — stale digest served.
+    assert matrix_fingerprint(m) == stale
+    invalidate_fingerprint(m)
+    assert matrix_fingerprint(m) != stale
+
+
+def test_invalidate_without_memo_is_a_noop():
+    invalidate_fingerprint(coo())  # must not raise
+
+
+def test_seed_fingerprint_skips_rehash():
+    m = coo()
+    seed_fingerprint(m, "cafe" * 16)
+    assert matrix_fingerprint(m) == "cafe" * 16
+    # ...but only while shape/nnz still match the memo.
+    m.shape = (m.n_rows, m.n_cols + 1)
+    assert matrix_fingerprint(m) != "cafe" * 16
+
+
+def test_digest_matches_across_containers():
+    """Containers emitting the same triplet order hash identically.
+
+    Row-major COO and CSR share an order, so they share a digest; CSC
+    emits column-major triplets and hashes differently by design (the
+    identity is the byte stream, not the abstract matrix).
+    """
+    from repro.formats.convert import to_format
+
+    m = coo(n=12, seed=3).deduplicate()
+    csr = to_format(m, "csr")
+    assert matrix_fingerprint(m) == matrix_fingerprint(csr)
+    assert matrix_fingerprint(to_format(m, "csc")) != matrix_fingerprint(m)
+
+
+# ---------------------------------------------------- layout invariance
+def triplets(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    nnz = draw(st.integers(min_value=0, max_value=24))
+    rows = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-8, 8, allow_nan=False, width=32),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return (
+        (n, n),
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.float64),
+    )
+
+
+triplet_sets = st.composite(triplets)
+
+
+@given(triplet_sets())
+@settings(max_examples=40, deadline=None)
+def test_digest_invariant_under_index_dtype(t):
+    shape, rows, cols, vals = t
+    base = matrix_fingerprint(StubMatrix(shape, rows, cols, vals))
+    narrow = StubMatrix(
+        shape, rows.astype(np.int32), cols.astype(np.int32), vals
+    )
+    # int32 vs int64 indices are different *bytes*, hence different
+    # digests — dtype participates in identity by design.
+    if rows.size:
+        assert matrix_fingerprint(narrow) != base
+    same = StubMatrix(shape, rows.copy(), cols.copy(), vals.copy())
+    assert matrix_fingerprint(same) == base
+
+
+@given(triplet_sets())
+@settings(max_examples=40, deadline=None)
+def test_digest_invariant_under_endianness(t):
+    shape, rows, cols, vals = t
+    base = matrix_fingerprint(StubMatrix(shape, rows, cols, vals))
+    swapped = StubMatrix(
+        shape,
+        rows.astype(rows.dtype.newbyteorder(">")),
+        cols.astype(cols.dtype.newbyteorder(">")),
+        vals.astype(vals.dtype.newbyteorder(">")),
+    )
+    assert matrix_fingerprint(swapped) == base
+
+
+@given(triplet_sets())
+@settings(max_examples=40, deadline=None)
+def test_digest_invariant_under_contiguity(t):
+    shape, rows, cols, vals = t
+
+    def strided(a):
+        doubled = np.repeat(a, 2)
+        view = doubled[::2]
+        assert not view.flags.c_contiguous or view.size <= 1
+        return view
+
+    base = matrix_fingerprint(StubMatrix(shape, rows, cols, vals))
+    sliced = StubMatrix(shape, strided(rows), strided(cols), strided(vals))
+    assert matrix_fingerprint(sliced) == base

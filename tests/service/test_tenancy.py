@@ -91,7 +91,7 @@ def test_view_is_plancache_shaped():
     assert view.lookup(key(1)) is not None
     stats = view.stats
     assert set(stats) == {"entries", "hits", "misses", "evictions",
-                          "hit_rate"}
+                          "hit_rate", "resident_bytes"}
     assert stats["hits"] == 1 and stats["misses"] == 1
 
 

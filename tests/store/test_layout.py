@@ -1,0 +1,77 @@
+"""Segment layout: packing, alignment, and adapter round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.formats.convert import to_format
+from repro.matrices import uniform_random
+from repro.store import ADAPTERS
+from repro.store.layout import (
+    ALIGNMENT,
+    matrix_arrays,
+    matrix_from_arrays,
+    pack_specs,
+    read_arrays,
+    write_arrays,
+)
+
+
+def dense_of(m):
+    rows, cols, vals = m.to_coo_arrays()
+    out = np.zeros(m.shape)
+    np.add.at(out, (np.asarray(rows), np.asarray(cols)), np.asarray(vals))
+    return out
+
+
+@pytest.mark.parametrize("fmt", sorted(ADAPTERS))
+def test_adapter_roundtrip_preserves_matrix(fmt):
+    m = to_format(uniform_random(24, 17, 0.2, seed=5), fmt)
+    arrays = matrix_arrays(m)
+    assert arrays is not None
+    specs, total = pack_specs(arrays)
+    buf = bytearray(total)
+    write_arrays(buf, specs, arrays)
+    rebuilt = matrix_from_arrays(fmt, m.shape, read_arrays(buf, specs))
+    assert rebuilt.format_name == fmt
+    assert rebuilt.shape == m.shape
+    assert rebuilt.nnz == m.nnz
+    np.testing.assert_array_equal(dense_of(rebuilt), dense_of(m))
+
+
+def test_unadapted_format_returns_none():
+    class Exotic:
+        format_name = "exotic"
+
+    assert matrix_arrays(Exotic()) is None
+
+
+def test_pack_specs_aligns_every_array():
+    arrays = {
+        "a": np.arange(3, dtype=np.int8),
+        "b": np.arange(5, dtype=np.float64),
+        "c": np.arange(7, dtype=np.int64),
+    }
+    specs, total = pack_specs(arrays)
+    for spec in specs:
+        assert spec.offset % ALIGNMENT == 0
+    assert total >= sum(s.nbytes for s in specs)
+
+
+def test_pack_specs_empty_arrays_still_sized():
+    specs, total = pack_specs({"empty": np.array([], dtype=np.float64)})
+    assert total >= 1  # SharedMemory refuses zero-byte segments
+    buf = bytearray(total)
+    write_arrays(buf, specs, {"empty": np.array([], dtype=np.float64)})
+    out = read_arrays(buf, specs)
+    assert out["empty"].size == 0
+
+
+def test_read_arrays_default_readonly():
+    arrays = {"x": np.arange(4, dtype=np.float64)}
+    specs, total = pack_specs(arrays)
+    buf = bytearray(total)
+    write_arrays(buf, specs, arrays)
+    view = read_arrays(bytes(buf), specs)["x"]
+    assert not view.flags.writeable
+    with pytest.raises((ValueError, RuntimeError)):
+        view[0] = 99.0
