@@ -19,6 +19,8 @@ against it (see ``docs/PERFORMANCE.md`` for the refresh workflow).
 
 from __future__ import annotations
 
+import fnmatch
+import inspect
 import math
 import os
 import platform
@@ -27,6 +29,7 @@ from datetime import datetime, timezone
 
 import numpy as np
 
+from .errors import ConfigError
 from .util import canonical_json
 
 #: Bump when the payload layout changes incompatibly.
@@ -208,10 +211,41 @@ def bench_formats_strip_extract(quick: bool) -> dict:
     return _result(wall, 3, m.nnz, "elements", strips=total)
 
 
-def bench_kernels_online(quick: bool) -> dict:
+def bench_kernels_csr(quick: bool, *, backend: str | None = None) -> dict:
+    """The raw CSR SpMM arithmetic through one compiled-kernel backend.
+
+    Operand preparation (canonical CSR build, and for numba the JIT
+    warm-up) runs outside the timed region, so ``ops_per_s`` measures the
+    spmm arithmetic alone — the number the backend acceptance gate
+    compares across ``--backend`` values.  ``meta.bit_identical`` checks
+    the numeric-equality contract against the scipy reference on the same
+    operands (see ``docs/BACKENDS.md``).
+    """
+    from .kernels.backends import get_backend, resolve_backend_name
+    from .kernels.reference import random_dense_operand
+
+    m = _matrix(quick)
+    k = _dense_k(quick)
+    dense = random_dense_operand(m.n_cols, k, seed=0)
+    name = resolve_backend_name(backend)
+    b = get_backend(name)
+    prepared = b.prepare(m)
+    reps = 3 if quick else 5
+    wall = _best_wall_s(lambda: b.spmm(prepared, dense), reps)
+    out = b.spmm(prepared, dense)
+    ref = get_backend("scipy")
+    identical = np.array_equal(out, ref.spmm(ref.prepare(m), dense))
+    return _result(
+        wall, reps, 2.0 * m.nnz * k, "flop",
+        k=k, backend=name, bit_identical=bool(identical),
+    )
+
+
+def bench_kernels_online(quick: bool, *, backend: str | None = None) -> dict:
     """The online tiled-DCSR SpMM kernel end to end."""
     from .formats.convert import FormatStore
     from .gpu import get_config
+    from .kernels.backends import resolve_backend_name
     from .kernels.hybrid import run_online_tiled
     from .kernels.reference import random_dense_operand
 
@@ -221,10 +255,13 @@ def bench_kernels_online(quick: bool) -> dict:
     dense = random_dense_operand(m.n_cols, k, seed=0)
 
     def run():
-        run_online_tiled(m, dense, config, store=FormatStore(m))
+        run_online_tiled(m, dense, config, store=FormatStore(m), backend=backend)
 
     wall = _best_wall_s(run, reps=2)
-    return _result(wall, 2, 2.0 * m.nnz * k, "flop", k=k)
+    return _result(
+        wall, 2, 2.0 * m.nnz * k, "flop",
+        k=k, backend=resolve_backend_name(backend),
+    )
 
 
 def bench_planner_cache(quick: bool) -> dict:
@@ -375,6 +412,7 @@ BENCHMARKS = {
     "conversion.streaming_fast": bench_conversion_streaming,
     "formats.roundtrip": bench_formats_roundtrip,
     "formats.csr_strip_extract": bench_formats_strip_extract,
+    "kernels.csr_spmm": bench_kernels_csr,
     "kernels.online_spmm": bench_kernels_online,
     "planner.cache_replay": bench_planner_cache,
     "batch.parallel": bench_batch_parallel,
@@ -386,21 +424,64 @@ BENCHMARKS = {
 CALIBRATION = "calibration.matmul"
 
 
+def select_benchmarks(include: list[str] | None) -> list[str]:
+    """Expand ``--only`` globs against :data:`BENCHMARKS`.
+
+    Patterns use :mod:`fnmatch` syntax (``kernels.*``); an exact name is
+    the degenerate glob.  A pattern that matches nothing is a
+    :class:`~repro.errors.ConfigError`.  When filtering, the calibration
+    benchmark is force-included so the partial payload stays comparable
+    against a baseline (comparisons normalize by it).
+    """
+    if include is None:
+        return list(BENCHMARKS)
+    selected: set[str] = set()
+    for pattern in include:
+        matched = [n for n in BENCHMARKS if fnmatch.fnmatchcase(n, pattern)]
+        if not matched:
+            raise ConfigError(
+                f"no benchmark matches {pattern!r}; "
+                f"have {', '.join(BENCHMARKS)}"
+            )
+        selected.update(matched)
+    selected.add(CALIBRATION)
+    return [n for n in BENCHMARKS if n in selected]
+
+
 def run_benchmarks(
-    *, quick: bool = False, include: list[str] | None = None
+    *,
+    quick: bool = False,
+    include: list[str] | None = None,
+    backend: str | None = None,
 ) -> dict:
-    """Execute the suite and return the schema-versioned payload."""
-    names = list(BENCHMARKS) if include is None else list(include)
-    unknown = [n for n in names if n not in BENCHMARKS]
-    if unknown:
-        raise ValueError(f"unknown benchmarks: {unknown}; have {list(BENCHMARKS)}")
-    results = {name: BENCHMARKS[name](quick) for name in names}
+    """Execute the suite and return the schema-versioned payload.
+
+    ``backend`` selects the arithmetic backend for the ``kernels.*``
+    benchmarks (resolved up front, so an unknown or uninstalled name
+    fails before any timing); ``include`` filters by glob and marks the
+    payload ``partial`` so comparisons skip what was not run.
+    """
+    from .kernels.backends import resolve_backend
+
+    backend_name, _ = resolve_backend(backend)
+    names = select_benchmarks(include)
+    results = {}
+    for name in names:
+        fn = BENCHMARKS[name]
+        kwargs = (
+            {"backend": backend_name}
+            if "backend" in inspect.signature(fn).parameters
+            else {}
+        )
+        results[name] = fn(quick, **kwargs)
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "created_utc": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
         ),
         "quick": bool(quick),
+        "partial": include is not None,
+        "backend": backend_name,
         "machine": machine_info(),
         "benchmarks": results,
     }
@@ -461,14 +542,28 @@ def compare_payloads(
         if normalized
         else "no calibration benchmark; comparing raw ops/s"
     ]
+    partial = bool(current.get("partial"))
     regressed: list[str] = []
     for name, base in base_b.items():
         if name == CALIBRATION:
             continue
         cur = cur_b.get(name)
         if cur is None:
+            if partial:
+                lines.append(
+                    f"  {name:<28} not in this partial run; skipped"
+                )
+                continue
             lines.append(f"  {name:<28} missing from current run")
             regressed.append(name)
+            continue
+        cur_backend = cur.get("meta", {}).get("backend")
+        base_backend = base.get("meta", {}).get("backend")
+        if cur_backend != base_backend:
+            lines.append(
+                f"  {name:<28} backend {cur_backend} != baseline "
+                f"{base_backend}; skipped"
+            )
             continue
         cur_ops, base_ops = cur["ops_per_s"], base["ops_per_s"]
         if base_ops <= 0:

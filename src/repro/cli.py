@@ -184,6 +184,7 @@ def _print_run(args, index, record, plan, cache_hit) -> None:
     cache = "hit" if cache_hit else "miss"
     print(f"run {index}: variant={record.variant} "
           f"algorithm={plan.algorithm} "
+          f"backend={prov.get('backend', '?')} "
           f"time={record.time_s * 1e6:.1f}us "
           f"ssf={prov['ssf']:.4g} cache={cache} "
           f"digest={record.digest()[:16]}")
@@ -296,7 +297,8 @@ def cmd_run(args) -> int:
 
         cache = PlanCache(persist=PersistentFormatStore(args.store_dir))
     runtime = SpmmRuntime(
-        config, ssf_threshold=args.ssf_threshold, tracer=tracer, cache=cache
+        config, ssf_threshold=args.ssf_threshold, backend=args.backend,
+        tracer=tracer, cache=cache,
     )
     if args.repeat < 1:
         raise ReproError("--repeat must be at least 1")
@@ -415,6 +417,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         gpu=args.gpu,
         ssf_threshold=args.ssf_threshold,
+        backend=args.backend,
         admission=AdmissionConfig(
             max_pending=args.max_pending,
             target_wait_s=args.target_wait,
@@ -456,6 +459,8 @@ def _report_one(record, index: int, total: int) -> None:
           f"stationarity={record.plan['stationarity']} "
           f"gpu={record.plan['gpu']}")
     prov = record.plan.get("provenance", {})
+    if "backend" in prov:
+        print(f"  backend:   {prov['backend']}")
     if "ssf" in prov:
         print(f"  ssf:       {prov['ssf']:.6g} "
               f"(threshold {prov['ssf_threshold']:g})")
@@ -525,7 +530,9 @@ def cmd_bench(args) -> int:
         for name in bench.BENCHMARKS:
             print(name)
         return 0
-    payload = bench.run_benchmarks(quick=args.quick, include=args.only or None)
+    payload = bench.run_benchmarks(
+        quick=args.quick, include=args.only or None, backend=args.backend
+    )
     print(bench.format_table(payload))
     out = args.out or f"BENCH_{date.today().isoformat()}.json"
     _atomic_write(out, bench.payload_json(payload), force=args.force)
@@ -700,6 +707,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--ssf-threshold", type=float, default=kernels.SSF_TH_DEFAULT
     )
     p.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="arithmetic backend: numpy, scipy, numba, or auto "
+        "(default scipy; see docs/BACKENDS.md)",
+    )
+    p.add_argument(
         "--repeat", type=int, default=2,
         help="times to run each matrix (repeats hit the plan cache)",
     )
@@ -796,6 +808,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--ssf-threshold", type=float, default=kernels.SSF_TH_DEFAULT
     )
     p.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="arithmetic backend: numpy, scipy, numba, or auto "
+        "(default scipy; numba demotes to numpy on degraded rungs)",
+    )
+    p.add_argument(
         "--max-pending", type=int, default=64,
         help="ceiling on queued-but-undispatched requests",
     )
@@ -857,8 +874,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="small inputs for CI smoke runs (recorded in the payload)",
     )
     p.add_argument(
-        "--only", action="append", metavar="NAME",
-        help="run only this benchmark (repeatable; see --list)",
+        "--only", action="append", metavar="GLOB",
+        help="run only benchmarks matching this glob, e.g. 'kernels.*' "
+        "(repeatable; see --list)",
+    )
+    p.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="arithmetic backend for kernel benchmarks: numpy, scipy, "
+        "numba, or auto (default scipy)",
     )
     p.add_argument(
         "--list", action="store_true", help="list benchmark names and exit"

@@ -1,0 +1,86 @@
+"""Numba SpMM backend: JIT-compiled row-parallel kernel (optional dep).
+
+Feature-detected at import — when numba is not installed the backend
+registers as unavailable and an *explicit* ``--backend numba`` request
+fails with a clean :class:`~repro.errors.BackendUnavailableError`
+(``auto`` selection silently falls through to scipy/numpy instead).
+
+Bit-identity is by construction, not by tolerance:
+
+* the inner loop is an explicit scalar accumulation ``out[i, c] += v *
+  b[col, c]`` in stored-index order — the same one-multiply-one-add
+  rounding sequence per output element as scipy's ``csr_matvecs`` C loop
+  (a per-row ``vals @ x[cols]`` BLAS call, as in the numba-mlir SpMV
+  template, would regroup the sum and drift);
+* ``fastmath`` stays **off** so LLVM cannot contract to FMA or reorder;
+* ``prange`` parallelizes across *rows* only — each output row is owned
+  by one thread, so parallel execution is race-free and deterministic.
+
+Compilation happens in :meth:`prepare` (the two-phase API's warm-up
+side), so benches time steady-state arithmetic and the service's
+deadline rungs can demote to numpy rather than eat a JIT pause.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PreparedOperand, SpmmBackend
+
+try:  # feature detection: numba is an optional accelerator, never a dep
+    import numba
+
+    _AVAILABLE = True
+except ImportError:  # pragma: no cover — exercised on numba-free installs
+    numba = None
+    _AVAILABLE = False
+
+#: lazily compiled kernel (module-level so all backend instances share it)
+_JIT = None
+
+
+def _compiled():
+    """Compile (once) and return the row-parallel CSR SpMM kernel."""
+    global _JIT
+    if _JIT is None:
+        @numba.njit(parallel=True, cache=False, fastmath=False)
+        def _csr_spmm(indptr, indices, data, dense, out):
+            n_rows = indptr.size - 1
+            k = dense.shape[1]
+            for i in numba.prange(n_rows):
+                for jj in range(indptr[i], indptr[i + 1]):
+                    v = data[jj]
+                    col = indices[jj]
+                    for c in range(k):
+                        out[i, c] += v * dense[col, c]
+
+        _JIT = _csr_spmm
+    return _JIT
+
+
+class NumbaBackend(SpmmBackend):
+    """Row-parallel JIT backend; unavailable when numba is not installed."""
+
+    name = "numba"
+    available = _AVAILABLE
+    requires = "pip install numba"
+
+    def prepare(self, matrix) -> PreparedOperand:
+        prepared = super().prepare(matrix)
+        # Warm the JIT on a tiny same-typed call so spmm() is steady-state.
+        kernel = _compiled()
+        kernel(
+            np.zeros(1, dtype=prepared.indptr.dtype),
+            np.zeros(0, dtype=prepared.indices.dtype),
+            np.zeros(0, dtype=np.float64),
+            np.zeros((1, 1), dtype=np.float64),
+            np.zeros((0, 1), dtype=np.float64),
+        )
+        return prepared
+
+    def spmm(self, prepared: PreparedOperand, dense: np.ndarray) -> np.ndarray:
+        out = np.zeros((prepared.n_rows, dense.shape[1]), dtype=np.float64)
+        _compiled()(
+            prepared.indptr, prepared.indices, prepared.data, dense, out
+        )
+        return out

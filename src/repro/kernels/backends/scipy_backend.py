@@ -1,0 +1,30 @@
+"""SciPy SpMM backend: the compiled default (`csr_matvecs` in C++).
+
+This is the numeric path every kernel used before the registry existed,
+split into the two-phase API: :meth:`prepare` canonicalizes once, and
+:meth:`spmm` rebuilds a zero-copy ``csr_matrix`` view over the prepared
+arrays and multiplies.  Outputs are byte-identical to the pre-backend
+``scipy_spmm`` because the arrays — and therefore scipy's sequential
+stored-order accumulation — are the same.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PreparedOperand, SpmmBackend
+
+
+class ScipyBackend(SpmmBackend):
+    """Canonical-CSR multiply through ``scipy.sparse`` (see module doc)."""
+
+    name = "scipy"
+
+    def spmm(self, prepared: PreparedOperand, dense: np.ndarray) -> np.ndarray:
+        import scipy.sparse as sp
+
+        a = sp.csr_matrix(
+            (prepared.data, prepared.indices, prepared.indptr),
+            shape=(prepared.n_rows, prepared.n_cols),
+        )
+        return np.asarray(a @ dense)

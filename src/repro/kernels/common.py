@@ -30,7 +30,8 @@ from ..gpu.config import GPUConfig
 from ..gpu.counters import InstructionMix, KernelResult, TrafficCounters
 from ..gpu.sm import dcsr_tile_overhead, row_per_warp_activity
 from ..util import MODEL_VALUE_BYTES, ceil_div
-from .reference import check_operands, scipy_spmm
+from .backends import get_backend, resolve_backend_name
+from .reference import check_operands
 
 #: Shared-memory B tile edge (the paper uses 64x64 to fill a 96 KB SM).
 TILE_EDGE = 64
@@ -164,14 +165,28 @@ def spmm_flops(nnz: int, dense_cols: int) -> float:
 # that boilerplate so a kernel body is mostly its traffic/activity model.
 
 
-def prepare_spmm(matrix, dense) -> tuple[np.ndarray, int, np.ndarray]:
+def compute_spmm(matrix, dense, *, backend: str | None = None) -> np.ndarray:
+    """The *compute* half of every kernel: ``A @ B`` via a backend.
+
+    Dispatches through :mod:`repro.kernels.backends`; ``backend`` may be a
+    registry name, ``"auto"``, or ``None`` for the default.  Whatever
+    backend runs, the float64 result is bit-identical — the accounting
+    half (:func:`b_operand_traffic` and friends) never sees this choice.
+    """
+    return get_backend(backend).execute(matrix, dense)
+
+
+def prepare_spmm(
+    matrix, dense, *, backend: str | None = None
+) -> tuple[np.ndarray, int, np.ndarray]:
     """Validate operands and run the numeric product.
 
     Returns ``(b, k, out)``: the checked dense operand, its column count,
-    and the exact scipy result the kernel will report.
+    and the exact numeric result the kernel will report — computed by the
+    requested ``backend`` but bit-identical regardless of which one runs.
     """
     b = check_operands(matrix, dense)
-    return b, b.shape[1], scipy_spmm(matrix, b)
+    return b, b.shape[1], compute_spmm(matrix, b, backend=backend)
 
 
 def unique_index_count(idx: np.ndarray, nnz: int) -> int:
@@ -230,9 +245,11 @@ def traced_kernel(fn):
         with tracer.span("kernel") as span:
             result = fn(*args, **kwargs)
             span.name = f"kernel:{result.algorithm}"
+            backend = resolve_backend_name(kwargs.get("backend"))
             t = result.traffic
             span.set_attributes(
                 algorithm=result.algorithm,
+                backend=backend,
                 flops=float(result.flops),
                 dram_bytes=float(t.total_bytes),
                 a_bytes=float(t.a_bytes),
@@ -242,6 +259,8 @@ def traced_kernel(fn):
             )
             tracer.metrics.counter("kernel.executions").inc()
             tracer.metrics.counter("kernel.dram_bytes").inc(float(t.total_bytes))
+            tracer.metrics.counter("backend.dispatch").inc()
+            tracer.metrics.counter(f"backend.dispatch.{backend}").inc()
             return result
 
     return wrapper

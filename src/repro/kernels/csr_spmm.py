@@ -38,10 +38,19 @@ from .common import (
 
 @traced_kernel
 def csr_spmm(
-    csr: CSRMatrix, dense: np.ndarray, config: GPUConfig
+    csr: CSRMatrix,
+    dense: np.ndarray,
+    config: GPUConfig,
+    *,
+    backend: str | None = None,
 ) -> KernelResult:
-    """Simulate the baseline CSR kernel; returns result + counters."""
-    _, k, out = prepare_spmm(csr, dense)
+    """Simulate the baseline CSR kernel; returns result + counters.
+
+    ``backend`` selects the arithmetic implementation only (see
+    ``docs/BACKENDS.md``); every counter below is a pure function of the
+    nonzero structure and is identical for all backends.
+    """
+    _, k, out = prepare_spmm(csr, dense, backend=backend)
 
     lengths = csr.row_lengths()
     nz_lengths = lengths[lengths > 0]

@@ -33,10 +33,18 @@ from .common import (
 
 @traced_kernel
 def dcsr_spmm(
-    dcsr: DCSRMatrix, dense: np.ndarray, config: GPUConfig
+    dcsr: DCSRMatrix,
+    dense: np.ndarray,
+    config: GPUConfig,
+    *,
+    backend: str | None = None,
 ) -> KernelResult:
-    """Simulate the untiled-DCSR C-stationary kernel."""
-    _, k, out = prepare_spmm(dcsr, dense)
+    """Simulate the untiled-DCSR C-stationary kernel.
+
+    ``backend`` selects the arithmetic implementation only; counters are
+    backend-invariant.
+    """
+    _, k, out = prepare_spmm(dcsr, dense, backend=backend)
 
     lengths = dcsr.row_lengths()
     unique_cols = unique_index_count(dcsr.col_idx, dcsr.nnz)

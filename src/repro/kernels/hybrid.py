@@ -54,6 +54,7 @@ def run_c_stationary_best(
     config: GPUConfig,
     *,
     store: FormatStore | None = None,
+    backend: str | None = None,
     tracer=None,
 ) -> VariantRun:
     """Better of untiled CSR and untiled DCSR (the paper plots their max)."""
@@ -63,12 +64,12 @@ def run_c_stationary_best(
     runs = [
         VariantRun(
             "csr",
-            (r := csr_spmm(csr, dense, config, tracer=tracer)),
+            (r := csr_spmm(csr, dense, config, backend=backend, tracer=tracer)),
             time_kernel(r, config),
         ),
         VariantRun(
             "dcsr",
-            (r := dcsr_spmm(dcsr, dense, config, tracer=tracer)),
+            (r := dcsr_spmm(dcsr, dense, config, backend=backend, tracer=tracer)),
             time_kernel(r, config),
         ),
     ]
@@ -82,6 +83,7 @@ def run_online_tiled(
     *,
     tile_width: int = 64,
     store: FormatStore | None = None,
+    backend: str | None = None,
     tracer=None,
 ) -> VariantRun:
     """B-stationary on engine-converted tiled DCSR (CSC in memory)."""
@@ -101,6 +103,7 @@ def run_online_tiled(
         dense,
         config,
         a_stream_bytes=online.dram_bytes,
+        backend=backend,
         tracer=tracer,
     )
     result.extras["conversion"] = online.stats_summary()
@@ -115,6 +118,7 @@ def run_offline_tiled(
     tile_width: int = 64,
     densify: bool = True,
     store: FormatStore | None = None,
+    backend: str | None = None,
     tracer=None,
 ) -> VariantRun:
     """B-stationary on an offline-materialized tiled container.
@@ -125,7 +129,7 @@ def run_offline_tiled(
     store = store if store is not None else FormatStore(matrix)
     target = "tiled_dcsr" if densify else "tiled_csr"
     tiled = store.get(target, tracer=tracer)
-    result = b_stationary_spmm(tiled, dense, config, tracer=tracer)
+    result = b_stationary_spmm(tiled, dense, config, backend=backend, tracer=tracer)
     name = "offline_tiled_dcsr" if densify else "offline_tiled_csr"
     return VariantRun(name, result, time_kernel(result, config))
 
@@ -137,6 +141,7 @@ def hybrid_spmm(
     *,
     ssf_threshold: float = SSF_TH_DEFAULT,
     tile_width: int = 64,
+    backend: str | None = None,
     tracer=None,
 ) -> VariantRun:
     """The full system: SSF-routed choice between the two paths.
@@ -149,7 +154,9 @@ def hybrid_spmm(
     from ..runtime.plan import SpmmRequest
 
     runtime = SpmmRuntime(config, ssf_threshold=ssf_threshold, tracer=tracer)
-    request = SpmmRequest(matrix, dense=dense, tile_width=tile_width)
+    request = SpmmRequest(
+        matrix, dense=dense, tile_width=tile_width, backend=backend
+    )
     return runtime.run(request).execution.run
 
 
@@ -160,27 +167,30 @@ def run_all_variants(
     *,
     tile_width: int = 64,
     store: FormatStore | None = None,
+    backend: str | None = None,
     tracer=None,
 ) -> dict[str, VariantRun]:
     """Every series Fig. 16 plots, keyed by variant name."""
     store = store if store is not None else FormatStore(matrix)
     best_c = run_c_stationary_best(
-        matrix, dense, config, store=store, tracer=tracer
+        matrix, dense, config, store=store, backend=backend, tracer=tracer
     )
     out = {
         "baseline_csr": VariantRun(
             "baseline_csr",
-            (r := csr_spmm(store.get("csr"), dense, config, tracer=tracer)),
+            (r := csr_spmm(
+                store.get("csr"), dense, config, backend=backend, tracer=tracer
+            )),
             time_kernel(r, config),
         ),
         "c_stationary_best": best_c,
         "online_tiled_dcsr": run_online_tiled(
             matrix, dense, config, tile_width=tile_width, store=store,
-            tracer=tracer,
+            backend=backend, tracer=tracer,
         ),
         "offline_tiled_dcsr": run_offline_tiled(
             matrix, dense, config, tile_width=tile_width, store=store,
-            tracer=tracer,
+            backend=backend, tracer=tracer,
         ),
     }
     return out
@@ -236,6 +246,7 @@ def degraded_spmm(
     health: EngineHealth,
     ssf_threshold: float = SSF_TH_DEFAULT,
     tile_width: int = 64,
+    backend: str | None = None,
     offline_available: bool = True,
 ) -> VariantRun:
     """Hybrid SpMM that walks the degradation ladder under engine faults.
@@ -251,7 +262,9 @@ def degraded_spmm(
     from ..runtime.plan import Capabilities, SpmmRequest
 
     runtime = SpmmRuntime(config, ssf_threshold=ssf_threshold)
-    request = SpmmRequest(matrix, dense=dense, tile_width=tile_width)
+    request = SpmmRequest(
+        matrix, dense=dense, tile_width=tile_width, backend=backend
+    )
     capabilities = Capabilities.from_health(health, offline_available=offline_available)
     outcome = runtime.run(request, capabilities=capabilities, enforce_ladder=True)
     execution = outcome.execution

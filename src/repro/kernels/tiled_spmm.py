@@ -74,12 +74,15 @@ def b_stationary_spmm(
     traversal: str = "column_major",
     a_stream_bytes: float | None = None,
     tile_height: int = 64,
+    backend: str | None = None,
 ) -> KernelResult:
     """Simulate tiled B-stationary SpMM over a TiledCSR/TiledDCSR container.
 
     ``a_stream_bytes`` overrides the DRAM bytes of the A operand for one
     full pass (the online-conversion case, where memory holds compact CSC);
-    by default the tiled container's own footprint streams.
+    by default the tiled container's own footprint streams.  ``backend``
+    selects the arithmetic implementation only; counters are
+    backend-invariant.
     """
     if not isinstance(tiled, (TiledCSR, TiledDCSR)):
         raise ConfigError(
@@ -87,7 +90,7 @@ def b_stationary_spmm(
         )
     if tile_height <= 0:
         raise ConfigError(f"tile_height must be positive, got {tile_height}")
-    _, k, out = prepare_spmm(tiled, dense)
+    _, k, out = prepare_spmm(tiled, dense, backend=backend)
     effects = traversal_effects(traversal)
     is_dcsr = isinstance(tiled, TiledDCSR)
 
@@ -174,7 +177,11 @@ def b_stationary_spmm(
 
 @traced_kernel
 def a_stationary_spmm(
-    tiled, dense: np.ndarray, config: GPUConfig
+    tiled,
+    dense: np.ndarray,
+    config: GPUConfig,
+    *,
+    backend: str | None = None,
 ) -> KernelResult:
     """The Section 3.1.1 strawman: A tiles pinned in shared memory.
 
@@ -186,7 +193,7 @@ def a_stationary_spmm(
         raise ConfigError(
             f"a_stationary_spmm needs a tiled container, got {type(tiled).__name__}"
         )
-    _, k, out = prepare_spmm(tiled, dense)
+    _, k, out = prepare_spmm(tiled, dense, backend=backend)
     profiles = _strip_profiles(tiled)
     llc = llc_bytes(config)
     is_dcsr = isinstance(tiled, TiledDCSR)

@@ -123,10 +123,14 @@ class Executor:
         if store is None:
             store = FormatStore(matrix)
         ladder: dict[str, float] = {}
+        # The planner resolved the concrete backend into provenance; plans
+        # from older records carry none and fall through to the default.
+        backend = plan.provenance.get("backend")
 
         if plan.algorithm == "c_stationary_best":
             run = run_c_stationary_best(
-                matrix, dense, self.config, store=store, tracer=tracer
+                matrix, dense, self.config, store=store, backend=backend,
+                tracer=tracer,
             )
             result = ExecutionResult(
                 run=run,
@@ -143,6 +147,7 @@ class Executor:
                 self.config,
                 tile_width=plan.tile_width,
                 store=store,
+                backend=backend,
                 tracer=tracer,
             )
             capacity = plan.capabilities.engine_capacity
@@ -181,6 +186,7 @@ class Executor:
                 self.config,
                 tile_width=plan.tile_width,
                 store=store,
+                backend=backend,
                 tracer=tracer,
             )
             if enforce_ladder:
@@ -194,7 +200,9 @@ class Executor:
                 reason=REASON_OFFLINE_FALLBACK if enforce_ladder else "",
             )
         elif plan.algorithm == "untiled_csr":
-            run = self._run_untiled_csr(matrix, dense, store, tracer=tracer)
+            run = self._run_untiled_csr(
+                matrix, dense, store, backend=backend, tracer=tracer
+            )
             if enforce_ladder:
                 ladder["untiled_csr"] = run.time_s
             result = ExecutionResult(
@@ -245,7 +253,13 @@ class Executor:
         return result
 
     def _run_untiled_csr(
-        self, matrix, dense, store: FormatStore, *, tracer=NULL_TRACER
+        self,
+        matrix,
+        dense,
+        store: FormatStore,
+        *,
+        backend: str | None = None,
+        tracer=NULL_TRACER,
     ):
         """The ladder's bottom rung: plain CSR C-stationary."""
         from ..gpu.timing import time_kernel
@@ -253,7 +267,8 @@ class Executor:
         from ..kernels.hybrid import VariantRun
 
         result = csr_spmm(
-            store.get("csr", tracer=tracer), dense, self.config, tracer=tracer
+            store.get("csr", tracer=tracer), dense, self.config,
+            backend=backend, tracer=tracer,
         )
         return VariantRun("untiled_csr", result, time_kernel(result, self.config))
 

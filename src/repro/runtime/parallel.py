@@ -88,6 +88,10 @@ class PlanHandle:
     seed: int
     tile_width: int
     ssf_threshold: float | None
+    #: the *concrete* backend the parent's plan resolved to (from plan
+    #: provenance), so worker dispatch and cache keys match the parent's
+    #: even when the parent planned under an "auto" or runtime default.
+    backend: str | None = None
     dense: object = None
     #: serialized Capabilities the parent planned under (None = full).
     #: Shipping this keeps a demoted plan from being installed under the
@@ -184,6 +188,7 @@ def _handle_to_request(handle: PlanHandle) -> tuple[SpmmRequest, list]:
         seed=handle.seed,
         tile_width=handle.tile_width,
         ssf_threshold=handle.ssf_threshold,
+        backend=handle.backend,
     )
     return request, events
 
@@ -226,6 +231,7 @@ def execute_handle(ctx, handle: PlanHandle):
     key = PlanCache.key_for(
         request, runtime.config, capabilities,
         runtime._effective_threshold(request),
+        runtime._effective_backend(request),
     )
     if key not in runtime.cache._entries:
         store = _WORKER_STORES.get(handle.fingerprint)
@@ -512,6 +518,7 @@ class ParallelExecutor:
                     seed=request.seed,
                     tile_width=request.tile_width,
                     ssf_threshold=request.ssf_threshold,
+                    backend=plan.provenance.get("backend"),
                     dense=dense,
                     operand=operand,
                     dense_operand=dense_operand,
@@ -709,6 +716,7 @@ class ParallelExecutor:
                         self.runtime.config,
                         FULL_CAPABILITIES,
                         self.runtime._effective_threshold(request),
+                        self.runtime._effective_backend(request),
                     )
                 )
         if traced:

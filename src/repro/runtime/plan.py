@@ -47,12 +47,20 @@ class SpmmRequest:
     tile_width: int = 64
     #: None → use the planner's threshold
     ssf_threshold: float | None = None
+    #: compute backend name ("numpy"/"scipy"/"numba"/"auto");
+    #: None → use the planner's backend.  Numerics are bit-identical
+    #: across backends, so this never enters request fingerprints.
+    backend: str | None = None
 
     def __post_init__(self):
         if self.dense is None and self.k is None:
             raise ConfigError("SpmmRequest needs either dense or k")
         if self.tile_width <= 0:
             raise ConfigError("tile_width must be positive")
+        if self.backend is not None:
+            from ..kernels.backends import resolve_backend
+
+            resolve_backend(self.backend)  # fail fast on unknown/unavailable
 
     @property
     def dense_cols(self) -> int:

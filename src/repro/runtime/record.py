@@ -133,10 +133,23 @@ class RunRecord:
     def digest(self) -> str:
         """SHA-256 of the canonical JSON — the record's identity.
 
-        ``extras["trace_summary"]`` (wall-clock telemetry, see
-        :mod:`repro.telemetry`) is excluded: the same run traced and
-        untraced has the same identity.
+        Two exclusions keep identity tied to *what ran*, not *how*:
+
+        * ``extras["trace_summary"]`` (wall-clock telemetry, see
+          :mod:`repro.telemetry`) — the same run traced and untraced has
+          the same identity;
+        * ``plan.provenance["backend"]`` — backends are bit-identical by
+          contract (every counter and the output hash already agree), so
+          the same request computed by numpy, scipy, or numba digests the
+          same.  The plan dict is copied before stripping: ``to_dict``
+          shares ``self.plan`` with the record.
         """
         d = self.to_dict()
         d["extras"].pop("trace_summary", None)
+        plan = dict(d["plan"])
+        if "backend" in plan.get("provenance", {}):
+            plan["provenance"] = {
+                k: v for k, v in plan["provenance"].items() if k != "backend"
+            }
+        d["plan"] = plan
         return hashlib.sha256(canonical_json(d).encode()).hexdigest()

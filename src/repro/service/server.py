@@ -104,6 +104,20 @@ LADDER: tuple = (
 assert len(LADDER) == N_RUNGS
 
 
+def rung_backend(backend: str, rung: int) -> str:
+    """The compute backend a request runs with at degradation rung ``rung``.
+
+    Rung 0 keeps the service's configured backend.  Demoted rungs (the
+    deadline-pressure path) also demote ``numba`` to ``numpy``: a JIT
+    backend can stall a cold worker for hundreds of milliseconds of
+    compilation — exactly the latency a demoted request cannot afford —
+    while outputs are bit-identical either way (``docs/BACKENDS.md``).
+    """
+    if rung > 0 and backend == "numba":
+        return "numpy"
+    return backend
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Everything one :class:`SpmmService` instance is configured by."""
@@ -115,6 +129,10 @@ class ServiceConfig:
     workers: int = 2
     gpu: str = "gv100"
     ssf_threshold: float | None = None
+    #: compute backend for kernel arithmetic (``repro.kernels.backends``
+    #: name or "auto"); None → registry default.  Demoted rungs swap
+    #: numba for numpy — see :func:`rung_backend`.
+    backend: str | None = None
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     #: worker supervision knobs; ``max_pending`` is overridden to the
     #: worker count so the backlog stays in the service's lanes
@@ -161,11 +179,16 @@ class SpmmService:
     """
 
     def __init__(self, config: ServiceConfig):
+        from ..kernels.backends import resolve_backend_name
+
         self.config = config
         self.gpu_config = get_config(config.gpu)
         self.ssf_threshold = Planner(
             self.gpu_config, config.ssf_threshold
         ).ssf_threshold
+        #: resolved once at startup: an explicitly requested backend that
+        #: is not installed fails here, before the socket ever opens
+        self.backend = resolve_backend_name(config.backend)
         self.state = ServiceState(config.state_dir)
         self.metrics = MetricsRegistry()
         self.admission = AdmissionController(
@@ -339,6 +362,7 @@ class SpmmService:
                 continue
             lane = intent["lane"] if intent["lane"] in LANES else "batch"
             rung = min(max(int(intent["rung"]), 0), N_RUNGS - 1)
+            request.backend = rung_backend(self.backend, rung)
             with self._lock:
                 index = self._next_index
                 self._next_index += 1
@@ -392,6 +416,7 @@ class SpmmService:
             runtime = SpmmRuntime(
                 self.gpu_config,
                 ssf_threshold=self.config.ssf_threshold,
+                backend=self.backend,
                 cache=self.cache.view(tenant),
             )
             self._runtimes[tenant] = runtime
@@ -465,6 +490,7 @@ class SpmmService:
             seed=pend.request.seed,
             tile_width=pend.request.tile_width,
             ssf_threshold=pend.request.ssf_threshold,
+            backend=plan.provenance.get("backend"),
             dense=None,
             capabilities=caps.to_dict() if caps is not None else None,
             operand=operand,
@@ -703,6 +729,13 @@ class SpmmService:
         rung = self.admission.choose_rung(req.deadline_s, backlog=backlog)
         if rung > 0:
             self.metrics.counter("service.demoted").inc()
+        # Deadline pressure also demotes the compute backend (numba →
+        # numpy); outputs are bit-identical, so the journal fingerprint
+        # (which never hashes the backend) is unaffected.
+        request.backend = rung_backend(self.backend, rung)
+        if request.backend != self.backend:
+            self.metrics.counter("backend.fallback").inc()
+            self.metrics.counter(f"backend.fallback.{self.backend}").inc()
         fingerprint = service_fingerprint(base_fp, rung)
         record = self._completed.get(fingerprint)
         if record is not None:

@@ -7,6 +7,7 @@ import pytest
 
 from repro import bench
 from repro.cli import main
+from repro.errors import ConfigError
 
 
 @pytest.fixture(scope="module")
@@ -39,8 +40,22 @@ class TestPayloadSchema:
         assert json.loads(text) == json.loads(text)  # round-trips
 
     def test_unknown_benchmark_rejected(self):
-        with pytest.raises(ValueError, match="unknown benchmarks"):
+        with pytest.raises(ConfigError, match="no benchmark matches"):
             bench.run_benchmarks(quick=True, include=["no.such"])
+
+    def test_unmatched_glob_rejected(self):
+        with pytest.raises(ConfigError, match="no benchmark matches"):
+            bench.run_benchmarks(quick=True, include=["nope.*"])
+
+    def test_glob_selects_family_and_calibration(self):
+        names = bench.select_benchmarks(["kernels.*"])
+        assert bench.CALIBRATION in names
+        assert "kernels.csr_spmm" in names
+        assert "kernels.online_spmm" in names
+        assert all(
+            n == bench.CALIBRATION or n.startswith("kernels.")
+            for n in names
+        )
 
 
 class TestAcceptanceGate:
@@ -83,6 +98,27 @@ class TestCompare:
         del current["benchmarks"]["batch.parallel"]
         _, regressed = bench.compare_payloads(current, quick_payload)
         assert regressed == ["batch.parallel"]
+
+    def test_partial_payload_skips_missing(self, quick_payload):
+        """A filtered (--only) run never flags what it didn't execute."""
+        current = json.loads(bench.payload_json(quick_payload))
+        del current["benchmarks"]["batch.parallel"]
+        current["partial"] = True
+        lines, regressed = bench.compare_payloads(current, quick_payload)
+        assert regressed == []
+        assert any("partial run; skipped" in line for line in lines)
+
+    def test_backend_mismatch_skips_comparison(self, quick_payload):
+        """Different meta.backend → apples-to-oranges → skipped, not
+        regressed (backends are compared against same-backend baselines)."""
+        current = json.loads(bench.payload_json(quick_payload))
+        entry = current["benchmarks"]["kernels.csr_spmm"]
+        entry["meta"]["backend"] = "numpy"
+        entry["ops_per_s"] = 1e-9
+        lines, regressed = bench.compare_payloads(current, quick_payload)
+        assert "kernels.csr_spmm" not in regressed
+        assert any("skipped" in line and "kernels.csr_spmm" in line
+                   for line in lines)
 
     def test_schema_mismatch_skips_comparison(self, quick_payload):
         stale = json.loads(bench.payload_json(quick_payload))
