@@ -404,6 +404,67 @@ def bench_store_warmstart(quick: bool) -> dict:
         shutil.rmtree(root, ignore_errors=True)
 
 
+def bench_service_coalescing(quick: bool) -> dict:
+    """Request coalescing: fused wide-k window vs per-request dispatch.
+
+    The serving-layer realization of the paper's amortization argument: a
+    16-request same-matrix workload (4 distinct dense operands x 4
+    repeats — the dedup path is part of the win) executed through the
+    worker path once per request vs once as a single fused window.
+    ``ops_per_s`` reports coalesced request throughput;
+    ``meta.speedup_vs_uncoalesced`` carries the acceptance ratio (>= 2x
+    on this workload).
+    """
+    from .gpu import get_config
+    from .matrices import GENERATORS
+    from .runtime import FusedPlanHandle, SpmmRequest, SpmmRuntime
+    from .runtime.fusion import execute_fused_handle
+    from .runtime.parallel import PlanHandle, execute_handle
+    from .runtime.cache import matrix_fingerprint
+
+    n = 512 if quick else 1024
+    k = _dense_k(quick)
+    m = GENERATORS["uniform"](n, n, 0.1, seed=17)
+    config = get_config("gv100")
+    runtime = SpmmRuntime(config)
+    requests = [SpmmRequest(m, k=k, seed=s % 4) for s in range(16)]
+    fingerprint = matrix_fingerprint(m)
+    handles = []
+    for i, r in enumerate(requests):
+        plan, _, _ = runtime.plan(r)
+        handles.append(PlanHandle(
+            index=i, plan=plan.to_dict(), matrix=m,
+            fingerprint=fingerprint, k=r.k, seed=r.seed,
+            tile_width=r.tile_width, ssf_threshold=r.ssf_threshold,
+            backend=plan.provenance.get("backend"),
+        ))
+    fused = FusedPlanHandle(index=len(requests), handles=tuple(handles))
+    ctx = (config, False)
+    # warm the worker-local memos so both phases time steady state
+    execute_handle(ctx, handles[0])
+
+    def uncoalesced():
+        for handle in handles:
+            execute_handle(ctx, handle)
+
+    def coalesced():
+        execute_fused_handle(ctx, fused)
+
+    reps = 2 if quick else 3
+    wall_solo = _best_wall_s(uncoalesced, reps)
+    wall = _best_wall_s(coalesced, reps)
+    meta_payload = execute_fused_handle(ctx, fused)["meta"]
+    return _result(
+        wall, reps, len(requests), "requests",
+        n=n, k=k,
+        fused_k=meta_payload["fused_k"],
+        dedup_hits=meta_payload["dedup_hits"],
+        passes_saved=meta_payload["passes_saved"],
+        uncoalesced_wall_s=wall_solo,
+        speedup_vs_uncoalesced=wall_solo / wall if wall > 0 else 0.0,
+    )
+
+
 #: name → callable(quick) — ordered as reported.
 BENCHMARKS = {
     "calibration.matmul": bench_calibration,
@@ -418,6 +479,7 @@ BENCHMARKS = {
     "batch.parallel": bench_batch_parallel,
     "store.operand_shipping": bench_store_shipping,
     "store.warm_start": bench_store_warmstart,
+    "service.coalescing": bench_service_coalescing,
 }
 
 #: The benchmark every other one is normalized by during comparisons.

@@ -353,7 +353,14 @@ def cmd_run(args) -> int:
             for _ in range(args.repeat)
         ]
         results = executor.run_batch(
-            batch, policy=policy, journal=journal_path, resume=resume
+            batch, policy=policy, journal=journal_path, resume=resume,
+            coalesce=(
+                args.coalesce
+                and args.coalesce_window_ms > 0
+                and args.workers > 1
+                and not args.threads
+            ),
+            coalesce_max_k=args.coalesce_max_k,
         )
         index = 0
         for label, _ in labeled_requests:
@@ -432,6 +439,9 @@ def cmd_serve(args) -> int:
         cache_entries=args.cache_entries,
         tenant_cache_entries=args.tenant_cache_entries,
         store_dir=args.store_dir,
+        coalesce=args.coalesce,
+        coalesce_window_ms=args.coalesce_window_ms,
+        coalesce_max_k=args.coalesce_max_k,
     )
     service = SpmmService(config)
     print(f"serving on {args.socket} "
@@ -733,6 +743,22 @@ def build_parser() -> argparse.ArgumentParser:
         "pool (no pickling; records stay digest-identical)",
     )
     p.add_argument(
+        "--no-coalesce", dest="coalesce", action="store_false",
+        help="with --batch and process workers: dispatch every item "
+        "unfused instead of grouping plan-compatible same-matrix items "
+        "into wide-k fused windows (docs/SERVICE.md)",
+    )
+    p.add_argument(
+        "--coalesce-window-ms", type=float, default=5.0, metavar="MS",
+        help="coalescing gate for batch fusion: 0 disables it (a static "
+        "batch has no arrival window — the flag mirrors serve's)",
+    )
+    p.add_argument(
+        "--coalesce-max-k", type=int, default=1024, metavar="K",
+        help="size bound for one fused window: summed dense columns "
+        "(default 1024)",
+    )
+    p.add_argument(
         "--store-dir", metavar="DIR",
         help="persistent format/plan store directory; runs warm-start "
         "from prior conversions and spill new ones for the next process "
@@ -853,6 +879,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent format/plan store; a restart against the same "
         "directory warm-starts planning and pre-attaches hot operands "
         "before the socket opens (docs/STORAGE.md)",
+    )
+    p.add_argument(
+        "--no-coalesce", dest="coalesce", action="store_false",
+        help="dispatch every request unfused instead of coalescing "
+        "concurrent same-matrix rung-0 requests into wide-k fused "
+        "windows (docs/SERVICE.md)",
+    )
+    p.add_argument(
+        "--coalesce-window-ms", type=float, default=5.0, metavar="MS",
+        help="how long the first member of a window waits for company "
+        "— the worst-case latency coalescing can add (0 disables; "
+        "default 5)",
+    )
+    p.add_argument(
+        "--coalesce-max-k", type=int, default=1024, metavar="K",
+        help="size bound for one fused window: summed dense columns "
+        "(default 1024)",
     )
     p.set_defaults(func=cmd_serve)
 

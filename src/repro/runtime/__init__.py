@@ -43,6 +43,13 @@ from .journal import (
     RunJournal,
     request_fingerprint,
 )
+from .fusion import (
+    FUSED_PAYLOAD_VERSION,
+    FusedPlanHandle,
+    execute_fused_handle,
+    is_fused_payload,
+    plan_fusion_groups,
+)
 from .parallel import (
     BatchItemResult,
     BatchResult,
@@ -67,7 +74,9 @@ __all__ = [
     "ExecutionResult",
     "Executor",
     "FULL_CAPABILITIES",
+    "FUSED_PAYLOAD_VERSION",
     "FailedItem",
+    "FusedPlanHandle",
     "JOURNAL_VERSION",
     "JournalReplay",
     "PLANNER_VERSION",
@@ -85,8 +94,11 @@ __all__ = [
     "SpmmRuntime",
     "SupervisionPolicy",
     "WorkerSupervisor",
+    "execute_fused_handle",
     "invalidate_fingerprint",
+    "is_fused_payload",
     "matrix_fingerprint",
+    "plan_fusion_groups",
     "request_fingerprint",
     "seed_fingerprint",
 ]

@@ -1,0 +1,349 @@
+"""Request coalescing: fuse same-matrix requests into one wide-k SpMM.
+
+The paper's central economics are that the sparse-matrix stream is paid
+once per *dense operand*, not once per vector — wider k amortizes the
+expensive CSR/DCSR traffic (Table 1, Fig. 16).  This module realizes
+that amortization across *requests*: a window of admitted requests that
+share a matrix fingerprint (and format config, backend, and degradation
+rung) is executed as ONE wide-k product whose columns are the members'
+dense operands concatenated side by side, then split back into
+per-request results.
+
+The contract that makes this safe is **column independence**: every
+registered backend computes each output column from its own B column by
+the same sequential stored-order accumulation, and every container
+canonicalizes to the same CSR arrays, so ``C_fused[:, lo:hi]`` is
+*bit-identical* to the standalone product (property-tested per backend
+in ``tests/runtime/test_fusion.py``).  Float32 operands convert to
+float64 exactly, so concatenate-then-convert equals convert-then-
+concatenate bitwise.  Identical dense operands (same content hash — the
+operand plane's PR 7 fingerprint path) are deduplicated into a single
+column range of the wide operand.
+
+Execution happens worker-side (:func:`execute_fused_handle`): each
+member request is rebuilt exactly as its solo run would be, the wide
+product is computed once, and every member (plus one fused accounting
+run) replays through the normal runtime under a
+:class:`~repro.kernels.common.fused_results` context — validation,
+accounting, timing, and record assembly all run per request, only the
+arithmetic is shared.  Member records therefore keep their **unfused
+digests** (``extras["coalesce"]``, the pro-rata attribution of the fused
+plan's traffic/stall/activity counters, is excluded from
+:meth:`~repro.runtime.record.RunRecord.digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .cache import CacheEntry, PlanCache
+from .plan import SpmmRequest
+from .record import RunRecord
+
+#: Version tag of the fused completion payload (see :func:`is_fused_payload`).
+FUSED_PAYLOAD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FusedPlanHandle:
+    """One coalesced window: a picklable bundle of member plan handles.
+
+    ``index`` is the synthetic dispatch index the supervisor tracks the
+    window under (retry/quarantine applies to the window as a unit —
+    exactly one worker ever holds it); each member
+    :class:`~repro.runtime.parallel.PlanHandle` keeps its own original
+    index for fan-out on completion.  Members must share a matrix
+    fingerprint; everything else (k, seed, explicit dense) may differ.
+    """
+
+    index: int
+    handles: tuple
+
+    def __post_init__(self):
+        if len(self.handles) < 2:
+            raise ConfigError("a fused handle needs at least 2 members")
+        fps = {h.fingerprint for h in self.handles}
+        if len(fps) != 1:
+            raise ConfigError(
+                f"fused members must share one matrix fingerprint, got {fps}"
+            )
+
+
+def is_fused_payload(payload) -> bool:
+    """Whether a supervisor completion payload is a fused window result."""
+    return (
+        isinstance(payload, dict)
+        and payload.get("fused") == FUSED_PAYLOAD_VERSION
+    )
+
+
+def dense_token(dense) -> str:
+    """Content hash of a dense operand (dtype x shape x bytes).
+
+    The same addressing scheme the operand plane's ``publish_dense``
+    uses, so two requests whose B operands are byte-identical — whether
+    or not they are the same object — share one column range of the
+    fused operand.
+    """
+    a = np.ascontiguousarray(np.asarray(dense))
+    h = hashlib.sha256()
+    h.update(f"dense:{a.dtype.str}:{a.shape}".encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _pro_rata(d: dict, share: float) -> dict:
+    """Numeric fields of ``d`` scaled by ``share`` (non-numerics dropped)."""
+    return {
+        k: float(v) * share
+        for k, v in d.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def execute_fused_handle(ctx, fused: FusedPlanHandle) -> dict:
+    """Execute one coalesced window in a worker process.
+
+    Returns the fused payload dict::
+
+        {"fused": 1,
+         "members": [[index, record_json, metrics, spans], ...],
+         "meta": {...window/fused-plan facts...}}
+
+    Steps: (1) rebuild every member request and seed the worker caches
+    exactly as :func:`~repro.runtime.parallel.execute_handle` would;
+    (2) resolve each member's dense operand through the same memoized
+    path its solo run uses, so the fused-result table keys on the exact
+    objects the kernels will receive; (3) dedupe identical operands by
+    content hash and column-concatenate the remainder into the wide
+    operand; (4) compute the wide product ONCE; (5) under a
+    :class:`~repro.kernels.common.fused_results` context, run one fused
+    accounting pass (honest traffic/stall/activity counters for the wide
+    plan) and then every member request (bit-identical unfused records,
+    zero extra arithmetic), attributing the fused counters pro-rata in
+    each member's ``extras["coalesce"]``.
+    """
+    from ..kernels.common import compute_spmm, fused_results
+    from ..kernels.reference import check_operands
+    from ..telemetry import Tracer
+    from .parallel import _prepare_worker_item
+
+    config, traced = ctx
+    members = [
+        (handle,) + _prepare_worker_item(config, handle)
+        for handle in fused.handles
+    ]
+
+    # Resolve each member's dense operand via the plan-cache store memo —
+    # the same object runtime.run() will hand the kernels, which is what
+    # makes identity-keyed result injection sound.
+    denses = []
+    for handle, runtime, request, capabilities, _ in members:
+        _, store, _ = runtime.plan(request, capabilities)
+        denses.append(runtime._resolve_dense(request, store))
+
+    base_matrix = members[0][2].matrix
+    backend = members[0][1]._effective_backend(members[0][2])
+
+    # Content-addressed dedup: identical B shares one column range.
+    spans_for: list[tuple] = []
+    blocks: list[np.ndarray] = []
+    by_content: dict[str, tuple] = {}
+    cursor = 0
+    for dense in denses:
+        token = dense_token(dense)
+        held = by_content.get(token)
+        if held is None:
+            block = check_operands(base_matrix, dense)
+            held = (cursor, cursor + block.shape[1])
+            by_content[token] = held
+            blocks.append(block)
+            cursor += block.shape[1]
+        spans_for.append(held)
+    dedup_hits = len(denses) - len(blocks)
+    fused_k = cursor
+    total_k = sum(int(d.shape[1]) for d in denses)
+
+    wide = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=1)
+    # THE single matrix-stream pass for the whole window.
+    c_wide = compute_spmm(base_matrix, wide, backend=backend)
+
+    # Identity-keyed result table: the wide operand (for the fused
+    # accounting run) plus each member's operand mapped to its column
+    # slice.  Slices are materialized once per unique span.
+    slice_for = {
+        span: np.ascontiguousarray(c_wide[:, span[0]:span[1]])
+        for span in set(spans_for)
+    }
+    pairs = [(wide, c_wide)]
+    pairs += [
+        (dense, slice_for[span]) for dense, span in zip(denses, spans_for)
+    ]
+
+    lead_handle, lead_runtime, lead_request, lead_caps, _ = members[0]
+    fused_request = SpmmRequest(
+        base_matrix,
+        dense=wide,
+        tile_width=lead_request.tile_width,
+        ssf_threshold=lead_request.ssf_threshold,
+        backend=backend,
+    )
+    fused_key = PlanCache.key_for(
+        fused_request, lead_runtime.config, lead_caps,
+        lead_runtime._effective_threshold(fused_request), backend,
+    )
+    with fused_results(pairs):
+        if fused_key not in lead_runtime.cache._entries:
+            # Plan the wide request against the shared per-fingerprint
+            # store so its kernels reuse the conversions the members
+            # already materialized.
+            fused_plan = lead_runtime.planner.plan(fused_request, lead_caps)
+            _, member_store, _ = lead_runtime.plan(lead_request, lead_caps)
+            lead_runtime.cache.insert(
+                fused_key, CacheEntry(plan=fused_plan, store=member_store)
+            )
+        fused_outcome = lead_runtime.run(
+            fused_request, capabilities=lead_caps,
+            enforce_ladder=lead_handle.capabilities is not None,
+        )
+        fused_record = fused_outcome.record
+        fused_traffic = fused_record.traffic.to_dict()
+        fused_stall = fused_record.stall.to_dict()
+        fused_mix = fused_record.mix.to_dict()
+        fused_facts = {
+            "algorithm": fused_record.algorithm,
+            "variant": fused_record.variant,
+            "traffic_bytes": float(fused_record.traffic.total_bytes),
+            "flops": float(fused_record.flops),
+            "time_s": float(fused_record.time_s),
+        }
+
+        member_payloads = []
+        for handle, runtime, request, capabilities, attach_events in members:
+            tracer = Tracer() if traced else None
+            if traced:
+                for fresh, nbytes in attach_events:
+                    tracer.metrics.counter(
+                        "store.attaches" if fresh else "store.attach_hits"
+                    ).inc()
+                    if fresh:
+                        tracer.metrics.counter(
+                            "store.attached_bytes"
+                        ).inc(nbytes)
+                tracer.metrics.counter("coalesce.member_runs").inc()
+            outcome = runtime.run(
+                request, capabilities=capabilities,
+                enforce_ladder=handle.capabilities is not None,
+                tracer=tracer,
+            )
+            record = outcome.record
+            share = request.dense_cols / total_k if total_k else 0.0
+            record.extras["coalesce"] = {
+                "window": len(members),
+                "fused_k": int(fused_k),
+                "total_k": int(total_k),
+                "k": int(request.dense_cols),
+                "share": float(share),
+                "passes_saved": len(members) - 1,
+                "dedup_hits": int(dedup_hits),
+                "fused": dict(fused_facts),
+                "pro_rata_traffic": _pro_rata(fused_traffic, share),
+                "pro_rata_stall": _pro_rata(fused_stall, share),
+                "pro_rata_mix": _pro_rata(fused_mix, share),
+            }
+            if traced:
+                snapshot = tracer.metrics.snapshot()
+                spans = [root.to_dict() for root in tracer.roots]
+            else:
+                snapshot, spans = None, None
+            member_payloads.append(
+                [handle.index, record.to_json(), snapshot, spans]
+            )
+
+    return {
+        "fused": FUSED_PAYLOAD_VERSION,
+        "members": member_payloads,
+        "meta": {
+            "members": len(members),
+            "fused_k": int(fused_k),
+            "total_k": int(total_k),
+            "dedup_hits": int(dedup_hits),
+            "dedup_k_saved": int(total_k - fused_k),
+            "passes_saved": len(members) - 1,
+            "backend": backend,
+            "fused_digest": fused_record.digest(),
+            **{f"fused_{k}": v for k, v in fused_facts.items()},
+        },
+    }
+
+
+def fusion_group_key(runtime, request) -> tuple:
+    """The batch-side grouping key: requests fusable into one window.
+
+    Mirrors the service's window key — matrix fingerprint, format config
+    (tile width, effective SSF threshold), and concrete backend — so a
+    group shares one plan-compatible wide pass.
+    """
+    from .cache import matrix_fingerprint
+
+    return (
+        matrix_fingerprint(request.matrix),
+        request.tile_width,
+        runtime._effective_threshold(request),
+        runtime._effective_backend(request),
+    )
+
+
+def plan_fusion_groups(
+    runtime, requests, indices, *, max_k: int
+) -> tuple[list, list]:
+    """Partition batch item indices into fusion groups and singles.
+
+    Returns ``(groups, singles)`` where each group is a list of at least
+    two indices sharing a :func:`fusion_group_key`, greedily chunked so
+    a group's summed dense width stays within ``max_k``; everything else
+    (unique keys, overflow remainders of size one) lands in ``singles``.
+    Order within groups and singles follows submission order.
+    """
+    if max_k < 1:
+        raise ConfigError(f"max_k must be >= 1, got {max_k}")
+    buckets: dict[tuple, list] = {}
+    for i in indices:
+        buckets.setdefault(fusion_group_key(runtime, requests[i]), []).append(i)
+    groups: list[list] = []
+    singles: list = []
+
+    def flush(chunk):
+        if len(chunk) > 1:
+            groups.append(chunk)
+        else:
+            singles.extend(chunk)
+
+    for _, bucket in sorted(buckets.items(), key=lambda kv: kv[1][0]):
+        chunk: list = []
+        chunk_k = 0
+        for i in bucket:
+            k = requests[i].dense_cols
+            if chunk and chunk_k + k > max_k:
+                flush(chunk)
+                chunk, chunk_k = [], 0
+            chunk.append(i)
+            chunk_k += k
+        flush(chunk)
+    singles.sort()
+    return groups, singles
+
+
+__all__ = [
+    "FUSED_PAYLOAD_VERSION",
+    "FusedPlanHandle",
+    "dense_token",
+    "execute_fused_handle",
+    "fusion_group_key",
+    "is_fused_payload",
+    "plan_fusion_groups",
+]

@@ -205,22 +205,17 @@ def _worker_runtime(config, ssf_threshold):
     return runtime
 
 
-def execute_handle(ctx, handle: PlanHandle):
-    """Execute one pre-planned item in a worker process.
+def _prepare_worker_item(config, handle: PlanHandle):
+    """Rebuild one handle's request in this worker and seed its caches.
 
-    The supervisor's task function (module-level so ``spawn`` can pickle
-    it by reference).  ``ctx`` is ``(config, traced)``; returns
-    ``(record_json, metrics_snapshot, span_dicts)`` — all plain picklable
-    data, with the tracer payloads ``None`` when the parent is not
-    tracing.  The format store is rebuilt from the handle's matrix on
-    first use and memoized per fingerprint, so the worker path is correct
-    under every start method.
+    Shared by the plain per-item path and the fused (coalesced) path:
+    attaches operands, memoizes the per-fingerprint format store, and
+    installs the parent's plan under the exact cache key the run will
+    look up.  Returns ``(runtime, request, capabilities, attach_events)``.
     """
     from ..formats.convert import FormatStore
-    from ..telemetry import Tracer
     from .plan import Capabilities
 
-    config, traced = ctx
     request, attach_events = _handle_to_request(handle)
     runtime = _worker_runtime(config, handle.ssf_threshold)
     capabilities = (
@@ -241,6 +236,34 @@ def execute_handle(ctx, handle: PlanHandle):
         runtime.cache.insert(
             key, CacheEntry(plan=SpmmPlan.from_dict(handle.plan), store=store)
         )
+    return runtime, request, capabilities, attach_events
+
+
+def execute_handle(ctx, handle):
+    """Execute one pre-planned item in a worker process.
+
+    The supervisor's task function (module-level so ``spawn`` can pickle
+    it by reference).  ``ctx`` is ``(config, traced)``; returns
+    ``(record_json, metrics_snapshot, span_dicts)`` — all plain picklable
+    data, with the tracer payloads ``None`` when the parent is not
+    tracing.  The format store is rebuilt from the handle's matrix on
+    first use and memoized per fingerprint, so the worker path is correct
+    under every start method.
+
+    A :class:`~repro.runtime.fusion.FusedPlanHandle` (a coalesced window
+    of same-matrix requests) dispatches to
+    :func:`~repro.runtime.fusion.execute_fused_handle` and returns its
+    fused payload dict instead of the plain tuple.
+    """
+    from ..telemetry import Tracer
+    from .fusion import FusedPlanHandle, execute_fused_handle
+
+    if isinstance(handle, FusedPlanHandle):
+        return execute_fused_handle(ctx, handle)
+    config, traced = ctx
+    runtime, request, capabilities, attach_events = _prepare_worker_item(
+        config, handle
+    )
     tracer = Tracer() if traced else None
     if traced:
         for fresh, nbytes in attach_events:
@@ -292,6 +315,8 @@ class ParallelExecutor:
         journal=None,
         resume: bool = False,
         chaos: dict | None = None,
+        coalesce: bool = False,
+        coalesce_max_k: int = 1024,
     ) -> BatchResult:
         """Execute every request, returning results in request order.
 
@@ -305,6 +330,14 @@ class ParallelExecutor:
         tests.  Quarantined items surface on ``result.failures``; only a
         ``fail_fast`` policy makes this method raise for a worker-side
         failure.
+
+        ``coalesce=True`` groups plan-compatible same-matrix items into
+        fused wide-k windows (``coalesce_max_k`` bounds a window's summed
+        dense width) before dispatch — one sparse-stream pass per window,
+        per-item records digest-identical either way (see
+        :mod:`repro.runtime.fusion`).  Only the process-pool path fuses:
+        serial mode is the unfused reference, and threaded mode already
+        shares operand buffers in-process.
         """
         tracer = self.runtime.tracer if tracer is None else tracer
         policy = policy if policy is not None else SupervisionPolicy()
@@ -333,7 +366,7 @@ class ParallelExecutor:
             else:
                 result = self._run_parallel(
                     requests, tracer, policy, journal, replay, fingerprints,
-                    chaos,
+                    chaos, coalesce, coalesce_max_k,
                 )
         if journal is not None:
             # Always report the journal — a fresh run reports its appends,
@@ -459,9 +492,16 @@ class ParallelExecutor:
 
     # ----------------------------------------------------------- parallel
     def _run_parallel(
-        self, requests, tracer, policy, journal, replay, fingerprints, chaos
+        self, requests, tracer, policy, journal, replay, fingerprints, chaos,
+        coalesce=False, coalesce_max_k=1024,
     ) -> BatchResult:
         """Supervised process-pool execution (see the module docstring)."""
+        from .fusion import (
+            FusedPlanHandle,
+            is_fused_payload,
+            plan_fusion_groups,
+        )
+
         n = len(requests)
         results: list = [None] * n
         hits: dict[int, bool] = {}
@@ -478,55 +518,85 @@ class ParallelExecutor:
             else:
                 to_run.append(i)
 
+        # Fusion groups: plan-compatible same-matrix items share one
+        # sparse-stream pass.  Synthetic dispatch indexes for fused
+        # windows start past the real request range.
+        if coalesce:
+            groups, singles = plan_fusion_groups(
+                self.runtime, requests, to_run, max_k=coalesce_max_k
+            )
+        else:
+            groups, singles = [], list(to_run)
+        group_members: dict[int, list] = {
+            n + g: members for g, members in enumerate(groups)
+        }
+        if groups and traced:
+            tracer.metrics.counter("coalesce.fused_windows").inc(len(groups))
+            tracer.metrics.counter("coalesce.fused_requests").inc(
+                sum(len(m) for m in groups)
+            )
+            tracer.metrics.counter("coalesce.passes_saved").inc(
+                sum(len(m) - 1 for m in groups)
+            )
+
         from ..store.registry import SharedOperandRegistry, pickled_nbytes
 
         registry = SharedOperandRegistry()
 
-        def handles():
-            """Lazily plan items as the admission window admits them.
+        def make_handle(i) -> PlanHandle:
+            """Plan item ``i`` and package it for the workers.
 
-            Each item's matrix (and any explicit dense operand) is
+            The item's matrix (and any explicit dense operand) is
             published to shared memory once per fingerprint — repeat
             requests over the same matrix ship only a descriptor.
             Containers without an array adapter fall back to pickling,
-            counted as ``store.bytes_pickled`` so the fallback is visible.
+            counted as ``store.bytes_pickled`` so the fallback is
+            visible.
             """
-            for i in to_run:
-                request = requests[i]
-                plan, _, cache_hit = self.runtime.plan(request, tracer=tracer)
-                hits[i] = cache_hit
-                plans[i] = plan
-                fingerprint = matrix_fingerprint(request.matrix)
-                operand = registry.publish_matrix(
-                    request.matrix, fingerprint=fingerprint
+            request = requests[i]
+            plan, _, cache_hit = self.runtime.plan(request, tracer=tracer)
+            hits[i] = cache_hit
+            plans[i] = plan
+            fingerprint = matrix_fingerprint(request.matrix)
+            operand = registry.publish_matrix(
+                request.matrix, fingerprint=fingerprint
+            )
+            if operand is None and traced:
+                tracer.metrics.counter("store.bytes_pickled").inc(
+                    pickled_nbytes(request.matrix)
                 )
-                if operand is None and traced:
-                    tracer.metrics.counter("store.bytes_pickled").inc(
-                        pickled_nbytes(request.matrix)
-                    )
-                dense_operand = None
-                dense = request.dense
-                if dense is not None:
-                    dense_operand = registry.publish_dense(dense)
-                    dense = None
-                yield i, PlanHandle(
-                    index=i,
-                    plan=plan.to_dict(),
-                    matrix=None if operand is not None else request.matrix,
-                    fingerprint=fingerprint,
-                    k=request.k,
-                    seed=request.seed,
-                    tile_width=request.tile_width,
-                    ssf_threshold=request.ssf_threshold,
-                    backend=plan.provenance.get("backend"),
-                    dense=dense,
-                    operand=operand,
-                    dense_operand=dense_operand,
+            dense_operand = None
+            dense = request.dense
+            if dense is not None:
+                dense_operand = registry.publish_dense(dense)
+                dense = None
+            return PlanHandle(
+                index=i,
+                plan=plan.to_dict(),
+                matrix=None if operand is not None else request.matrix,
+                fingerprint=fingerprint,
+                k=request.k,
+                seed=request.seed,
+                tile_width=request.tile_width,
+                ssf_threshold=request.ssf_threshold,
+                backend=plan.provenance.get("backend"),
+                dense=dense,
+                operand=operand,
+                dense_operand=dense_operand,
+            )
+
+        def handles():
+            """Lazily plan items as the admission window admits them."""
+            for i in singles:
+                yield i, make_handle(i)
+            for fused_index, members in group_members.items():
+                yield fused_index, FusedPlanHandle(
+                    index=fused_index,
+                    handles=tuple(make_handle(i) for i in members),
                 )
 
-        def on_payload(index, payload):
-            """Completion checkpoint: assemble the result, journal it."""
-            record_json, snapshot, spans = payload
+        def complete(index, record_json, snapshot, spans):
+            """Assemble one item's result and journal it."""
             record = RunRecord.from_json(record_json)
             results[index] = BatchItemResult(
                 index=index,
@@ -539,6 +609,20 @@ class ParallelExecutor:
             if journal is not None:
                 if journal.append(fingerprints[index], record):
                     tracer.metrics.counter("journal.appends").inc()
+
+        def on_payload(index, payload):
+            """Completion checkpoint: plain item or fused fan-out."""
+            if is_fused_payload(payload):
+                if traced:
+                    tracer.metrics.counter("coalesce.dedup_hits").inc(
+                        int(payload["meta"].get("dedup_hits", 0))
+                    )
+                for member_index, record_json, snapshot, spans in (
+                    payload["members"]
+                ):
+                    complete(member_index, record_json, snapshot, spans)
+                return
+            complete(index, *payload)
 
         supervisor = WorkerSupervisor(
             execute_handle,
@@ -565,9 +649,34 @@ class ParallelExecutor:
                 tracer.metrics.counter("store.publish_hits").inc(
                     s["publish_hits"]
                 )
+                tracer.metrics.counter("store.dense_dedup_hits").inc(
+                    s["dense_dedup_hits"]
+                )
             # Workers have drained (or died) by now; the batch's segments
             # are unlinked here regardless of outcome.
             registry.close()
+        # A quarantined fused window fans out into per-member failures
+        # (the supervisor retried the window as a unit, so no member
+        # half-succeeded) before fingerprints are attached.
+        if group_members:
+            expanded: list[FailedItem] = []
+            for failed in failures:
+                members = group_members.get(failed.index)
+                if members is None:
+                    expanded.append(failed)
+                    continue
+                for i in members:
+                    expanded.append(
+                        FailedItem(
+                            index=i,
+                            error_type=failed.error_type,
+                            message=failed.message,
+                            attempts=failed.attempts,
+                            phase=failed.phase,
+                        )
+                    )
+            expanded.sort(key=lambda f: f.index)
+            failures = expanded
         if fingerprints is not None:
             for failed in failures:
                 failed.fingerprint = fingerprints[failed.index]

@@ -133,11 +133,15 @@ class RunRecord:
     def digest(self) -> str:
         """SHA-256 of the canonical JSON — the record's identity.
 
-        Two exclusions keep identity tied to *what ran*, not *how*:
+        Three exclusions keep identity tied to *what ran*, not *how*:
 
         * ``extras["trace_summary"]`` (wall-clock telemetry, see
           :mod:`repro.telemetry`) — the same run traced and untraced has
           the same identity;
+        * ``extras["coalesce"]`` (pro-rata accounting attributed by the
+          request-coalescing plane, see :mod:`repro.runtime.fusion`) — a
+          request served out of a fused wide-k window is bit-identical to
+          its unfused run by contract, so it must digest the same;
         * ``plan.provenance["backend"]`` — backends are bit-identical by
           contract (every counter and the output hash already agree), so
           the same request computed by numpy, scipy, or numba digests the
@@ -146,6 +150,7 @@ class RunRecord:
         """
         d = self.to_dict()
         d["extras"].pop("trace_summary", None)
+        d["extras"].pop("coalesce", None)
         plan = dict(d["plan"])
         if "backend" in plan.get("provenance", {}):
             plan["provenance"] = {

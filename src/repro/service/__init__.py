@@ -13,6 +13,8 @@ Module map:
 - :mod:`.protocol` — the NDJSON wire grammar and its validation;
 - :mod:`.admission` — utilization-derived windows, token-bucket quotas,
   deadline demotion (pure logic, no I/O);
+- :mod:`.coalesce` — the bounded time/size window that fuses concurrent
+  same-matrix requests into one wide-k SpMM (pure logic, no I/O);
 - :mod:`.tenancy` — the shared, size-budgeted multi-tenant plan cache;
 - :mod:`.state` — the durable accepted-intent log beside the run journal;
 - :mod:`.server` — the service itself (event loop + dispatcher thread);
@@ -30,6 +32,7 @@ from .admission import (
     TokenBucket,
 )
 from .client import ServiceClient, ServiceClientError
+from .coalesce import CoalescingScheduler
 from .protocol import (
     LANES,
     STATUS_BAD_REQUEST,
@@ -49,6 +52,7 @@ __all__ = [
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionDecision",
+    "CoalescingScheduler",
     "LADDER",
     "LANES",
     "MultiTenantPlanCache",

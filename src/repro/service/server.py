@@ -58,6 +58,7 @@ from ..runtime import (
     FULL_CAPABILITIES,
     Capabilities,
     FailedItem,
+    FusedPlanHandle,
     Planner,
     PlanHandle,
     RunRecord,
@@ -65,6 +66,7 @@ from ..runtime import (
     SpmmRuntime,
     SupervisionPolicy,
     WorkerSupervisor,
+    is_fused_payload,
     matrix_fingerprint,
     request_fingerprint,
 )
@@ -74,6 +76,7 @@ from ..runtime.supervisor import NO_ITEM
 from ..store import PersistentFormatStore, SharedOperandRegistry
 from ..telemetry import MetricsRegistry
 from .admission import AdmissionConfig, AdmissionController, N_RUNGS
+from .coalesce import CoalescingScheduler
 from .protocol import (
     LANES,
     STATUS_BAD_REQUEST,
@@ -150,6 +153,16 @@ class ServiceConfig:
     #: warm-starts planning and pre-attaches hot operands before the
     #: socket opens.
     store_dir: str | None = None
+    #: request coalescing (docs/SERVICE.md): fuse concurrent same-matrix
+    #: rung-0 requests into one wide-k SpMM.  ``coalesce=False`` (or a
+    #: non-positive window) dispatches every request solo.
+    coalesce: bool = True
+    #: how long the first member of a window waits for company, in
+    #: milliseconds — the worst-case latency coalescing can add
+    coalesce_window_ms: float = 5.0
+    #: size bound: a window closes once its summed dense width reaches
+    #: this many columns
+    coalesce_max_k: int = 1024
 
 
 @dataclass
@@ -220,6 +233,17 @@ class SpmmService:
         self._runtimes: dict[str, SpmmRuntime] = {}
         self._lanes: dict[str, deque] = {lane: deque() for lane in LANES}
         self._inflight: dict[int, _Pending] = {}
+        #: the coalescing window (docs/SERVICE.md); None = disabled
+        self._coalescer = (
+            CoalescingScheduler(
+                window_s=config.coalesce_window_ms / 1000.0,
+                max_k=config.coalesce_max_k,
+            )
+            if config.coalesce and config.coalesce_window_ms > 0
+            else None
+        )
+        #: synthetic fused dispatch index -> member _Pending entries
+        self._fused: dict[int, tuple] = {}
         self._lock = threading.Lock()
         self._completed: dict[str, RunRecord] = {}
         self._failures: list[FailedItem] = []
@@ -425,29 +449,123 @@ class SpmmService:
     def _stream(self):
         """The supervisor's item stream: lanes in priority order, or idle.
 
-        Ends (StopIteration) only when draining with empty lanes and no
-        in-flight work — which is exactly when the supervisor run, and
-        with it the dispatcher thread, finishes.
+        Coalescing-eligible pops (rung 0, coalescing on, not draining)
+        are parked in the :class:`~.coalesce.CoalescingScheduler` instead
+        of dispatching immediately; windows that close — by size on the
+        way in, by deadline on a later pass — emit as one fused item.
+        Everything else (demoted rungs, deadline-demoted requests,
+        coalescing off) bypasses the window and dispatches solo.
+
+        Ends (StopIteration) only when draining with empty lanes, an
+        empty window, and no in-flight work — which is exactly when the
+        supervisor run, and with it the dispatcher thread, finishes.
         """
         while True:
             pend = None
+            windows: list = []
+            bypass = False
             with self._lock:
-                for lane in LANES:
-                    if self._lanes[lane]:
-                        pend = self._lanes[lane].popleft()
-                        break
-                if pend is None:
-                    if self._draining and not self._inflight:
-                        return
-                else:
-                    self._inflight[pend.index] = pend
+                now = time.monotonic()
+                if self._coalescer is not None:
+                    windows = self._coalescer.pop_ready(
+                        now, flush_all=self._draining
+                    )
+                if not windows:
+                    for lane in LANES:
+                        if self._lanes[lane]:
+                            pend = self._lanes[lane].popleft()
+                            break
+                    if pend is None:
+                        if (
+                            self._draining
+                            and not self._inflight
+                            and (
+                                self._coalescer is None
+                                or not self._coalescer.pending
+                            )
+                        ):
+                            return
+                    elif (
+                        self._coalescer is not None
+                        and pend.rung == 0
+                        and not self._draining
+                    ):
+                        windows = self._coalescer.add(
+                            self._fusion_key(pend),
+                            pend,
+                            pend.request.dense_cols,
+                            now,
+                        )
+                        pend = None
+                    else:
+                        bypass = self._coalescer is not None
+            if windows:
+                for _key, members in windows:
+                    item = self._emit_window(members)
+                    if item is not None:
+                        yield item
+                continue
             if pend is None:
                 yield NO_ITEM
                 continue
-            pend.dispatched_at = time.monotonic()
+            if bypass:
+                # demoted rung (or drain flush): never held for company
+                self.metrics.counter("coalesce.bypass").inc()
+            item = self._emit_solo(pend)
+            if item is not None:
+                yield item
+
+    @staticmethod
+    def _fusion_key(pend: _Pending) -> tuple:
+        """The window grouping key: only plan-compatible requests fuse."""
+        return (
+            matrix_fingerprint(pend.request.matrix),
+            pend.request.tile_width,
+            pend.rung,
+            pend.request.backend,
+        )
+
+    def _emit_solo(self, pend: _Pending):
+        """Dispatch one request unfused; None when planning failed."""
+        with self._lock:
+            self._inflight[pend.index] = pend
+        pend.dispatched_at = time.monotonic()
+        try:
+            handle = self._plan_handle(pend)
+        except Exception as exc:  # planning failed: structured 500
+            self._on_failure(
+                FailedItem(
+                    index=pend.index,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=1,
+                    phase="plan",
+                )
+            )
+            return None
+        self.metrics.counter("coalesce.matrix_passes").inc()
+        return pend.index, handle
+
+    def _emit_window(self, members: list):
+        """Dispatch one closed window: fused for 2+, solo for a singleton.
+
+        Members are planned individually (a member whose planning fails
+        gets its structured 500 without poisoning the window); survivors
+        share one synthetic dispatch index — the supervisor treats the
+        window as a unit, so retry and quarantine apply to the whole
+        group.  None when every member failed planning.
+        """
+        if len(members) == 1:
+            return self._emit_solo(members[0])
+        now = time.monotonic()
+        planned: list = []
+        for pend in members:
+            with self._lock:
+                self._inflight[pend.index] = pend
+            pend.dispatched_at = now
             try:
-                handle = self._plan_handle(pend)
-            except Exception as exc:  # planning failed: structured 500
+                planned.append((pend, self._plan_handle(pend)))
+            except Exception as exc:
                 self._on_failure(
                     FailedItem(
                         index=pend.index,
@@ -457,8 +575,28 @@ class SpmmService:
                         phase="plan",
                     )
                 )
-                continue
-            yield pend.index, handle
+        if not planned:
+            return None
+        if len(planned) == 1:
+            pend, handle = planned[0]
+            self.metrics.counter("coalesce.matrix_passes").inc()
+            return pend.index, handle
+        with self._lock:
+            fused_index = self._next_index
+            self._next_index += 1
+            self._fused[fused_index] = tuple(p for p, _ in planned)
+        fused = FusedPlanHandle(
+            index=fused_index, handles=tuple(h for _, h in planned)
+        )
+        self.metrics.counter("coalesce.matrix_passes").inc()
+        self.metrics.counter("coalesce.fused_windows").inc()
+        self.metrics.counter("coalesce.fused_requests").inc(len(planned))
+        self.metrics.counter("coalesce.passes_saved").inc(len(planned) - 1)
+        self.metrics.gauge("coalesce.window_occupancy").set(len(planned))
+        self.metrics.gauge("coalesce.fused_k").set(
+            sum(p.request.dense_cols for p, _ in planned)
+        )
+        return fused_index, fused
 
     def _plan_handle(self, pend: _Pending) -> PlanHandle:
         """Plan one request at its rung; package it for the workers.
@@ -527,7 +665,25 @@ class SpmmService:
 
     # ------------------------------------------- completion path (callbacks)
     def _on_payload(self, index: int, payload) -> None:
-        """Supervisor completion hook: journal, account, resolve."""
+        """Supervisor completion hook: journal, account, resolve.
+
+        A fused window's payload fans out into per-member completions:
+        each member record is journaled, accounted, and resolved exactly
+        as a solo run's would be (digests match by the fusion contract —
+        see :mod:`repro.runtime.fusion`).
+        """
+        if is_fused_payload(payload):
+            with self._lock:
+                self._fused.pop(index, None)
+            meta = payload.get("meta", {})
+            self.metrics.counter("coalesce.dedup_hits").inc(
+                int(meta.get("dedup_hits", 0))
+            )
+            for member_index, record_json, _snap, _spans in (
+                payload["members"]
+            ):
+                self._on_payload(member_index, (record_json, None, None))
+            return
         record_json, _, _ = payload
         record = RunRecord.from_json(record_json)
         with self._lock:
@@ -554,7 +710,26 @@ class SpmmService:
         self._resolve(pend, self._ok_result(pend, record, replayed=False))
 
     def _on_failure(self, failed: FailedItem) -> None:
-        """Supervisor quarantine hook: structured 500, never a hang."""
+        """Supervisor quarantine hook: structured 500, never a hang.
+
+        A fused window's quarantine fans out: every member gets its own
+        structured failure (the supervisor retried the window as a unit
+        before giving up, so no member half-succeeded).
+        """
+        with self._lock:
+            members = self._fused.pop(failed.index, None)
+        if members is not None:
+            for pend in members:
+                self._on_failure(
+                    FailedItem(
+                        index=pend.index,
+                        error_type=failed.error_type,
+                        message=failed.message,
+                        attempts=failed.attempts,
+                        phase=failed.phase,
+                    )
+                )
+            return
         with self._lock:
             pend = self._inflight.pop(failed.index, None)
         if pend is None:
@@ -619,6 +794,12 @@ class SpmmService:
         with self._lock:
             queued = sum(len(q) for q in self._lanes.values())
             inflight = len(self._inflight)
+            window_pending = (
+                self._coalescer.pending
+                if self._coalescer is not None
+                else 0
+            )
+        self.metrics.gauge("coalesce.window_pending").set(window_pending)
         self.metrics.gauge("service.queue_depth").set(queued)
         self.metrics.gauge("service.inflight").set(inflight)
         self.metrics.gauge("service.utilization").set(
@@ -640,6 +821,9 @@ class SpmmService:
         )
         self.metrics.gauge("store.publish_hits").set(
             operands["publish_hits"]
+        )
+        self.metrics.gauge("store.dense_dedup_hits").set(
+            operands["dense_dedup_hits"]
         )
         if "disk_entries" in stats:
             self.metrics.gauge("store.disk_entries").set(

@@ -341,9 +341,25 @@ class PersistentFormatStore:
             else:
                 store.artifacts[art_key] = self._load_pickle(art["path"])
         entry = CacheEntry(plan=SpmmPlan.from_dict(known["plan"]), store=store)
+        self._touch(known)
         self.stats["loads"] += 1
         self.stats["load_s"] += time.perf_counter() - start
         return entry
+
+    def _touch(self, known: dict) -> None:
+        """Mark one entry as just-used, making eviction LRU.
+
+        ``seq`` doubles as the recency stamp: assigned at spill time and
+        refreshed on every disk hit (including plan-cache fall-through
+        loads), so :meth:`_enforce_budget`'s min-``seq`` victim is the
+        least-recently-*used* entry, not the oldest insert.  Readonly
+        handles (workers) skip the manifest write — they never evict, so
+        their recency signal is advisory anyway.
+        """
+        known["seq"] = self._manifest["seq"]
+        self._manifest["seq"] += 1
+        if not self.readonly:
+            self._write_manifest()
 
     def __contains__(self, key: tuple) -> bool:
         return encode_key(key) in self._manifest["entries"]

@@ -49,6 +49,7 @@ STAT_KEYS = (
     "segments_created",
     "bytes_shipped",
     "publish_hits",
+    "dense_dedup_hits",
     "orphans_swept",
     "releases",
     "unlinked",
@@ -159,8 +160,16 @@ class SharedOperandRegistry:
         return self._publish(fingerprint, matrix.format_name, matrix.shape, arrays)
 
     def publish_dense(self, dense, *, token: str | None = None) -> SegmentDescriptor:
-        """Ship a dense operand; ``token`` defaults to a content hash."""
+        """Ship a dense operand; ``token`` defaults to a content hash.
+
+        The content-hash default makes the dense plane content-addressed:
+        byte-identical operands published by *different* callers (e.g.
+        two tenants submitting the same B) share one segment.  Such
+        cross-publisher shares are counted as ``dense_dedup_hits`` on top
+        of the plain ``publish_hits``.
+        """
         a = native_contiguous(np.asarray(dense))
+        content_addressed = token is None
         if token is None:
             import hashlib
 
@@ -172,6 +181,8 @@ class SharedOperandRegistry:
         if held is not None:
             self._refs[token] += 1
             self.stats["publish_hits"] += 1
+            if content_addressed:
+                self.stats["dense_dedup_hits"] += 1
             return held[1]
         return self._publish(token, "dense", a.shape, {"dense": a})
 

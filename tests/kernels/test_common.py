@@ -121,6 +121,50 @@ class TestHelpers:
         assert spmm_flops(100, 64) == 2 * 100 * 64
 
 
+class TestUniqueIndexCountMemo:
+    def test_counts_and_memo_hit(self):
+        from repro.kernels.common import _UNIQUE_COUNT_MEMO, unique_index_count
+
+        idx = np.array([3, 1, 3, 7, 1])
+        assert unique_index_count(idx, idx.size) == 3
+        assert id(idx) in _UNIQUE_COUNT_MEMO
+        # second call is served from the memo, same answer
+        assert unique_index_count(idx, idx.size) == 3
+
+    def test_distinct_arrays_do_not_collide(self):
+        from repro.kernels.common import unique_index_count
+
+        a = np.array([0, 0, 0])
+        b = np.array([0, 1, 2])
+        assert unique_index_count(a, 3) == 1
+        assert unique_index_count(b, 3) == 3
+        assert unique_index_count(a, 3) == 1
+
+    def test_empty_is_zero_and_unmemoized(self):
+        from repro.kernels.common import _UNIQUE_COUNT_MEMO, unique_index_count
+
+        idx = np.array([], dtype=np.int64)
+        assert unique_index_count(idx, 0) == 0
+        # id() can be recycled from a collected array, so only assert the
+        # memo holds no live entry for THIS array
+        hit = _UNIQUE_COUNT_MEMO.get(id(idx))
+        assert hit is None or hit[0]() is not idx
+
+    def test_memo_stays_bounded(self):
+        from repro.kernels.common import (
+            _UNIQUE_COUNT_MEMO,
+            _UNIQUE_COUNT_MEMO_MAX,
+            unique_index_count,
+        )
+
+        keep = []
+        for i in range(_UNIQUE_COUNT_MEMO_MAX + 8):
+            arr = np.array([i, i])
+            keep.append(arr)
+            unique_index_count(arr, 2)
+        assert len(_UNIQUE_COUNT_MEMO) <= _UNIQUE_COUNT_MEMO_MAX
+
+
 class TestAgainstEventDrivenCache:
     """Validate the analytic reuse model against exact LRU simulation."""
 

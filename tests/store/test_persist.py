@@ -145,3 +145,70 @@ def test_entries_share_one_persisted_matrix(tmp_path, seeds):
     store = PersistentFormatStore(root)
     assert len(store) == 2
     assert len(store.fingerprints()) == 1
+
+
+def test_lru_touch_on_disk_hit_protects_hot_entry(tmp_path):
+    """Eviction is LRU, not insert-order: a disk fall-through hit
+    refreshes the entry's recency, so the cold neighbor is the victim.
+    """
+    from repro.runtime import matrix_fingerprint
+
+    root = str(tmp_path / "store")
+    rt = runtime(root)
+    rt.run(request(seed=0))  # oldest insert
+    rt.run(request(seed=1))
+    budget = PersistentFormatStore(root).disk_bytes()  # fits 2 entries
+
+    tight = SpmmRuntime(
+        GV100,
+        cache=PlanCache(persist=PersistentFormatStore(root, max_bytes=budget)),
+    )
+    # Disk fall-through reload of the seed-0 entry touches it ...
+    tight.run(request(seed=0))
+    assert tight.cache.persist.stats["loads"] >= 1
+    # ... so spilling a third entry evicts seed-1, not the older seed-0.
+    tight.run(request(seed=2))
+    survivors = set(PersistentFormatStore(root).fingerprints())
+    fp = lambda seed: matrix_fingerprint(uniform_random(32, 32, 0.1, seed=seed))
+    assert fp(0) in survivors
+    assert fp(2) in survivors
+    assert fp(1) not in survivors
+
+
+def test_lru_spill_reload_roundtrip_after_eviction(tmp_path):
+    """A warm start against the post-eviction store still reloads the
+    surviving (touched) entry with zero conversions.
+    """
+    root = str(tmp_path / "store")
+    rt = runtime(root)
+    rt.run(request(seed=0))
+    rt.run(request(seed=1))
+    budget = PersistentFormatStore(root).disk_bytes()
+    tight = SpmmRuntime(
+        GV100,
+        cache=PlanCache(persist=PersistentFormatStore(root, max_bytes=budget)),
+    )
+    tight.run(request(seed=0))  # touch
+    tight.run(request(seed=2))  # evicts seed-1
+    want = rt.run(request(seed=0)).record.digest()
+
+    fresh = runtime(root)
+    outcome = fresh.run(request(seed=0))
+    assert outcome.record.digest() == want
+    assert fresh.cache.persist.stats["misses"] == 0
+
+
+def test_readonly_touch_skips_manifest_write(tmp_path):
+    """A readonly handle's disk hit must not rewrite the manifest."""
+    root = str(tmp_path / "store")
+    rt = runtime(root)
+    rt.run(request(seed=0))
+    manifest = os.path.join(root, "manifest.json")
+    before = os.stat(manifest).st_mtime_ns
+    ro = SpmmRuntime(
+        GV100,
+        cache=PlanCache(persist=PersistentFormatStore(root, readonly=True)),
+    )
+    ro.run(request(seed=0))  # disk fall-through hit
+    assert ro.cache.persist.stats["loads"] >= 1
+    assert os.stat(manifest).st_mtime_ns == before

@@ -121,3 +121,21 @@ def test_sweep_skips_live_pids(registry):
     sweeper = SharedOperandRegistry(lease_dir=registry.lease_dir)
     assert sweeper.sweep_orphans() == 0  # our pid is alive
     assert len(registry.descriptors) == 1
+
+
+def test_dense_dedup_hits_counter(registry):
+    """Byte-identical B published content-addressed by different callers
+    shares one segment and is counted as a dedup hit; explicit-token
+    republish stays a plain publish hit.
+    """
+    b = np.random.default_rng(1).standard_normal((16, 4))
+    first = registry.publish_dense(b)
+    again = registry.publish_dense(b.copy())  # another tenant, same bytes
+    assert again is first
+    assert registry.stats["dense_dedup_hits"] == 1
+    assert registry.stats["publish_hits"] == 1
+    assert registry.stats["segments_created"] == 1
+    registry.publish_dense(b, token="explicit")
+    registry.publish_dense(b, token="explicit")
+    assert registry.stats["publish_hits"] == 2
+    assert registry.stats["dense_dedup_hits"] == 1  # unchanged

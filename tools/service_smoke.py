@@ -17,6 +17,10 @@ subprocess and walks the full crash matrix from the outside:
    serial.  No silent loss.
 3. **SIGTERM drain** — the restarted server is SIGTERMed and must exit 0
    with a drain summary on stdout.
+4. **Coalescing round-trip** — concurrent same-matrix clients against a
+   server with a wide fusion window.  The fused pass count
+   (``coalesce.matrix_passes``) must come in below the request count,
+   and every per-request digest must still equal its serial run.
 
 Exit status: 0 when the whole matrix holds, nonzero otherwise.
 """
@@ -74,14 +78,14 @@ def children_of(pid):
     return kids
 
 
-def start_server(sock, state_dir):
+def start_server(sock, state_dir, *extra):
     """Launch ``python -m repro serve`` and wait for the socket."""
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO, "src")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve",
          "--socket", sock, "--state-dir", state_dir,
-         "--workers", "2", "--max-retries", "3"],
+         "--workers", "2", "--max-retries", "3", *extra],
         env=env, cwd=REPO,
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
     )
@@ -243,12 +247,78 @@ def phase_server_kill(tmp):
           f"digest-identical to serial (recovered={summary['recovered']})")
 
 
+def phase_coalesce(tmp):
+    print("== phase 3: coalescing round-trip, concurrent same-matrix "
+          "clients ==")
+    sock = os.path.join(tmp, "svc3.sock")
+    state = os.path.join(tmp, "state3")
+    proc = start_server(sock, state, "--coalesce-window-ms", "300")
+
+    spec = SPEC.format(seed=42)  # one matrix, six dense operands
+    seeds = list(range(6))
+    results = {}
+    errors = []
+
+    def one(seed):
+        try:
+            with ServiceClient(sock, timeout_s=300.0) as client:
+                results[seed] = client.submit(spec, tenant="dave", k=K,
+                                              seed=seed, lane="interactive")
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=one, args=(s,)) for s in seeds]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        fail(f"coalescing workload errored: {errors}")
+
+    for seed in seeds:
+        resp = results[seed]
+        if resp["status"] != 200:
+            fail(f"coalesce seed {seed}: unexpected response {resp}")
+        want = serial_digest(spec, K, seed, rung=resp["result"]["rung"])
+        if resp["result"]["digest"] != want:
+            fail(f"coalesce seed {seed}: digest mismatch vs serial")
+
+    with ServiceClient(sock, timeout_s=60.0) as client:
+        stats = client.stats()
+    counters = stats["metrics"]["counters"]
+    completed = counters.get("service.completed", 0)
+    passes = counters.get("coalesce.matrix_passes", 0)
+    windows = counters.get("coalesce.fused_windows", 0)
+    saved = counters.get("coalesce.passes_saved", 0)
+    if completed != len(seeds):
+        fail(f"expected {len(seeds)} completions, saw {completed}")
+    if passes >= completed:
+        fail(f"no fusion: {passes} matrix passes for {completed} requests")
+    if windows < 1:
+        fail("no fused window was ever dispatched")
+    if passes + saved != completed:
+        fail(f"pass accounting broken: {passes} + {saved} != {completed}")
+    print(f"   {completed} requests in {passes} matrix passes "
+          f"({windows} fused windows, {saved} passes saved), digest parity")
+
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, err = proc.communicate(timeout=120)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("coalescing server did not drain on SIGTERM")
+    if proc.returncode != 0:
+        fail(f"coalescing drain exited {proc.returncode}: {err.strip()}")
+
+
 def main():
     tmp = tempfile.mkdtemp(prefix="service-smoke-")
     phase_worker_kill(tmp)
     phase_server_kill(tmp)
-    print("OK: worker kill, server kill/restart, and SIGTERM drain all "
-          "preserved the no-silent-loss contract")
+    phase_coalesce(tmp)
+    print("OK: worker kill, server kill/restart, SIGTERM drain, and the "
+          "coalescing round-trip all preserved the no-silent-loss and "
+          "digest-parity contracts")
     return 0
 
 
