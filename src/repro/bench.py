@@ -383,14 +383,20 @@ def bench_store_warmstart(quick: bool) -> dict:
         # One warm start is a couple of milliseconds — too short to time
         # stably — so each measurement performs a batch of them.
         starts = 8
+        verify = {"s": 0.0}
 
         def warm():
+            verify["s"] = 0.0
             for _ in range(starts):
+                store = PersistentFormatStore(root)
                 fresh = SpmmRuntime(
                     get_config("gv100"),
-                    cache=PlanCache(persist=PersistentFormatStore(root)),
+                    cache=PlanCache(persist=store),
                 )
                 fresh.run(SpmmRequest(m, k=k, seed=0))
+                # Each fresh store instance re-verifies checksums on its
+                # first loads, so this is the integrity tax per restart.
+                verify["s"] += store.stats["verify_s"]
 
         reps = 3 if quick else 5
         warm_s = _best_wall_s(warm, reps=reps)
@@ -399,6 +405,8 @@ def bench_store_warmstart(quick: bool) -> dict:
             warm_s, reps, starts, "warm_starts",
             n=n, k=k, cold_s=cold_s,
             speedup=cold_s / per_start if per_start > 0 else 0.0,
+            verify_s=verify["s"],
+            verify_overhead=verify["s"] / warm_s if warm_s > 0 else 0.0,
         )
     finally:
         shutil.rmtree(root, ignore_errors=True)

@@ -277,6 +277,13 @@ def _print_batch_summary(args, results) -> None:
               f"{journal.get('appended', 0)} appended, "
               f"{len(journal['anomalies'])} anomalies "
               f"({journal['path']})")
+        durability = journal.get("durability")
+        if durability and durability.get("degraded"):
+            print(f"journal: DEGRADED (non-durable) — "
+                  f"{durability['lost']} appends lost "
+                  f"({durability.get('reason')}); a resume will re-execute "
+                  f"them",
+                  file=sys.stderr)
 
 
 def cmd_run(args) -> int:

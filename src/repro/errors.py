@@ -124,5 +124,41 @@ class JournalError(ReproError):
     Corrupt journal *content* is never an error — bad lines are reported
     as anomalies and their items re-executed (see
     :mod:`repro.runtime.journal`); this exception covers I/O failures
-    only.
+    on the *read* side only.  Write failures (disk full, quota) no longer
+    raise: the journal flips into a loud non-durable degraded mode and
+    counts the lost appends instead (see
+    :class:`repro.runtime.pressure.ResourcePressure`).
     """
+
+
+class OperandCorruptionError(ReproError):
+    """Shipped or persisted operand bytes failed their integrity check.
+
+    Raised when a shared-memory segment attach
+    (:func:`repro.store.registry.attach_matrix` /
+    :func:`~repro.store.registry.attach_dense`) or a persistent-store
+    reload (:meth:`repro.store.persist.PersistentFormatStore.get`) finds
+    an array whose CRC disagrees with the checksum stamped at
+    publish/spill time.  Structured so recovery code can quarantine and
+    republish the exact segment: ``token`` is the operand identity,
+    ``segment`` the shared-memory block (or relative file path),
+    ``arrays`` the names that failed, ``plane`` is ``"registry"`` or
+    ``"persist"``.  Never a silent wrong result: callers either republish
+    from the source of truth and retry, or drop the persisted entry and
+    re-derive.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        token: str | None = None,
+        segment: str | None = None,
+        arrays: tuple = (),
+        plane: str = "registry",
+    ):
+        super().__init__(message)
+        self.token = token
+        self.segment = segment
+        self.arrays = tuple(arrays)
+        self.plane = plane

@@ -8,6 +8,11 @@ faults
     Deterministic, seeded fault models — dead/stuck/slow units, bit flips
     in CSC coordinate/pointer streams, dropped tile responses — plus the
     CRC/structural integrity checks that detect them.
+injectors
+    Host-layer fault injectors — byte flips in live shared-memory
+    operand segments, torn/truncated spill files, ``os.fsync`` failing
+    with ``ENOSPC`` — driving the integrity and resource-pressure chaos
+    tests (the supervisor's ``corrupt`` chaos kind calls in here).
 campaign
     The campaign driver: injects a :class:`~repro.resilience.faults.FaultPlan`
     into a full online-conversion + SpMM run, recovers via retry/backoff and
@@ -33,6 +38,13 @@ from .campaign import (
     run_campaign,
     run_campaign_sweep,
 )
+from .injectors import (
+    corrupt_item_operands,
+    corrupt_segment,
+    failing_fsync,
+    flip_byte,
+    truncate_file,
+)
 
 __all__ = [
     "UnitFault",
@@ -48,4 +60,9 @@ __all__ = [
     "SweepResult",
     "run_campaign",
     "run_campaign_sweep",
+    "corrupt_segment",
+    "corrupt_item_operands",
+    "flip_byte",
+    "truncate_file",
+    "failing_fsync",
 ]

@@ -57,6 +57,7 @@ from .parallel import (
     PlanHandle,
 )
 from .planner import PLANNER_VERSION, Planner
+from .pressure import PressureEvent, ResourcePressure, classify_oserror
 from .record import RECORD_VERSION, RunRecord
 from .supervisor import (
     ChaosFault,
@@ -85,7 +86,9 @@ __all__ = [
     "PlanCache",
     "PlanHandle",
     "Planner",
+    "PressureEvent",
     "RECORD_VERSION",
+    "ResourcePressure",
     "RunJournal",
     "RunOutcome",
     "RunRecord",
@@ -94,6 +97,7 @@ __all__ = [
     "SpmmRuntime",
     "SupervisionPolicy",
     "WorkerSupervisor",
+    "classify_oserror",
     "execute_fused_handle",
     "invalidate_fingerprint",
     "is_fused_payload",

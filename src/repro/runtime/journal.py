@@ -149,21 +149,46 @@ class RunJournal:
     resumed run never re-appends what it replayed.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, *, pressure=None):
+        from .pressure import ResourcePressure
+
         self.path = str(path)
         self._appended: set[str] = set()
         #: lines durably written by this instance (dedupes excluded)
         self.appends = 0
+        #: appends *not* durably written because the journal is degraded
+        self.lost = 0
+        #: resource-exhaustion policy (shareable across planes — the
+        #: service shares one instance across journal/intent/persist)
+        self.pressure = pressure if pressure is not None else ResourcePressure()
+
+    @property
+    def degraded(self) -> bool:
+        """True once a write failure flipped this journal non-durable."""
+        return self.pressure.is_degraded("journal")
 
     # -------------------------------------------------------------- writes
     def append(self, fingerprint: str, record: RunRecord) -> bool:
-        """Durably append one completed item; returns False on dedupe.
+        """Append one completed item durably; returns False when it didn't.
 
         The line is built in full before any I/O and written with a
         single ``write`` + flush + fsync, so a crash can only ever cost
         the line being written, never an earlier one.
+
+        A write failure (``ENOSPC``, quota, permissions) does **not**
+        raise and does **not** kill the batch: the journal flips into a
+        loud non-durable degraded mode — the strike warns on stderr once,
+        every skipped append is counted in :attr:`lost` (surfaced as the
+        ``durability.lost`` metric), and the batch keeps completing.
+        Results stay correct; the cost is purely that a later resume
+        re-executes what could not be journaled (at-least-once, never
+        silent loss — see docs/RELIABILITY.md).
         """
         if fingerprint in self._appended:
+            return False
+        if self.degraded:
+            self.lost += 1
+            self.pressure.record_lost("journal")
             return False
         line = _entry_line(fingerprint, record)
         try:
@@ -172,9 +197,10 @@ class RunJournal:
                 fh.flush()
                 os.fsync(fh.fileno())
         except OSError as exc:
-            raise JournalError(
-                f"cannot append to journal {self.path}: {exc}"
-            ) from None
+            self.pressure.strike("journal", exc)
+            self.lost += 1
+            self.pressure.record_lost("journal")
+            return False
         self._appended.add(fingerprint)
         self.appends += 1
         return True
@@ -183,19 +209,27 @@ class RunJournal:
         """Mark a load's trusted fingerprints as already journaled."""
         self._appended.update(replay.records)
 
-    def compact(self, replay: JournalReplay) -> None:
+    def compact(self, replay: JournalReplay) -> bool:
         """Atomically rewrite the file with only ``replay``'s trusted entries.
 
         Called on resume when the load reported anomalies: distrusted
         lines are dropped so they cannot re-trigger on the next resume,
         and the re-executed items append fresh verified entries.  The
         temp-file + rename pattern means a crash mid-compaction leaves
-        the previous journal intact.
+        the previous journal intact — which is also why a *failed*
+        compaction (disk full) degrades instead of raising: the old
+        journal is still whole, anomalies simply re-surface on the next
+        resume.  Returns whether the rewrite landed.
         """
         directory = os.path.dirname(os.path.abspath(self.path)) or "."
-        fd, tmp = tempfile.mkstemp(
-            dir=directory, prefix="." + os.path.basename(self.path) + "."
-        )
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=directory, prefix="." + os.path.basename(self.path) + "."
+            )
+        except OSError as exc:
+            self.pressure.strike("journal", exc)
+            self.seed_replayed(replay)
+            return False
         try:
             with os.fdopen(fd, "w") as fh:
                 for fp in replay.order:
@@ -211,10 +245,11 @@ class RunJournal:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise JournalError(
-                f"cannot compact journal {self.path}: {exc}"
-            ) from None
+            self.pressure.strike("journal", exc)
+            self.seed_replayed(replay)
+            return False
         self.seed_replayed(replay)
+        return True
 
     # --------------------------------------------------------------- reads
     @classmethod

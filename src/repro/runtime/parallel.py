@@ -50,6 +50,7 @@ Exposed on the CLI as ``python -m repro run --batch FILE --workers N
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from dataclasses import dataclass
@@ -345,6 +346,7 @@ class ParallelExecutor:
         journal, replay, fingerprints = self._prepare_journal(
             requests, journal, resume, tracer
         )
+        lost_before = journal.lost if journal is not None else 0
         with tracer.span(
             "batch",
             n_requests=len(requests),
@@ -385,6 +387,14 @@ class ParallelExecutor:
                     "anomaly_counts": {},
                 }
             summary["appended"] = int(journal.appends)
+            lost = int(journal.lost - lost_before)
+            summary["durability"] = {
+                "degraded": bool(journal.degraded),
+                "lost": lost,
+                "reason": journal.pressure.reason("journal"),
+            }
+            if lost:
+                tracer.metrics.counter("durability.lost").inc(lost)
             result.journal_summary = summary
         return result
 
@@ -562,6 +572,8 @@ class ParallelExecutor:
                 request.matrix, fingerprint=fingerprint
             )
             if operand is None and traced:
+                if registry.pressure.is_degraded("registry"):
+                    tracer.metrics.counter("store.fallback_pickle").inc()
                 tracer.metrics.counter("store.bytes_pickled").inc(
                     pickled_nbytes(request.matrix)
                 )
@@ -569,7 +581,15 @@ class ParallelExecutor:
             dense = request.dense
             if dense is not None:
                 dense_operand = registry.publish_dense(dense)
-                dense = None
+                if dense_operand is not None:
+                    dense = None
+                elif traced:
+                    # Shared memory exhausted: ship this dense operand
+                    # pickled inside the handle instead.
+                    tracer.metrics.counter("store.fallback_pickle").inc()
+                    tracer.metrics.counter("store.bytes_pickled").inc(
+                        pickled_nbytes(dense)
+                    )
             return PlanHandle(
                 index=i,
                 plan=plan.to_dict(),
@@ -624,12 +644,71 @@ class ParallelExecutor:
                 return
             complete(index, *payload)
 
+        def _refresh(descriptor):
+            """The live descriptor for a token, republishing if required.
+
+            Returns ``(descriptor, changed)``.  When an earlier heal
+            already republished this token (the registry holds a newer
+            segment name), the item is simply re-pointed at it; otherwise
+            the segment is quarantined and reshipped from the publisher's
+            source copy.
+            """
+            if descriptor is None:
+                return None, False
+            current = registry.descriptors.get(descriptor.token)
+            if current is not None and current.segment != descriptor.segment:
+                return current, True
+            fresh = registry.republish(descriptor.token)
+            if fresh is not None:
+                return fresh, True
+            return descriptor, False
+
+        def _heal_handle(handle):
+            operand, changed_m = _refresh(handle.operand)
+            dense_operand, changed_d = _refresh(handle.dense_operand)
+            if not (changed_m or changed_d):
+                return None
+            return dataclasses.replace(
+                handle, operand=operand, dense_operand=dense_operand
+            )
+
+        def heal(item, error_type, message):
+            """Repair seam: republish damaged operands before the retry.
+
+            A worker that detects operand corruption fails its item with
+            a structured ``OperandCorruptionError``; a worker attaching a
+            descriptor whose segment was already quarantined sees
+            ``FileNotFoundError``.  Both heal the same way: every
+            shared-memory operand the item references is republished
+            under a *fresh* segment name (worker attach memos are keyed
+            by segment name, so the retry re-attaches and re-verifies)
+            and the item is re-queued with the new descriptors.  Returns
+            ``None`` — retry unchanged — for every other failure.
+            """
+            if error_type not in ("OperandCorruptionError", "FileNotFoundError"):
+                return None
+            if traced and error_type == "OperandCorruptionError":
+                tracer.metrics.counter("integrity.corruption_detected").inc()
+            if isinstance(item, FusedPlanHandle):
+                members = [_heal_handle(h) for h in item.handles]
+                if not any(m is not None for m in members):
+                    return None
+                return dataclasses.replace(
+                    item,
+                    handles=tuple(
+                        m if m is not None else h
+                        for m, h in zip(members, item.handles)
+                    ),
+                )
+            return _heal_handle(item)
+
         supervisor = WorkerSupervisor(
             execute_handle,
             (self.runtime.config, traced),
             workers=self.workers,
             policy=policy,
             chaos=chaos,
+            heal=heal,
         )
         failures: list[FailedItem] = []
         try:
@@ -652,6 +731,14 @@ class ParallelExecutor:
                 tracer.metrics.counter("store.dense_dedup_hits").inc(
                     s["dense_dedup_hits"]
                 )
+                if s["publish_failures"]:
+                    tracer.metrics.counter("store.publish_failures").inc(
+                        s["publish_failures"]
+                    )
+                if s["republished"]:
+                    tracer.metrics.counter("integrity.republished").inc(
+                        s["republished"]
+                    )
             # Workers have drained (or died) by now; the batch's segments
             # are unlinked here regardless of outcome.
             registry.close()

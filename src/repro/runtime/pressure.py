@@ -1,0 +1,139 @@
+"""Resource-exhaustion policy: classify write failures, degrade loudly.
+
+Disk-full, quota, and shared-memory exhaustion are environmental faults,
+not bugs — a resident service that crashes on ``ENOSPC`` in its journal
+fsync has turned a full disk into an outage.  This module is the shared
+policy every durable/storage plane consults when a write seam fails:
+
+* the **run journal** and the service's **intent log** flip into a loud
+  non-durable degraded mode (answers stay correct; a restart simply
+  re-executes) and count every lost append;
+* the **persistent store** becomes read-only and evicts to free space;
+* the **operand registry** falls back to pickled shipping.
+
+One :class:`ResourcePressure` instance can be shared across planes (the
+service shares one so its health report is unified); each plane strikes
+itself exactly once per incident and keeps serving.  The first strike per
+plane prints one warning to stderr — degradation must be loud, never
+silent — and everything is queryable via :meth:`ResourcePressure.snapshot`
+for the ``durability.*`` counters (catalog: ``docs/OBSERVABILITY.md``;
+contract: ``docs/RELIABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import errno
+import sys
+from dataclasses import dataclass
+
+#: Planes that can degrade under resource pressure.
+PLANES = ("journal", "intent", "persist", "registry")
+
+#: errno values classified as resource exhaustion (vs. a plain I/O error).
+_EXHAUSTION_ERRNOS = {
+    errno.ENOSPC,
+    errno.EDQUOT,
+    errno.ENOMEM,
+    errno.EMFILE,
+    errno.ENFILE,
+    errno.EFBIG,
+}
+
+
+def classify_oserror(exc: BaseException) -> str:
+    """Coarse cause of a write-seam ``OSError``.
+
+    ``"exhausted"`` for disk-full/quota/fd/shm exhaustion, ``"io_error"``
+    for everything else (permissions, bad paths, transient I/O).  Both
+    degrade the same way — the classification is for the health report,
+    not for different handling.
+    """
+    err = getattr(exc, "errno", None)
+    if err in _EXHAUSTION_ERRNOS:
+        return "exhausted"
+    return "io_error"
+
+
+@dataclass
+class PressureEvent:
+    """One classified write failure on one plane."""
+
+    plane: str
+    cause: str  # classify_oserror() result
+    error: str  # str(exc) of the triggering failure
+
+    def to_dict(self) -> dict:
+        return {"plane": self.plane, "cause": self.cause, "error": self.error}
+
+
+class ResourcePressure:
+    """Tracks which planes are degraded, why, and what was lost.
+
+    ``strike(plane, exc)`` marks a plane degraded (idempotent; the first
+    strike per plane warns on stderr).  ``record_lost(plane)`` counts a
+    write that was *not* performed because the plane is degraded — the
+    ``durability.lost`` signal.  Planes never un-degrade within a process
+    lifetime: a disk that filled once cannot be trusted to stay writable,
+    and flapping between durable and non-durable would make the crash
+    contract unstatable.
+    """
+
+    def __init__(self, *, warn: bool = True):
+        self.warn = bool(warn)
+        #: plane -> first PressureEvent that degraded it
+        self.degraded: dict[str, PressureEvent] = {}
+        #: plane -> writes lost while (or becoming) degraded
+        self.lost: dict[str, int] = {}
+        #: every strike, in order (later strikes on a degraded plane too)
+        self.events: list[PressureEvent] = []
+
+    def strike(self, plane: str, exc: BaseException) -> PressureEvent:
+        """Record one write failure on ``plane``; degrade it if not already."""
+        event = PressureEvent(
+            plane=plane, cause=classify_oserror(exc), error=str(exc)
+        )
+        self.events.append(event)
+        if plane not in self.degraded:
+            self.degraded[plane] = event
+            if self.warn:
+                print(
+                    f"repro: WARNING: {plane} plane degraded "
+                    f"({event.cause}: {event.error}) — continuing "
+                    f"non-durable; see docs/RELIABILITY.md",
+                    file=sys.stderr,
+                    flush=True,
+                )
+        return event
+
+    def record_lost(self, plane: str, n: int = 1) -> None:
+        """Count ``n`` writes lost to degradation on ``plane``."""
+        self.lost[plane] = self.lost.get(plane, 0) + int(n)
+
+    def is_degraded(self, plane: str) -> bool:
+        """Whether ``plane`` has taken a strike this lifetime."""
+        return plane in self.degraded
+
+    @property
+    def any_degraded(self) -> bool:
+        return bool(self.degraded)
+
+    def total_lost(self) -> int:
+        """Writes lost across all planes (the ``durability.lost`` total)."""
+        return sum(self.lost.values())
+
+    def reason(self, plane: str) -> str | None:
+        """Human-readable degradation reason for ``plane`` (or None)."""
+        event = self.degraded.get(plane)
+        if event is None:
+            return None
+        return f"{event.cause}: {event.error}"
+
+    def snapshot(self) -> dict:
+        """Plain-JSON per-plane health (the service's selfcheck shape)."""
+        return {
+            "degraded": {
+                plane: event.to_dict() for plane, event in self.degraded.items()
+            },
+            "lost": dict(self.lost),
+            "strikes": len(self.events),
+        }

@@ -57,6 +57,7 @@ _MSG_HEARTBEAT, _MSG_OK, _MSG_ERR = "hb", "ok", "err"
 
 #: Chaos fault kinds (see :class:`ChaosFault`).
 CHAOS_KILL, CHAOS_HANG, CHAOS_RAISE = "kill", "hang", "raise"
+CHAOS_CORRUPT = "corrupt"
 
 #: How long a hang-injected worker sleeps — effectively forever; the
 #: per-request deadline is what ends it.
@@ -83,18 +84,20 @@ class ChaosFault:
     """One injected host-layer fault, applied inside the worker.
 
     ``kind`` is one of ``kill`` (SIGKILL self — a real worker crash),
-    ``hang`` (sleep past any deadline), or ``raise`` (a poison request
-    that raises deterministically).  ``attempts`` lists the dispatch
-    attempts the fault fires on (``None`` = every attempt, the permanent
-    poison pill; the default ``(0,)`` faults only the first try so
-    retries succeed).
+    ``hang`` (sleep past any deadline), ``raise`` (a poison request that
+    raises deterministically), or ``corrupt`` (flip bytes in the item's
+    shared-memory operand segment *before* executing, so the attach-time
+    checksum pass must catch it — the integrity campaign's fault).
+    ``attempts`` lists the dispatch attempts the fault fires on
+    (``None`` = every attempt, the permanent poison pill; the default
+    ``(0,)`` faults only the first try so retries succeed).
     """
 
     kind: str
     attempts: tuple[int, ...] | None = (0,)
 
     def __post_init__(self):
-        if self.kind not in (CHAOS_KILL, CHAOS_HANG, CHAOS_RAISE):
+        if self.kind not in (CHAOS_KILL, CHAOS_HANG, CHAOS_RAISE, CHAOS_CORRUPT):
             raise ConfigError(f"unknown chaos fault kind {self.kind!r}")
 
     def applies(self, attempt: int) -> bool:
@@ -276,9 +279,18 @@ def _worker_main(
                         os.kill(os.getpid(), signal.SIGKILL)
                     elif fault.kind == CHAOS_HANG:
                         time.sleep(_CHAOS_HANG_S)
-                    raise RuntimeError(
-                        f"chaos: injected poison request (item {index})"
-                    )
+                    if fault.kind == CHAOS_CORRUPT:
+                        # Damage the operand bytes, then execute normally:
+                        # the attach-time verification must turn this into
+                        # a structured OperandCorruptionError, never a
+                        # silently wrong result.
+                        from ..resilience.injectors import corrupt_item_operands
+
+                        corrupt_item_operands(item)
+                    else:
+                        raise RuntimeError(
+                            f"chaos: injected poison request (item {index})"
+                        )
                 payload = task_fn(task_ctx, item)
             except Exception as exc:
                 send(
@@ -348,6 +360,7 @@ class WorkerSupervisor:
         "deadline_misses",
         "heartbeat_losses",
         "worker_respawns",
+        "healed",
     )
 
     def __init__(
@@ -358,6 +371,7 @@ class WorkerSupervisor:
         workers: int,
         policy: SupervisionPolicy | None = None,
         chaos: dict | None = None,
+        heal=None,
     ):
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -366,6 +380,13 @@ class WorkerSupervisor:
         self.workers = int(workers)
         self.policy = policy if policy is not None else SupervisionPolicy()
         self.chaos = dict(chaos) if chaos else {}
+        #: optional ``heal(item, error_type, message) -> new_item | None``
+        #: called in the parent before a failed item re-enters the queue —
+        #: the repair seam: the batch executor republishes corrupted
+        #: operand segments here and hands back a replacement item whose
+        #: fresh descriptors force workers to re-attach and re-verify.
+        #: Returning None (or raising) retries the original item.
+        self.heal = heal
         #: inherited fds every *forked* child closes at startup (set by
         #: resident servers to their listening socket; read per spawn so
         #: respawned workers honor it too; ignored under ``spawn``, whose
@@ -442,6 +463,15 @@ class WorkerSupervisor:
                     f"({error_type}: {message}) and fail_fast is set"
                 )
             if attempt < policy.max_retries:
+                if self.heal is not None:
+                    try:
+                        replacement = self.heal(item, error_type, message)
+                    except Exception:
+                        replacement = None
+                    if replacement is not None:
+                        item = replacement
+                        stats["healed"] += 1
+                        metrics.counter("supervisor.healed").inc()
                 stats["retries"] += 1
                 metrics.counter("supervisor.retries").inc()
                 pending.append(

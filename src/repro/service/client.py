@@ -152,6 +152,15 @@ class ServiceClient:
         """Metrics snapshot + cache/supervisor/admission stats."""
         return self._expect_ok({"op": "stats"})
 
+    def selfcheck(self) -> dict:
+        """On-demand integrity audit: segments, spill files, durability.
+
+        Corrupt resident segments are republished and corrupt persisted
+        entries quarantined as a side effect; ``result["healthy"]`` is
+        the single verdict.
+        """
+        return self._expect_ok({"op": "selfcheck"})
+
     def drain(self) -> dict:
         """Gracefully drain the service; returns the drain summary."""
         return self._expect_ok({"op": "drain"})

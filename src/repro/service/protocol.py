@@ -50,7 +50,7 @@ STATUS_FAILED = 500
 STATUS_UNAVAILABLE = 503
 
 #: Operations a request may name.
-OPS = ("submit", "health", "stats", "drain")
+OPS = ("submit", "health", "stats", "selfcheck", "drain")
 
 #: Queue lanes, in dispatch-priority order.
 LANES = ("interactive", "batch")

@@ -51,7 +51,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 
-from ..errors import JournalError, ReproError
+from ..errors import ReproError
 from ..gpu import get_config
 from ..matrices import from_spec
 from ..runtime import (
@@ -72,6 +72,7 @@ from ..runtime import (
 )
 from ..runtime.journal import RunJournal
 from ..runtime.parallel import execute_handle
+from ..runtime.pressure import ResourcePressure
 from ..runtime.supervisor import NO_ITEM
 from ..store import PersistentFormatStore, SharedOperandRegistry
 from ..telemetry import MetricsRegistry
@@ -202,13 +203,17 @@ class SpmmService:
         #: resolved once at startup: an explicitly requested backend that
         #: is not installed fails here, before the socket ever opens
         self.backend = resolve_backend_name(config.backend)
-        self.state = ServiceState(config.state_dir)
+        #: one resource-pressure policy shared by every durable plane
+        #: (journal, intent log, persist tier, operand registry), so the
+        #: health/selfcheck report is a single unified per-plane view
+        self.pressure = ResourcePressure()
+        self.state = ServiceState(config.state_dir, pressure=self.pressure)
         self.metrics = MetricsRegistry()
         self.admission = AdmissionController(
             config.admission, workers=config.workers
         )
         self.persist = (
-            PersistentFormatStore(config.store_dir)
+            PersistentFormatStore(config.store_dir, pressure=self.pressure)
             if config.store_dir
             else None
         )
@@ -221,7 +226,8 @@ class SpmmService:
         #: the operand plane: every dispatched matrix is published here
         #: once per fingerprint and shipped to workers as a descriptor
         self.operands = SharedOperandRegistry(
-            lease_dir=os.path.join(config.state_dir, "operand-leases")
+            lease_dir=os.path.join(config.state_dir, "operand-leases"),
+            pressure=self.pressure,
         )
         self.supervisor = WorkerSupervisor(
             execute_handle,
@@ -229,6 +235,7 @@ class SpmmService:
             workers=config.workers,
             policy=replace(config.policy, max_pending=config.workers),
             chaos=config.chaos,
+            heal=self._heal,
         )
         self._runtimes: dict[str, SpmmRuntime] = {}
         self._lanes: dict[str, deque] = {lane: deque() for lane in LANES}
@@ -634,6 +641,49 @@ class SpmmService:
             operand=operand,
         )
 
+    def _heal(self, item, error_type, message):
+        """Supervisor repair seam: republish damaged operands before retry.
+
+        A worker that detects corruption on attach fails its item with a
+        structured ``OperandCorruptionError``; a worker attaching a
+        descriptor whose segment was already quarantined by an earlier
+        heal (or a selfcheck) sees ``FileNotFoundError``.  Both repair
+        identically: the matrix operand is republished from the
+        publisher's source copy under a fresh segment name — worker
+        attach memos are keyed by segment name, so the retry re-attaches
+        and re-verifies — and the item re-queues with the new
+        descriptor.  Returns ``None`` (retry unchanged) for every other
+        failure, or when nothing could be republished.
+        """
+        if error_type not in ("OperandCorruptionError", "FileNotFoundError"):
+            return None
+        if error_type == "OperandCorruptionError":
+            self.metrics.counter("integrity.corruption_detected").inc()
+        handles = (
+            item.handles if isinstance(item, FusedPlanHandle) else (item,)
+        )
+        healed = []
+        changed = False
+        for handle in handles:
+            operand = handle.operand
+            if operand is not None:
+                current = self.operands.descriptors.get(operand.token)
+                if current is not None and current.segment != operand.segment:
+                    handle = replace(handle, operand=current)
+                    changed = True
+                else:
+                    fresh = self.operands.republish(operand.token)
+                    if fresh is not None:
+                        self.metrics.counter("integrity.republished").inc()
+                        handle = replace(handle, operand=fresh)
+                        changed = True
+            healed.append(handle)
+        if not changed:
+            return None
+        if isinstance(item, FusedPlanHandle):
+            return replace(item, handles=tuple(healed))
+        return healed[0]
+
     def _dispatch_loop(self) -> None:
         """The dispatcher thread body: one supervisor run for the lifetime."""
         try:
@@ -693,13 +743,13 @@ class SpmmService:
         self.admission.observe_completion(
             time.monotonic() - pend.dispatched_at
         )
-        try:
-            if self.state.journal.append(pend.fingerprint, record):
-                self.metrics.counter("service.journal_appends").inc()
-        except JournalError:
+        if self.state.journal.append(pend.fingerprint, record):
+            self.metrics.counter("service.journal_appends").inc()
+        elif self.state.journal.degraded:
             # Durability is degraded but the answer is correct; restart
             # will simply re-execute (at-least-once, never silent loss).
             self.metrics.counter("service.journal_errors").inc()
+            self.metrics.counter("durability.lost").inc()
         self._completed[pend.fingerprint] = record
         self._counts["completed"] += 1
         self.metrics.counter("service.completed").inc()
@@ -871,6 +921,8 @@ class SpmmService:
                 resp = self._op_health()
             elif op == "stats":
                 resp = self._op_stats()
+            elif op == "selfcheck":
+                resp = self._op_selfcheck()
             else:
                 resp = await self._op_drain()
         except ProtocolError as exc:
@@ -947,8 +999,13 @@ class SpmmService:
                 "retry_after_s": round(decision.retry_after_s, 6),
             }
         # Durability ordering: fsync the intent *before* the request can
-        # be dispatched (or this handler acknowledge anything).
-        self.state.record_accepted({
+        # be dispatched (or this handler acknowledge anything).  On a
+        # degraded intent plane (disk full) the service keeps serving
+        # non-durable — the un-logged acceptance is counted, and the only
+        # weakened guarantee is that a crash before completion drops the
+        # request (the client sees its connection die, never a silent
+        # wrong answer).
+        if not self.state.record_accepted({
             "fingerprint": fingerprint,
             "tenant": req.tenant,
             "matrix": req.matrix_spec,
@@ -957,7 +1014,9 @@ class SpmmService:
             "tile_width": req.tile_width,
             "lane": req.lane,
             "rung": rung,
-        })
+        }) and self.state.degraded:
+            self.metrics.counter("service.intent_errors").inc()
+            self.metrics.counter("durability.lost").inc()
         future = self._loop.create_future()
         with self._lock:
             index = self._next_index
@@ -992,6 +1051,7 @@ class SpmmService:
                 "cache_slo": self.cache.slo_report(),
                 "failures": [f.to_dict() for f in self._failures[-20:]],
                 "dispatch_error": self._dispatch_error,
+                "durability": self.pressure.snapshot(),
             },
         }
 
@@ -1013,6 +1073,56 @@ class SpmmService:
                         else None
                     ),
                 },
+                "durability": self.pressure.snapshot(),
+            },
+        }
+
+    def _op_selfcheck(self) -> dict:
+        """On-demand integrity audit of every durable/shared plane.
+
+        Checks each resident operand segment against its publish-time
+        checksums (corrupt segments are quarantined and republished from
+        the owner's source copy on the spot), audits every file the
+        persistent store's manifest references (bad matrices/entries are
+        quarantined so later gets re-derive), and reports the
+        resource-pressure view of the journal/intent planes.  ``healthy``
+        is the single verdict: no corruption found and no plane degraded.
+        """
+        corrupt = self.operands.verify_all()
+        republished = {}
+        for token in corrupt:
+            republished[token] = self.operands.republish(token) is not None
+        if corrupt:
+            self.metrics.counter("integrity.corruption_detected").inc(
+                len(corrupt)
+            )
+            self.metrics.counter("integrity.republished").inc(
+                sum(1 for ok in republished.values() if ok)
+            )
+        segments = {
+            "checked": len(self.operands.descriptors) + len(corrupt),
+            "corrupt": {token: list(bad) for token, bad in corrupt.items()},
+            "republished": republished,
+        }
+        persist_report = (
+            self.persist.verify_manifest(repair=True)
+            if self.persist is not None
+            else None
+        )
+        persist_clean = persist_report is None or not (
+            persist_report["corrupt"] or persist_report["missing"]
+        )
+        return {
+            "status": STATUS_OK,
+            "result": {
+                "healthy": bool(
+                    not corrupt
+                    and persist_clean
+                    and not self.pressure.any_degraded
+                ),
+                "segments": segments,
+                "persist": persist_report,
+                "durability": self.pressure.snapshot(),
             },
         }
 

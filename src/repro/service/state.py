@@ -55,27 +55,52 @@ _REQUIRED = ("fingerprint", "tenant", "matrix", "k", "seed", "tile_width",
 class ServiceState:
     """One service instance's durable state directory (see module doc)."""
 
-    def __init__(self, state_dir: str):
+    def __init__(self, state_dir: str, *, pressure=None):
+        from ..runtime.pressure import ResourcePressure
+
         self.state_dir = str(state_dir)
         os.makedirs(self.state_dir, exist_ok=True)
         self.accepted_path = os.path.join(self.state_dir, "accepted.jsonl")
         self.journal_path = os.path.join(self.state_dir, "journal.jsonl")
+        #: resource-exhaustion policy, shared with the completion journal
+        #: so the service reports one unified per-plane health view
+        self.pressure = pressure if pressure is not None else ResourcePressure()
         #: the completion journal (shared instance so appends dedupe)
-        self.journal = RunJournal(self.journal_path)
+        self.journal = RunJournal(self.journal_path, pressure=self.pressure)
         self._accepted_fps: set[str] = set()
+        #: intents *not* durably logged because the plane is degraded
+        self.lost = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True once an intent-log write failure degraded durability."""
+        return self.pressure.is_degraded("intent")
 
     # -------------------------------------------------------------- writes
     def record_accepted(self, intent: dict) -> bool:
-        """Durably log one admitted request; returns False on dedupe.
+        """Log one admitted request durably; returns False when it didn't.
 
         Must be called *before* the request becomes visible to the
         dispatcher — the ordering is the crash-safety argument.
+
+        A write failure (``ENOSPC``, quota) degrades instead of raising:
+        the service keeps admitting and answering correctly, the skipped
+        intents are counted in :attr:`lost` (the ``durability.lost``
+        metric), and the weakened contract is exactly "a crash between
+        acceptance and completion may drop this request" — the client
+        still gets its answer or its connection error, never a silent
+        wrong result (see docs/RELIABILITY.md).
         """
         fp = intent["fingerprint"]
         if fp in self._accepted_fps:
             return False
         doc = {"version": STATE_VERSION, "kind": "accepted"}
         doc.update({k: intent[k] for k in _REQUIRED})
+        if self.degraded:
+            self.lost += 1
+            self.pressure.record_lost("intent")
+            self._accepted_fps.add(fp)
+            return False
         line = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         try:
             with open(self.accepted_path, "a") as fh:
@@ -83,21 +108,30 @@ class ServiceState:
                 fh.flush()
                 os.fsync(fh.fileno())
         except OSError as exc:
-            raise JournalError(
-                f"cannot append to intent log {self.accepted_path}: {exc}"
-            ) from None
+            self.pressure.strike("intent", exc)
+            self.lost += 1
+            self.pressure.record_lost("intent")
+            self._accepted_fps.add(fp)
+            return False
         self._accepted_fps.add(fp)
         return True
 
-    def compact_accepted(self, outstanding: list) -> None:
+    def compact_accepted(self, outstanding: list) -> bool:
         """Atomically rewrite the intent log with only ``outstanding``.
 
         Called after recovery planning: intents whose records are already
         journaled are dropped (temp file + rename, so a crash mid-compact
-        leaves the previous log intact).
+        leaves the previous log intact — which is also why a *failed*
+        compaction degrades instead of raising: the previous log is still
+        whole, and already-journaled intents merely replay as dedupes on
+        the next restart).  Returns whether the rewrite landed.
         """
         directory = self.state_dir or "."
-        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".accepted.")
+        try:
+            fd, tmp = tempfile.mkstemp(dir=directory, prefix=".accepted.")
+        except OSError as exc:
+            self.pressure.strike("intent", exc)
+            return False
         try:
             with os.fdopen(fd, "w") as fh:
                 for intent in outstanding:
@@ -115,10 +149,10 @@ class ServiceState:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise JournalError(
-                f"cannot compact intent log {self.accepted_path}: {exc}"
-            ) from None
+            self.pressure.strike("intent", exc)
+            return False
         self._accepted_fps = {i["fingerprint"] for i in outstanding}
+        return True
 
     # --------------------------------------------------------------- reads
     def load_accepted(self) -> list:

@@ -19,7 +19,13 @@ contract.
 
 from __future__ import annotations
 
-from .layout import ADAPTERS, ArraySpec, SegmentDescriptor
+from .layout import (
+    ADAPTERS,
+    ArraySpec,
+    SegmentDescriptor,
+    array_crc32,
+    verify_arrays,
+)
 from .persist import MANIFEST_VERSION, PersistentFormatStore, encode_key
 from .registry import (
     SharedOperandRegistry,
@@ -38,8 +44,10 @@ __all__ = [
     "PersistentFormatStore",
     "SegmentDescriptor",
     "SharedOperandRegistry",
+    "array_crc32",
     "attach_dense",
     "attach_matrix",
+    "verify_arrays",
     "csr_spmm_rows",
     "default_lease_dir",
     "detach_all",

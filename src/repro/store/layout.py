@@ -21,6 +21,7 @@ so shared-memory and persistent representations stay interchangeable.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,15 +45,34 @@ def native_contiguous(arr: np.ndarray) -> np.ndarray:
     return a
 
 
+def array_crc32(arr: np.ndarray) -> int:
+    """CRC32 of an array's native-contiguous bytes (the integrity stamp).
+
+    The same checksum the engine boundary uses for beat streams
+    (:func:`repro.resilience.faults.stream_crc`), applied per backing
+    array at publish/spill time and re-checked on first attach/reload.
+    Computed over the raw buffer (no copy for contiguous arrays), so
+    verification cost is one linear pass.
+    """
+    a = native_contiguous(np.asarray(arr))
+    return zlib.crc32(a.data if a.flags.c_contiguous else a.tobytes()) & 0xFFFFFFFF
+
+
 @dataclass(frozen=True)
 class ArraySpec:
-    """One array's slot inside a segment: dtype, shape, byte extent."""
+    """One array's slot inside a segment: dtype, shape, byte extent.
+
+    ``crc32`` is the integrity stamp computed at publish time (``None``
+    on descriptors from before checksumming existed; those attach
+    unverified rather than failing).
+    """
 
     name: str
     dtype: str
     shape: tuple
     offset: int
     nbytes: int
+    crc32: int | None = None
 
 
 @dataclass(frozen=True)
@@ -155,6 +175,7 @@ def pack_specs(arrays: dict) -> tuple[tuple, int]:
                 shape=tuple(a.shape),
                 offset=offset,
                 nbytes=a.nbytes,
+                crc32=array_crc32(a),
             )
         )
         offset = _aligned(offset + a.nbytes)
@@ -167,6 +188,22 @@ def write_arrays(buf, specs: tuple, arrays: dict) -> None:
         src = native_contiguous(np.asarray(arrays[spec.name]))
         dst = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=buf, offset=spec.offset)
         dst[...] = src
+
+
+def verify_arrays(arrays: dict, specs: tuple) -> list[str]:
+    """Names of arrays whose bytes disagree with their spec's checksum.
+
+    Specs without a stamp (``crc32 is None``) are skipped — pre-checksum
+    descriptors stay attachable.  An empty list means every stamped array
+    verified.
+    """
+    bad = []
+    for spec in specs:
+        if spec.crc32 is None:
+            continue
+        if array_crc32(arrays[spec.name]) != spec.crc32:
+            bad.append(spec.name)
+    return bad
 
 
 def read_arrays(buf, specs: tuple, *, writeable: bool = False) -> dict:

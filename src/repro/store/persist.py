@@ -41,11 +41,20 @@ import time
 
 import numpy as np
 
+from ..errors import OperandCorruptionError
 from ..util import canonical_json
-from .layout import ADAPTERS, matrix_arrays, matrix_from_arrays, native_contiguous
+from .layout import (
+    ADAPTERS,
+    array_crc32,
+    matrix_arrays,
+    matrix_from_arrays,
+    native_contiguous,
+)
 
 #: Manifest schema version (bumped on incompatible layout changes).
-MANIFEST_VERSION = 1
+#: v2 added per-file CRC32 stamps; v1 stores are treated as empty and
+#: re-derived rather than loaded unverifiable.
+MANIFEST_VERSION = 2
 
 #: Stat names every store reports (zeroed at construction).
 STAT_KEYS = (
@@ -56,6 +65,21 @@ STAT_KEYS = (
     "bytes_written",
     "spill_s",
     "load_s",
+    "verify_s",
+    "corrupt_dropped",
+    "write_errors",
+    "over_budget_drops",
+)
+
+#: Exceptions a reload treats as a corrupt/torn on-disk artifact (the
+#: entry is dropped, counted, and re-derived — never believed).
+_CORRUPT_EXCS = (
+    OperandCorruptionError,
+    OSError,
+    ValueError,
+    EOFError,
+    KeyError,
+    pickle.UnpicklingError,
 )
 
 
@@ -79,7 +103,10 @@ class PersistentFormatStore:
         *,
         max_bytes: int | None = None,
         readonly: bool = False,
+        pressure=None,
     ):
+        from ..runtime.pressure import ResourcePressure
+
         self.root = os.path.abspath(root)
         self.readonly = bool(readonly)
         self.max_bytes = int(max_bytes) if max_bytes else None
@@ -88,6 +115,12 @@ class PersistentFormatStore:
         self._manifest = self._load_manifest()
         #: process-local rebuilt matrices, fingerprint -> container
         self._matrices: dict[str, object] = {}
+        #: rel paths whose checksum already verified in this process
+        self._verified: set[str] = set()
+        #: resource-exhaustion policy (shareable across planes); a write
+        #: failure flips the store read-only for the rest of the lifetime
+        self.pressure = pressure if pressure is not None else ResourcePressure()
+        self._write_disabled = False
         self.stats = {k: (0.0 if k.endswith("_s") else 0) for k in STAT_KEYS}
 
     # ------------------------------------------------------------ manifest
@@ -126,7 +159,8 @@ class PersistentFormatStore:
     def _abs(self, rel: str) -> str:
         return os.path.join(self.root, rel)
 
-    def _save_array(self, rel: str, arr) -> int:
+    def _save_array(self, rel: str, arr) -> tuple[int, int]:
+        """Write one ``.npy``; returns ``(nbytes, crc)`` for the manifest."""
         path = self._abs(rel)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         a = native_contiguous(np.asarray(arr))
@@ -134,23 +168,67 @@ class PersistentFormatStore:
             np.save(fh, a)
             fh.flush()
             os.fsync(fh.fileno())
-        return os.path.getsize(path)
+        self._verified.add(rel)  # we just wrote these exact bytes
+        return os.path.getsize(path), array_crc32(a)
 
-    def _save_pickle(self, rel: str, obj) -> int:
+    def _save_pickle(self, rel: str, obj) -> tuple[int, int]:
+        """Write one pickle; returns ``(nbytes, crc)`` over its bytes."""
+        import zlib
+
         path = self._abs(rel)
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         with open(path, "wb") as fh:
-            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(blob)
             fh.flush()
             os.fsync(fh.fileno())
-        return os.path.getsize(path)
+        self._verified.add(rel)
+        return len(blob), zlib.crc32(blob) & 0xFFFFFFFF
 
-    def _load_array(self, rel: str):
-        return np.load(self._abs(rel), mmap_mode="r")
+    def _load_array(self, rel: str, crc=None):
+        """mmap one ``.npy``, verifying its checksum on first load.
 
-    def _load_pickle(self, rel: str):
+        Verification (memoized per process per path) forces one linear
+        read of the data — measured in ``verify_s`` so the warm-start
+        bench can assert the overhead stays under its budget.  A mismatch
+        raises :class:`~repro.errors.OperandCorruptionError`; a torn or
+        truncated file surfaces as ``ValueError``/``OSError`` from
+        ``np.load`` — both are handled identically by callers (drop the
+        entry, re-derive).
+        """
+        arr = np.load(self._abs(rel), mmap_mode="r")
+        if crc is not None and rel not in self._verified:
+            start = time.perf_counter()
+            actual = array_crc32(arr)
+            self.stats["verify_s"] += time.perf_counter() - start
+            if actual != crc:
+                raise OperandCorruptionError(
+                    f"persisted array {rel} failed its integrity check",
+                    segment=rel,
+                    arrays=(rel,),
+                    plane="persist",
+                )
+            self._verified.add(rel)
+        return arr
+
+    def _load_pickle(self, rel: str, crc=None):
+        import zlib
+
         with open(self._abs(rel), "rb") as fh:
-            return pickle.load(fh)
+            blob = fh.read()
+        if crc is not None and rel not in self._verified:
+            start = time.perf_counter()
+            actual = zlib.crc32(blob) & 0xFFFFFFFF
+            self.stats["verify_s"] += time.perf_counter() - start
+            if actual != crc:
+                raise OperandCorruptionError(
+                    f"persisted pickle {rel} failed its integrity check",
+                    segment=rel,
+                    arrays=(rel,),
+                    plane="persist",
+                )
+            self._verified.add(rel)
+        return pickle.loads(blob)
 
     # ------------------------------------------------------------ matrices
     def _persist_matrix(self, fingerprint: str, matrix) -> dict:
@@ -164,15 +242,18 @@ class PersistentFormatStore:
             # No adapter for this container: fall back to its COO triplets.
             rows, cols, vals = matrix.to_coo_arrays()
             arrays = {"rows": rows, "cols": cols, "values": vals}
-        refs, nbytes = {}, 0
+        refs, crcs, nbytes = {}, {}, 0
         for name, arr in arrays.items():
             rel = os.path.join("matrices", fingerprint, f"base.{name}.npy")
-            nbytes += self._save_array(rel, arr)
+            size, crc = self._save_array(rel, arr)
+            nbytes += size
             refs[name] = rel
+            crcs[name] = crc
         row = {
             "kind": kind,
             "shape": [int(matrix.n_rows), int(matrix.n_cols)],
             "arrays": refs,
+            "crc": crcs,
             "formats": {},
             "bytes": nbytes,
         }
@@ -188,34 +269,57 @@ class PersistentFormatStore:
                 continue
             arrays = matrix_arrays(container) if fmt in ADAPTERS else None
             if arrays is not None:
-                refs = {}
+                refs, crcs = {}, {}
                 nbytes = 0
                 for name, arr in arrays.items():
                     rel = os.path.join(
                         "matrices", fingerprint, f"fmt.{fmt}.{name}.npy"
                     )
-                    nbytes += self._save_array(rel, arr)
+                    size, crc = self._save_array(rel, arr)
+                    nbytes += size
                     refs[name] = rel
-                row["formats"][fmt] = {"kind": "arrays", "arrays": refs, "bytes": nbytes}
+                    crcs[name] = crc
+                row["formats"][fmt] = {
+                    "kind": "arrays", "arrays": refs, "crc": crcs,
+                    "bytes": nbytes,
+                }
             else:
                 rel = os.path.join("matrices", fingerprint, f"fmt.{fmt}.pkl")
-                nbytes = self._save_pickle(rel, container)
-                row["formats"][fmt] = {"kind": "pickle", "path": rel, "bytes": nbytes}
+                nbytes, crc = self._save_pickle(rel, container)
+                row["formats"][fmt] = {
+                    "kind": "pickle", "path": rel, "crc": crc, "bytes": nbytes,
+                }
             row["bytes"] += nbytes
             self.stats["bytes_written"] += nbytes
             added += 1
         return added
 
     def load_matrix(self, fingerprint: str):
-        """Rebuild (and memoize) the base container for ``fingerprint``."""
+        """Rebuild (and memoize) the base container for ``fingerprint``.
+
+        Every backing array is checksum-verified on first load (memoized
+        per process).  A corrupt, torn, or missing file quarantines the
+        whole fingerprint — the matrix row *and* every entry built on it
+        are dropped (``corrupt_dropped``) and ``None`` is returned, so
+        the caller re-derives from the original operand rather than
+        trusting damaged bytes.
+        """
         cached = self._matrices.get(fingerprint)
         if cached is not None:
             return cached
         row = self._manifest["matrices"].get(fingerprint)
         if row is None:
             return None
-        arrays = {name: self._load_array(rel) for name, rel in row["arrays"].items()}
-        matrix = matrix_from_arrays(row["kind"], tuple(row["shape"]), arrays)
+        crcs = row.get("crc", {})
+        try:
+            arrays = {
+                name: self._load_array(rel, crcs.get(name))
+                for name, rel in row["arrays"].items()
+            }
+            matrix = matrix_from_arrays(row["kind"], tuple(row["shape"]), arrays)
+        except _CORRUPT_EXCS:
+            self._quarantine_matrix(fingerprint)
+            return None
         from ..runtime.cache import seed_fingerprint
 
         seed_fingerprint(matrix, fingerprint)
@@ -235,41 +339,51 @@ class PersistentFormatStore:
         plan.  Cheap when nothing new accrued since the last call —
         callers invoke this after every run (write-back), not just on
         insert, because conversions materialize lazily *during* runs.
-        Returns ``True`` if anything was written.
+        Returns ``True`` if anything was written.  A write failure
+        (disk full, quota) never raises: the store degrades to read-only
+        for the rest of this lifetime, evicts its least-recently-used
+        entry to hand space back to the planes that matter more (the
+        journal), and counts the incident (``write_errors``,
+        ``pressure``) — warm starts keep serving from what is already on
+        disk.
         """
-        if self.readonly:
+        if self.readonly or self._write_disabled:
             return False
         start = time.perf_counter()
         key_str = encode_key(key)
         fingerprint = str(key[0])
-        known = self._manifest["entries"].get(key_str)
-        row = self._manifest["matrices"].get(fingerprint)
-        dirty = False
-        if row is None:
-            row = self._persist_matrix(fingerprint, entry.store.matrix)
-            dirty = True
-        if self._persist_formats(fingerprint, row, entry.store):
-            dirty = True
-        if known is None:
-            eid = _entry_id(key_str)
-            known = {
-                "id": eid,
-                "fingerprint": fingerprint,
-                "plan": entry.plan.to_dict(),
-                "artifacts": [],
-                "bytes": 0,
-                "seq": self._manifest["seq"],
-            }
-            self._manifest["entries"][key_str] = known
-            self._manifest["seq"] += 1
-            dirty = True
-        if self._persist_artifacts(known, entry.store):
-            dirty = True
-        if dirty:
-            self._enforce_budget(keep=key_str)
-            self._write_manifest()
-            self.stats["spills"] += 1
-            self.stats["spill_s"] += time.perf_counter() - start
+        try:
+            known = self._manifest["entries"].get(key_str)
+            row = self._manifest["matrices"].get(fingerprint)
+            dirty = False
+            if row is None:
+                row = self._persist_matrix(fingerprint, entry.store.matrix)
+                dirty = True
+            if self._persist_formats(fingerprint, row, entry.store):
+                dirty = True
+            if known is None:
+                eid = _entry_id(key_str)
+                known = {
+                    "id": eid,
+                    "fingerprint": fingerprint,
+                    "plan": entry.plan.to_dict(),
+                    "artifacts": [],
+                    "bytes": 0,
+                    "seq": self._manifest["seq"],
+                }
+                self._manifest["entries"][key_str] = known
+                self._manifest["seq"] += 1
+                dirty = True
+            if self._persist_artifacts(known, entry.store):
+                dirty = True
+            if dirty:
+                self._enforce_budget(keep=key_str)
+                self._write_manifest()
+                self.stats["spills"] += 1
+                self.stats["spill_s"] += time.perf_counter() - start
+        except OSError as exc:
+            self._degrade(exc)
+            return False
         return dirty
 
     def _persist_artifacts(self, known: dict, store) -> int:
@@ -282,14 +396,14 @@ class PersistentFormatStore:
             n = len(known["artifacts"])
             if isinstance(obj, np.ndarray):
                 rel = os.path.join("entries", known["id"], f"art.{n}.npy")
-                nbytes = self._save_array(rel, obj)
+                nbytes, crc = self._save_array(rel, obj)
                 kind = "npy"
             else:
                 rel = os.path.join("entries", known["id"], f"art.{n}.pkl")
-                nbytes = self._save_pickle(rel, obj)
+                nbytes, crc = self._save_pickle(rel, obj)
                 kind = "pickle"
             known["artifacts"].append(
-                {"key": list(art_key), "kind": kind, "path": rel}
+                {"key": list(art_key), "kind": kind, "path": rel, "crc": crc}
             )
             known["bytes"] += nbytes
             self.stats["bytes_written"] += nbytes
@@ -305,7 +419,8 @@ class PersistentFormatStore:
         ``cached=True`` conversion spans), and every artifact, including
         the seeded dense operand and engine conversions.
         """
-        known = self._manifest["entries"].get(encode_key(key))
+        key_str = encode_key(key)
+        known = self._manifest["entries"].get(key_str)
         if known is None:
             self.stats["misses"] += 1
             return None
@@ -317,30 +432,48 @@ class PersistentFormatStore:
         fingerprint = known["fingerprint"]
         matrix = self.load_matrix(fingerprint)
         if matrix is None:
+            # Missing — or corrupt and just quarantined by load_matrix —
+            # either way the caller re-derives.
             self.stats["misses"] += 1
             return None
         store = FormatStore(matrix)
         row = self._manifest["matrices"][fingerprint]
-        for fmt, ref in row["formats"].items():
-            if ref["kind"] == "arrays":
-                arrays = {
-                    name: self._load_array(rel)
-                    for name, rel in ref["arrays"].items()
-                }
-                store._formats[fmt] = matrix_from_arrays(
-                    fmt, tuple(row["shape"]), arrays
+        try:
+            for fmt, ref in row["formats"].items():
+                if ref["kind"] == "arrays":
+                    crcs = ref.get("crc", {})
+                    arrays = {
+                        name: self._load_array(rel, crcs.get(name))
+                        for name, rel in ref["arrays"].items()
+                    }
+                    store._formats[fmt] = matrix_from_arrays(
+                        fmt, tuple(row["shape"]), arrays
+                    )
+                else:
+                    store._formats[fmt] = self._load_pickle(
+                        ref["path"], ref.get("crc")
+                    )
+            for art in known["artifacts"]:
+                art_key = tuple(
+                    tuple(k) if isinstance(k, list) else k for k in art["key"]
                 )
-            else:
-                store._formats[fmt] = self._load_pickle(ref["path"])
-        for art in known["artifacts"]:
-            art_key = tuple(
-                tuple(k) if isinstance(k, list) else k for k in art["key"]
-            )
-            if art["kind"] == "npy":
-                store.artifacts[art_key] = self._load_array(art["path"])
-            else:
-                store.artifacts[art_key] = self._load_pickle(art["path"])
-        entry = CacheEntry(plan=SpmmPlan.from_dict(known["plan"]), store=store)
+                if art["kind"] == "npy":
+                    store.artifacts[art_key] = self._load_array(
+                        art["path"], art.get("crc")
+                    )
+                else:
+                    store.artifacts[art_key] = self._load_pickle(
+                        art["path"], art.get("crc")
+                    )
+            plan = SpmmPlan.from_dict(known["plan"])
+        except _CORRUPT_EXCS:
+            # A torn or bit-flipped spill is dropped and re-derived, never
+            # silently believed (the corruption failure matrix is in
+            # docs/STORAGE.md).
+            self._quarantine_entry(key_str)
+            self.stats["misses"] += 1
+            return None
+        entry = CacheEntry(plan=plan, store=store)
         self._touch(known)
         self.stats["loads"] += 1
         self.stats["load_s"] += time.perf_counter() - start
@@ -358,8 +491,8 @@ class PersistentFormatStore:
         """
         known["seq"] = self._manifest["seq"]
         self._manifest["seq"] += 1
-        if not self.readonly:
-            self._write_manifest()
+        if not self.readonly and not self._write_disabled:
+            self._safe_write_manifest()
 
     def __contains__(self, key: tuple) -> bool:
         return encode_key(key) in self._manifest["entries"]
@@ -385,9 +518,18 @@ class PersistentFormatStore:
                 default=None,
             )
             if victim is None:
-                return
+                break
             self._drop_entry(victim)
             self.stats["evictions"] += 1
+        # The loop never evicts the entry being written, so a single
+        # entry larger than the whole budget would otherwise stay
+        # resident forever.  Evict it too (counted separately as
+        # ``over_budget_drops``): an over-budget store must converge on
+        # empty, not on one permanently oversized resident.
+        if self.disk_bytes() > self.max_bytes and keep in entries:
+            self._drop_entry(keep)
+            self.stats["evictions"] += 1
+            self.stats["over_budget_drops"] += 1
 
     def _drop_entry(self, key_str: str) -> None:
         known = self._manifest["entries"].pop(key_str)
@@ -402,17 +544,168 @@ class PersistentFormatStore:
             row = self._manifest["matrices"].pop(fingerprint, None)
             self._matrices.pop(fingerprint, None)
             if row is not None:
-                for rel in row["arrays"].values():
+                self._unlink_matrix_row(row)
+
+    def _unlink_matrix_row(self, row: dict) -> None:
+        for rel in row["arrays"].values():
+            self._unlink(rel)
+        for ref in row["formats"].values():
+            if ref["kind"] == "arrays":
+                for rel in ref["arrays"].values():
                     self._unlink(rel)
-                for ref in row["formats"].values():
-                    if ref["kind"] == "arrays":
-                        for rel in ref["arrays"].values():
-                            self._unlink(rel)
-                    else:
-                        self._unlink(ref["path"])
+            else:
+                self._unlink(ref["path"])
 
     def _unlink(self, rel: str) -> None:
         try:
             os.unlink(self._abs(rel))
-        except FileNotFoundError:
+        except OSError:
             pass
+        self._verified.discard(rel)
+
+    # ----------------------------------------------- integrity & pressure
+    def _quarantine_matrix(self, fingerprint: str) -> None:
+        """Drop a corrupt persisted matrix and every entry built on it.
+
+        Counted once per incident in ``corrupt_dropped``.  Readonly
+        handles (workers) distrust the rows in-process only — the writer
+        is the one that unlinks files and rewrites the manifest.
+        """
+        self.stats["corrupt_dropped"] += 1
+        self._matrices.pop(fingerprint, None)
+        stale = [
+            k for k, e in self._manifest["entries"].items()
+            if e["fingerprint"] == fingerprint
+        ]
+        if self.readonly:
+            for k in stale:
+                self._manifest["entries"].pop(k, None)
+            self._manifest["matrices"].pop(fingerprint, None)
+            return
+        for k in stale:
+            self._drop_entry(k)
+        row = self._manifest["matrices"].pop(fingerprint, None)
+        if row is not None:
+            self._unlink_matrix_row(row)
+        self._safe_write_manifest()
+
+    def _quarantine_entry(self, key_str: str) -> None:
+        """Drop one entry whose formats/artifacts failed verification."""
+        self.stats["corrupt_dropped"] += 1
+        if self.readonly:
+            self._manifest["entries"].pop(key_str, None)
+            return
+        if key_str in self._manifest["entries"]:
+            self._drop_entry(key_str)
+        self._safe_write_manifest()
+
+    def _degrade(self, exc: OSError) -> None:
+        """Write failure: flip read-only for this lifetime, evict the LRU.
+
+        Eviction hands disk back to the planes that matter more under
+        ENOSPC (the run journal and intent log); the store keeps
+        answering warm starts from whatever the manifest already trusts.
+        """
+        self.pressure.strike("persist", exc)
+        self.stats["write_errors"] += 1
+        self._write_disabled = True
+        entries = self._manifest["entries"]
+        victim = min(entries, key=lambda k: entries[k]["seq"], default=None)
+        if victim is not None:
+            self._drop_entry(victim)
+            self.stats["evictions"] += 1
+        self._safe_write_manifest()
+
+    def _safe_write_manifest(self) -> None:
+        """Manifest write that degrades instead of raising on I/O failure."""
+        if self.readonly:
+            return
+        try:
+            self._write_manifest()
+        except OSError as exc:
+            self.pressure.strike("persist", exc)
+            self.stats["write_errors"] += 1
+            self._write_disabled = True
+
+    @property
+    def degraded(self) -> bool:
+        """True once a write failure flipped this handle read-only."""
+        return self._write_disabled
+
+    def verify_manifest(self, *, repair: bool = False) -> dict:
+        """Integrity-audit every file the manifest references.
+
+        Re-checks checksums from disk even for files verified earlier in
+        this process (bytes can rot *after* a load), so this is the
+        ``selfcheck`` backing for the persist plane.  With ``repair=True``
+        (writer side) the matrices/entries touching a bad file are
+        quarantined so later gets re-derive.  Returns a plain-JSON report.
+        """
+        corrupt: list = []
+        missing: list = []
+        checked = 0
+        bad_fingerprints: set = set()
+        bad_entries: set = set()
+
+        def check(rel, crc, kind, owner):
+            nonlocal checked
+            checked += 1
+            state = self._check_file(rel, crc, kind)
+            if state == "ok":
+                return
+            (missing if state == "missing" else corrupt).append(rel)
+            scope, name = owner
+            (bad_fingerprints if scope == "matrix" else bad_entries).add(name)
+
+        for fp, row in self._manifest["matrices"].items():
+            crcs = row.get("crc", {})
+            for name, rel in row["arrays"].items():
+                check(rel, crcs.get(name), "npy", ("matrix", fp))
+            for ref in row["formats"].values():
+                if ref["kind"] == "arrays":
+                    fmt_crcs = ref.get("crc", {})
+                    for name, rel in ref["arrays"].items():
+                        check(rel, fmt_crcs.get(name), "npy", ("matrix", fp))
+                else:
+                    check(ref["path"], ref.get("crc"), "pickle", ("matrix", fp))
+        for key_str, known in self._manifest["entries"].items():
+            for art in known["artifacts"]:
+                check(
+                    art["path"], art.get("crc"), art["kind"],
+                    ("entry", key_str),
+                )
+        if repair:
+            for fp in bad_fingerprints:
+                self._quarantine_matrix(fp)
+            for key_str in bad_entries:
+                if key_str in self._manifest["entries"]:
+                    self._quarantine_entry(key_str)
+        return {
+            "files": checked,
+            "verified": checked - len(corrupt) - len(missing),
+            "corrupt": sorted(corrupt),
+            "missing": sorted(missing),
+            "repaired": bool(repair and (bad_fingerprints or bad_entries)),
+        }
+
+    def _check_file(self, rel: str, crc, kind: str) -> str:
+        """``"ok"`` / ``"corrupt"`` / ``"missing"`` for one referenced file."""
+        import zlib
+
+        path = self._abs(rel)
+        start = time.perf_counter()
+        try:
+            if kind == "npy":
+                actual = array_crc32(np.load(path, mmap_mode="r"))
+            else:
+                with open(path, "rb") as fh:
+                    actual = zlib.crc32(fh.read()) & 0xFFFFFFFF
+        except FileNotFoundError:
+            return "missing"
+        except _CORRUPT_EXCS:
+            return "corrupt"
+        finally:
+            self.stats["verify_s"] += time.perf_counter() - start
+        if crc is not None and actual != crc:
+            return "corrupt"
+        return "ok"

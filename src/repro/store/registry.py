@@ -34,6 +34,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..errors import OperandCorruptionError
 from .layout import (
     SegmentDescriptor,
     matrix_arrays,
@@ -41,6 +42,7 @@ from .layout import (
     native_contiguous,
     pack_specs,
     read_arrays,
+    verify_arrays,
     write_arrays,
 )
 
@@ -53,6 +55,9 @@ STAT_KEYS = (
     "orphans_swept",
     "releases",
     "unlinked",
+    "publish_failures",
+    "republished",
+    "corruption_detected",
 )
 
 
@@ -105,14 +110,22 @@ def pickled_nbytes(obj) -> int:
 class SharedOperandRegistry:
     """Owner of the shared-memory segments for one process's operands."""
 
-    def __init__(self, *, lease_dir: str | None = None):
+    def __init__(self, *, lease_dir: str | None = None, pressure=None):
+        from ..runtime.pressure import ResourcePressure
+
         self.lease_dir = lease_dir if lease_dir is not None else default_lease_dir()
         os.makedirs(self.lease_dir, exist_ok=True)
         #: token -> (SharedMemory, SegmentDescriptor)
         self._segments: dict[str, tuple] = {}
         #: token -> refcount (publishers + explicit acquires)
         self._refs: dict[str, int] = {}
+        #: token -> (kind, shape, arrays) — the publisher's own copy, the
+        #: source of truth :meth:`republish` rebuilds a corrupted segment
+        #: from (array references, not copies: zero extra resident bytes)
+        self._sources: dict[str, tuple] = {}
         self._counter = 0
+        #: resource-exhaustion policy (shareable across planes)
+        self.pressure = pressure if pressure is not None else ResourcePressure()
         self.stats = dict.fromkeys(STAT_KEYS, 0)
 
     # ---------------------------------------------------------- publishing
@@ -120,12 +133,39 @@ class SharedOperandRegistry:
         self._counter += 1
         return f"repro-{token[:12]}-{os.getpid()}-{self._counter}"
 
-    def _publish(self, token: str, kind: str, shape, arrays: dict) -> SegmentDescriptor:
+    def _publish(
+        self, token: str, kind: str, shape, arrays: dict
+    ) -> SegmentDescriptor | None:
+        """Create and fill one segment; ``None`` under resource pressure.
+
+        Shared-memory exhaustion (``ENOSPC``/``ENOMEM`` on the tmpfs
+        backing ``/dev/shm``) degrades the registry to pickled shipping
+        instead of crashing: the failure is classified into
+        :attr:`pressure`, counted as ``publish_failures``, and callers
+        fall back exactly as they do for adapter-less containers
+        (``store.fallback_pickle`` on their side).
+        """
         specs, total = pack_specs(arrays)
-        shm = shared_memory.SharedMemory(
-            create=True, size=total, name=self._segment_name(token)
-        )
-        write_arrays(shm.buf, specs, arrays)
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=total, name=self._segment_name(token)
+            )
+        except OSError as exc:
+            self.pressure.strike("registry", exc)
+            self.stats["publish_failures"] += 1
+            return None
+        try:
+            write_arrays(shm.buf, specs, arrays)
+        except (OSError, ValueError) as exc:
+            # Writing into the mapping faulted (tmpfs ran out under us):
+            # drop the partial segment, degrade to pickled shipping.
+            self.pressure.strike("registry", exc)
+            self.stats["publish_failures"] += 1
+            try:
+                _unlink_segment(shm)
+            except OSError:
+                pass
+            return None
         descriptor = SegmentDescriptor(
             segment=shm.name,
             token=token,
@@ -136,7 +176,13 @@ class SharedOperandRegistry:
         )
         self._segments[token] = (shm, descriptor)
         self._refs[token] = 1
-        self._write_lease(descriptor)
+        self._sources[token] = (kind, tuple(shape), dict(arrays))
+        try:
+            self._write_lease(descriptor)
+        except OSError as exc:
+            # A lost lease only impairs a *later* process's orphan sweep;
+            # the publish itself stands.
+            self.pressure.strike("registry", exc)
         self.stats["segments_created"] += 1
         self.stats["bytes_shipped"] += total
         return descriptor
@@ -145,8 +191,10 @@ class SharedOperandRegistry:
         """Ship ``matrix`` into shared memory (once per fingerprint).
 
         Returns the descriptor, or ``None`` when the container has no
-        registered array adapter (callers fall back to pickling and should
-        count ``store.bytes_pickled``).  Repeat publishes of the same
+        registered array adapter *or* shared memory is exhausted
+        (``publish_failures`` distinguishes the two); callers fall back
+        to pickling and should count ``store.bytes_pickled`` /
+        ``store.fallback_pickle``.  Repeat publishes of the same
         fingerprint bump the refcount and return the existing descriptor.
         """
         held = self._segments.get(fingerprint)
@@ -159,8 +207,11 @@ class SharedOperandRegistry:
             return None
         return self._publish(fingerprint, matrix.format_name, matrix.shape, arrays)
 
-    def publish_dense(self, dense, *, token: str | None = None) -> SegmentDescriptor:
+    def publish_dense(
+        self, dense, *, token: str | None = None
+    ) -> SegmentDescriptor | None:
         """Ship a dense operand; ``token`` defaults to a content hash.
+        Returns ``None`` under shared-memory exhaustion (pickle fallback).
 
         The content-hash default makes the dense plane content-addressed:
         byte-identical operands published by *different* callers (e.g.
@@ -210,6 +261,7 @@ class SharedOperandRegistry:
     def _unlink(self, token: str) -> None:
         shm, descriptor = self._segments.pop(token)
         self._refs.pop(token, None)
+        self._sources.pop(token, None)
         self._remove_lease(descriptor.segment)
         try:
             _unlink_segment(shm)
@@ -233,6 +285,69 @@ class SharedOperandRegistry:
     def descriptors(self) -> dict:
         """token -> live :class:`SegmentDescriptor`."""
         return {token: held[1] for token, held in self._segments.items()}
+
+    # ------------------------------------------------------------ integrity
+    def verify_segment(self, token: str) -> list[str]:
+        """Owner-side integrity check of one live segment.
+
+        Re-reads the segment's bytes against the checksums stamped at
+        publish time; returns the names of arrays that fail (empty =
+        healthy).  This is the selfcheck path — workers get the same
+        check implicitly on first attach.
+        """
+        held = self._segments.get(token)
+        if held is None:
+            raise KeyError(f"no segment published for {token!r}")
+        shm, descriptor = held
+        arrays = read_arrays(shm.buf, descriptor.arrays)
+        bad = verify_arrays(arrays, descriptor.arrays)
+        if bad:
+            self.stats["corruption_detected"] += 1
+        return bad
+
+    def verify_all(self) -> dict[str, list]:
+        """token -> corrupt array names, for every *unhealthy* segment."""
+        report = {}
+        for token in list(self._segments):
+            try:
+                bad = self.verify_segment(token)
+            except KeyError:
+                continue  # released concurrently
+            if bad:
+                report[token] = bad
+        return report
+
+    def republish(self, token: str) -> SegmentDescriptor | None:
+        """Quarantine ``token``'s segment and reship from the source copy.
+
+        The corruption-recovery path: the old segment is unlinked (any
+        worker still holding a read-only view keeps its stale mapping —
+        harmless, it is never consulted again) and the operand is
+        republished under a *fresh* segment name, so worker-side attach
+        memos (keyed by segment name) miss and the retry re-attaches and
+        re-verifies.  Refcounts carry over.  Returns the new descriptor,
+        or ``None`` if the source is gone or shared memory is exhausted.
+        """
+        source = self._sources.get(token)
+        if source is None:
+            return None
+        kind, shape, arrays = source
+        refs = self._refs.get(token, 1)
+        held = self._segments.pop(token, None)
+        self._refs.pop(token, None)
+        if held is not None:
+            shm, descriptor = held
+            self._remove_lease(descriptor.segment)
+            try:
+                _unlink_segment(shm)
+            except OSError:
+                pass
+            self.stats["unlinked"] += 1
+        descriptor = self._publish(token, kind, shape, arrays)
+        if descriptor is not None:
+            self._refs[token] = refs
+            self.stats["republished"] += 1
+        return descriptor
 
     # --------------------------------------------------------------- leases
     def _lease_path(self, segment: str) -> str:
@@ -263,6 +378,15 @@ class SharedOperandRegistry:
         Scans the lease directory; any lease whose pid is no longer alive
         has its segment unlinked and its lease removed.  Returns the number
         of orphaned segments reclaimed (counted in ``orphans_swept``).
+
+        The scan races benignly with live publishers and with concurrent
+        sweeps: a lease that vanishes mid-scan (its owner released the
+        segment, or another sweeper got there first), undecodable lease
+        JSON, or a structurally wrong lease body (non-dict, non-string
+        segment name) is skipped, never raised.  A lease whose owner is
+        alive is always left alone — publishers write the lease *after*
+        creating the segment, so a sweep can never observe a live
+        publisher's segment without its pid-bearing lease.
         """
         swept = 0
         try:
@@ -277,19 +401,22 @@ class SharedOperandRegistry:
                 with open(path, encoding="utf-8") as fh:
                     lease = json.load(fh)
                 pid = int(lease["pid"])
-            except (OSError, ValueError, KeyError):
+                segment = lease["segment"]
+                if not isinstance(segment, str) or not segment:
+                    raise ValueError("lease without a segment name")
+            except (OSError, ValueError, KeyError, TypeError):
                 continue
             if _pid_alive(pid):
                 continue
             try:
-                shm = _attach_segment(lease["segment"])
+                shm = _attach_segment(segment)
                 _unlink_segment(shm)
                 swept += 1
-            except FileNotFoundError:
+            except OSError:
                 pass  # segment already gone; just drop the stale lease
             try:
                 os.unlink(path)
-            except FileNotFoundError:
+            except OSError:
                 pass
         self.stats["orphans_swept"] += swept
         return swept
@@ -318,12 +445,36 @@ _MATERIALIZED: dict[str, object] = {}
 
 
 def _attached_arrays(descriptor: SegmentDescriptor) -> tuple[dict, bool]:
-    """Read-only array views for ``descriptor``; ``True`` if freshly mapped."""
+    """Read-only array views for ``descriptor``; ``True`` if freshly mapped.
+
+    A fresh mapping is verified against the descriptor's publish-time
+    checksums before it is memoized (memo hits were verified when first
+    mapped).  A mismatch raises a structured
+    :class:`~repro.errors.OperandCorruptionError` — never a silent wrong
+    result — without memoizing, so a retry against a republished segment
+    (fresh name, fresh verification) can succeed.
+    """
     held = _ATTACHED.get(descriptor.segment)
     if held is not None:
         return held[1], False
     shm = _attach_segment(descriptor.segment)
     arrays = read_arrays(shm.buf, descriptor.arrays)
+    bad = verify_arrays(arrays, descriptor.arrays)
+    if bad:
+        arrays = None  # drop the views before closing the mapping
+        try:
+            shm.close()
+        except Exception:
+            pass
+        raise OperandCorruptionError(
+            f"segment {descriptor.segment} for operand "
+            f"{descriptor.token[:12]} failed its integrity check "
+            f"(arrays: {', '.join(bad)})",
+            token=descriptor.token,
+            segment=descriptor.segment,
+            arrays=tuple(bad),
+            plane="registry",
+        )
     _ATTACHED[descriptor.segment] = (shm, arrays)
     return arrays, True
 

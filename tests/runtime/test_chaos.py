@@ -342,3 +342,60 @@ class TestStartMethods:
         )
         assert results.ok
         assert [r.record.digest() for r in results] == serial_digests
+
+
+# ------------------------------------------------------- corruption chaos
+class TestCorruptionChaos:
+    """The ``corrupt`` fault: a byte flipped in a live shm segment.
+
+    The worker must *detect* (attach-time checksum, structured
+    ``OperandCorruptionError`` — never a silently wrong digest), the
+    supervisor must *heal* (republish to a fresh segment before the
+    retry), and the recovered batch must be digest-identical to an
+    undisturbed serial run.
+    """
+
+    def test_corrupt_operand_detected_healed_digest_parity(
+        self, requests, serial_digests
+    ):
+        tracer = Tracer()
+        results = run_chaos(
+            requests, {0: ChaosFault("corrupt")}, tracer=tracer
+        )
+        assert results.ok
+        assert [r.record.digest() for r in results] == serial_digests
+        assert results.stats["healed"] >= 1
+        assert results.stats["retries"] >= 1
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["supervisor.healed"] >= 1
+        assert counters["integrity.corruption_detected"] >= 1
+        assert counters["integrity.republished"] >= 1
+
+    def test_corruption_failure_is_structured_not_silent(self, requests):
+        """Unhealable corruption quarantines with the error type intact."""
+        executor = ParallelExecutor(SpmmRuntime(GV100), workers=2)
+        # max_retries=0: detection fires, no retry budget to heal into.
+        results = executor.run_batch(
+            requests,
+            policy=policy(max_retries=0),
+            chaos={1: ChaosFault("corrupt")},
+        )
+        (failed,) = results.failures
+        assert failed.index == 1
+        assert failed.error_type == "OperandCorruptionError"
+        # Untouched items still match the serial reference bytes.
+        assert results[0] is not None and results[2] is not None
+
+    def test_every_request_corrupted_still_recovers(
+        self, requests, serial_digests
+    ):
+        chaos = {i: ChaosFault("corrupt") for i in range(len(requests))}
+        results = run_chaos(requests, chaos)
+        assert results.ok
+        assert [r.record.digest() for r in results] == serial_digests
+        assert results.stats["healed"] == len(requests)
+
+    def test_corrupt_kind_validates(self):
+        assert ChaosFault("corrupt").kind == "corrupt"
+        with pytest.raises(ConfigError):
+            ChaosFault("scramble")

@@ -12,7 +12,6 @@ import json
 
 import pytest
 
-from repro.errors import JournalError
 from repro.gpu import GV100
 from repro.matrices import uniform_random
 from repro.runtime import (
@@ -79,12 +78,22 @@ class TestAppendLoad:
             assert doc["version"] == JOURNAL_VERSION
             assert doc["kind"] == "record"
 
-    def test_unwritable_path_raises_journal_error(self, tmp_path, records):
+    def test_unwritable_path_degrades_instead_of_raising(
+        self, tmp_path, records, capsys
+    ):
+        # A write failure must not kill the batch: the journal flips into
+        # a loud non-durable degraded mode and counts the lost append.
         fp, record = records[0]
-        with pytest.raises(JournalError, match="append"):
-            RunJournal(tmp_path / "no" / "such" / "dir" / "j.jsonl").append(
-                fp, record
-            )
+        journal = RunJournal(tmp_path / "no" / "such" / "dir" / "j.jsonl")
+        assert journal.append(fp, record) is False
+        assert journal.degraded
+        assert journal.lost == 1
+        assert journal.pressure.lost["journal"] == 1
+        assert "journal plane degraded" in capsys.readouterr().err
+        # Later appends are skipped (and counted) without further I/O.
+        fp2, record2 = records[1]
+        assert journal.append(fp2, record2) is False
+        assert journal.lost == 2
 
 
 class TestCorruption:

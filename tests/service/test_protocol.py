@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.errors import JournalError
+
 from repro.service.protocol import (
     ProtocolError,
     decode_message,
@@ -157,11 +157,17 @@ def test_compact_accepted_keeps_only_outstanding(tmp_path):
     assert state.record_accepted(intent("a")) is True
 
 
-def test_record_accepted_raises_journal_error_on_io(tmp_path):
+def test_record_accepted_degrades_instead_of_raising(tmp_path, capsys):
     import os
 
     state = ServiceState(str(tmp_path / "s"))
     # Make the intent path a directory so the append fails.
     os.mkdir(state.accepted_path)
-    with pytest.raises(JournalError):
-        state.record_accepted(intent("f"))
+    assert state.record_accepted(intent("f")) is False
+    assert state.degraded
+    assert state.lost == 1
+    assert state.pressure.lost["intent"] == 1
+    assert "intent plane degraded" in capsys.readouterr().err
+    # Later acceptances are counted lost without retrying the bad path.
+    assert state.record_accepted(intent("g")) is False
+    assert state.lost == 2

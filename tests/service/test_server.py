@@ -248,3 +248,63 @@ def test_cli_serve_serves_and_drains(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "serving on" in out
     assert "drained: 1 completed" in out
+
+
+# ------------------------------------------------------------ selfcheck
+def test_selfcheck_clean_service_is_healthy(service_factory):
+    handle = service_factory()
+    with ServiceClient(handle.socket_path) as client:
+        assert client.submit(SPECS[0])["status"] == 200
+        report = client.selfcheck()
+        assert report["healthy"] is True
+        assert report["segments"]["corrupt"] == {}
+        assert report["segments"]["checked"] >= 1
+        assert report["durability"]["degraded"] == {}
+
+
+def test_selfcheck_detects_republishes_and_recovers(service_factory):
+    """Corrupt a resident segment: selfcheck flags + republishes it, a
+    second selfcheck is healthy again, and a duplicate submit (which now
+    rides the republished segment) still matches the serial digest."""
+    from repro.resilience import corrupt_segment
+
+    handle = service_factory()
+    with ServiceClient(handle.socket_path) as client:
+        clean = client.submit(SPECS[0])["result"]["digest"]
+        assert clean == serial_digest(SPECS[0])
+
+        registry = handle.service.operands
+        assert registry.descriptors, "expected a resident operand segment"
+        token, descriptor = next(iter(registry.descriptors.items()))
+        corrupt_segment(descriptor.segment, descriptor.arrays[0].offset)
+
+        report = client.selfcheck()
+        assert report["healthy"] is False
+        assert token in report["segments"]["corrupt"]
+        assert report["segments"]["republished"].get(token) is True
+        fresh = registry.descriptors[token]
+        assert fresh.segment != descriptor.segment
+
+        assert client.selfcheck()["healthy"] is True
+
+        # Distinct seed forces execution (not a journal replay) over the
+        # republished operand bytes — the digest oracle still holds.
+        again = client.submit(SPECS[0], seed=1)
+        assert again["status"] == 200
+        assert again["result"]["digest"] == serial_digest(SPECS[0], seed=1)
+
+        stats = client.stats()
+        counters = stats["metrics"]["counters"]
+        assert counters["integrity.corruption_detected"] >= 1
+        assert counters["integrity.republished"] >= 1
+
+
+def test_health_and_stats_expose_durability(service_factory):
+    handle = service_factory()
+    with ServiceClient(handle.socket_path) as client:
+        health = client.health()
+        assert health["durability"] == {
+            "degraded": {}, "lost": {}, "strikes": 0,
+        }
+        stats = client.stats()
+        assert stats["durability"]["strikes"] == 0

@@ -8,6 +8,13 @@ SIGKILLs one of its worker children mid-flight (found via ``/proc``),
 lets the run finish, resumes it from the journal, and asserts the final
 digest set matches an undisturbed ``--workers 1`` reference run.
 
+A second *corruption* phase drives the integrity plane end to end: a
+byte is flipped in a live shared-memory operand segment mid-batch (the
+``corrupt`` chaos fault), and a spilled ``.npy`` in a persistent format
+store is torn short — both must be detected (checksum, structured error),
+recovered (republish / quarantine-and-re-derive), and the recovered
+digests must be bit-identical to an undisturbed run's.
+
 Exit status: 0 on digest parity (a missed kill only warns — the batch is
 short, so the race is tolerated), nonzero on any mismatch or CLI failure.
 """
@@ -90,6 +97,89 @@ def run_with_kill(args, journal):
     return proc.returncode, out, err, killed
 
 
+def corruption_phase():
+    """In-process integrity round trip: live-shm flip + torn spill file.
+
+    Returns 0 on full detection/recovery/digest parity, 1 otherwise.
+    """
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    from repro.gpu import GV100
+    from repro.matrices import uniform_random
+    from repro.resilience import truncate_file
+    from repro.runtime import (
+        ChaosFault,
+        ParallelExecutor,
+        PlanCache,
+        SpmmRequest,
+        SpmmRuntime,
+        SupervisionPolicy,
+    )
+    from repro.store import PersistentFormatStore
+
+    requests = [
+        SpmmRequest(uniform_random(600, 450, 0.05, seed=s), k=64, seed=3)
+        for s in range(4)
+    ]
+    want = [
+        r.record.digest()
+        for r in ParallelExecutor(SpmmRuntime(GV100), workers=1).run_batch(
+            requests
+        )
+    ]
+
+    print("== corruption: byte flipped in a live shm operand segment ==")
+    chaos = {i: ChaosFault("corrupt") for i in range(len(requests))}
+    result = ParallelExecutor(SpmmRuntime(GV100), workers=2).run_batch(
+        requests,
+        policy=SupervisionPolicy(backoff_base_s=0.05),
+        chaos=chaos,
+    )
+    if not result.ok:
+        print("FAIL: corrupted batch did not recover", file=sys.stderr)
+        return 1
+    if result.stats.get("healed", 0) < len(requests):
+        print("FAIL: corruption was not detected/republished "
+              f"(healed={result.stats.get('healed')})", file=sys.stderr)
+        return 1
+    if [r.record.digest() for r in result] != want:
+        print("FAIL: digest mismatch after republish", file=sys.stderr)
+        return 1
+    print(f"   detected + republished {result.stats['healed']} corrupt "
+          f"operands; digests identical")
+
+    print("== corruption: torn-write in a spilled .npy ==")
+    store_root = tempfile.mkdtemp(prefix="chaos-smoke-store-")
+
+    def store_runtime():
+        return SpmmRuntime(
+            GV100, cache=PlanCache(persist=PersistentFormatStore(store_root))
+        )
+
+    clean = store_runtime().run(requests[0]).record.digest()
+    torn = 0
+    for dirpath, _dirs, files in os.walk(store_root):
+        for name in files:
+            if name.endswith(".npy"):
+                truncate_file(os.path.join(dirpath, name))
+                torn += 1
+    if torn == 0:
+        print("FAIL: no spilled .npy files to tear", file=sys.stderr)
+        return 1
+    fresh = store_runtime()
+    recovered = fresh.run(requests[0]).record.digest()
+    dropped = fresh.cache.persist.stats.get("corrupt_dropped", 0)
+    if recovered != clean:
+        print("FAIL: digest mismatch after torn-write recovery",
+              file=sys.stderr)
+        return 1
+    if dropped < 1:
+        print("FAIL: torn spill files were not quarantined", file=sys.stderr)
+        return 1
+    print(f"   tore {torn} spill files; quarantined {dropped}, "
+          f"re-derived, digest identical")
+    return 0
+
+
 def main():
     tmp = tempfile.mkdtemp(prefix="chaos-smoke-")
     batch = os.path.join(tmp, "batch.txt")
@@ -151,6 +241,10 @@ def main():
         return 1
     print(f"OK: {len(got)} digests identical across serial, "
           f"chaos, and resume runs")
+
+    if corruption_phase() != 0:
+        return 1
+    print("OK: corruption phase detected, recovered, digest-identical")
     return 0
 
 
